@@ -1,0 +1,52 @@
+//! E13 / E14 — the financial workflow (Equations 1-7) end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use market::datasets;
+use psp::financial::{FinancialAssessment, FinancialInputs};
+use psp_bench::excavator_sai;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let sai = excavator_sai();
+    let sales = datasets::excavator_sales_europe();
+    let report = datasets::annual_report();
+    let inputs = FinancialInputs::paper_excavator_example();
+
+    let mut group = c.benchmark_group("financial");
+    group.sample_size(20).measurement_time(Duration::from_secs(10));
+    group.bench_function("eq6_eq7_assessment_dpf", |b| {
+        b.iter(|| {
+            black_box(
+                FinancialAssessment::assess("dpf-tampering", &sai, &sales, &report, &inputs)
+                    .expect("assesses"),
+            )
+        })
+    });
+    group.bench_function("eq6_eq7_assessment_all_scenarios", |b| {
+        b.iter(|| {
+            let mut ratings = Vec::new();
+            for scenario in [
+                "dpf-tampering",
+                "egr-tampering",
+                "scr-emulation",
+                "power-tuning",
+                "limiter-removal",
+                "hour-meter-fraud",
+            ] {
+                let mut scenario_inputs = inputs.clone();
+                scenario_inputs.report_category = "emission tampering (DPF)".to_string();
+                if let Ok(a) =
+                    FinancialAssessment::assess(scenario, &sai, &sales, &report, &scenario_inputs)
+                {
+                    ratings.push(a.rating);
+                }
+            }
+            black_box(ratings)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

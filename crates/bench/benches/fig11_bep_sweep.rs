@@ -1,0 +1,33 @@
+//! E11 / Figure 11 — break-even curves over a sweep of fixed costs, margins and
+//! competitor counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use market::bep::BreakEvenAnalysis;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig11/single_curve_201_points", |b| {
+        let analysis = BreakEvenAnalysis::new(145_286.0, 360.0, 50.0, 3);
+        b.iter(|| black_box(analysis.curve(3_000.0, 201)))
+    });
+
+    c.bench_function("fig11/parameter_sweep", |b| {
+        b.iter(|| {
+            let mut profitable = 0usize;
+            for fc in [10_000.0, 50_000.0, 145_286.0, 500_000.0] {
+                for margin in [50.0, 150.0, 310.0, 600.0] {
+                    for n in [1u32, 2, 3, 5] {
+                        let analysis = BreakEvenAnalysis::new(fc, margin + 50.0, 50.0, n);
+                        if analysis.is_profitable_at(black_box(1_406.0)) {
+                            profitable += 1;
+                        }
+                    }
+                }
+            }
+            black_box(profitable)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

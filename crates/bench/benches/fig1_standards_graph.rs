@@ -1,0 +1,22 @@
+//! E1 / Figure 1 — building and querying the standards-contribution graph.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vehicle::standards_graph::{RelationshipStrength, StandardsGraph};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig1/build_paper_graph", |b| {
+        b.iter(|| black_box(StandardsGraph::paper_figure_1()))
+    });
+
+    let graph = StandardsGraph::paper_figure_1();
+    c.bench_function("fig1/query_strong_contributors", |b| {
+        b.iter(|| black_box(graph.contributors_with(RelationshipStrength::Strong)))
+    });
+    c.bench_function("fig1/non_automotive_fraction", |b| {
+        b.iter(|| black_box(graph.non_automotive_fraction()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E3 / Figure 3 — the attack-potential feasibility model over its whole
+//! parameter space.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iso21434::feasibility::attack_potential::{
+    AttackPotential, ElapsedTime, Equipment, Expertise, Knowledge, WindowOfOpportunity,
+};
+use iso21434::tables;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig3/table_rows", |b| {
+        b.iter(|| black_box(tables::attack_potential_rows()))
+    });
+
+    c.bench_function("fig3/rate_full_parameter_space", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for et in ElapsedTime::ALL {
+                for ex in Expertise::ALL {
+                    for kn in Knowledge::ALL {
+                        for wo in WindowOfOpportunity::ALL {
+                            for eq in Equipment::ALL {
+                                let ap = AttackPotential::new(et, ex, kn, wo, eq);
+                                acc += ap.rating().value() as u32;
+                            }
+                        }
+                    }
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E4 / Figure 4 — reachability analysis over the reference architectures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vehicle::reachability::ReachabilityAnalysis;
+use vehicle::reference::{excavator, light_truck, passenger_car};
+
+fn bench(c: &mut Criterion) {
+    for (name, topology) in [
+        ("passenger_car", passenger_car()),
+        ("light_truck", light_truck()),
+        ("excavator", excavator()),
+    ] {
+        c.bench_function(&format!("fig4/analyze_{name}"), |b| {
+            b.iter(|| black_box(ReachabilityAnalysis::analyze(&topology)))
+        });
+    }
+
+    let car = passenger_car();
+    let analysis = ReachabilityAnalysis::analyze(&car);
+    c.bench_function("fig4/group_by_dominant_range", |b| {
+        b.iter(|| black_box(analysis.grouped_by_dominant_range(0)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E5 / E6 — the attack-vector table (Figure 5) and CAL matrix (Figure 6), plus a
+//! full reference-TARA evaluation under the standard model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iso21434::cal::CalMatrix;
+use iso21434::feasibility::attack_vector::{AttackVectorModel, AttackVectorTable};
+use iso21434::impact::ImpactRating;
+use psp::dynamic_tara::ecm_reference_tara;
+use std::hint::black_box;
+use vehicle::attack_surface::AttackVector;
+
+fn bench(c: &mut Criterion) {
+    let table = AttackVectorTable::standard();
+    c.bench_function("fig5/g9_lookup_all_vectors", |b| {
+        b.iter(|| {
+            let mut acc = 0u8;
+            for vector in AttackVector::ALL {
+                acc += table.rating(black_box(vector)).value();
+            }
+            black_box(acc)
+        })
+    });
+
+    let matrix = CalMatrix::new();
+    c.bench_function("fig6/cal_matrix_full_table", |b| {
+        b.iter(|| {
+            let mut levels = 0u8;
+            for impact in ImpactRating::ALL {
+                for vector in AttackVector::ALL {
+                    if let Some(cal) = matrix.cal(black_box(impact), black_box(vector)) {
+                        levels += cal.level();
+                    }
+                }
+            }
+            black_box(levels)
+        })
+    });
+
+    let tara = ecm_reference_tara("ECM");
+    let model = AttackVectorModel::standard();
+    c.bench_function("fig5/reference_tara_static_evaluation", |b| {
+        b.iter(|| black_box(tara.evaluate(&model).expect("evaluates")))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E9 / Figure 9 — the windowed analysis behind the trend-inversion experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psp::config::PspConfig;
+use psp::keyword_db::KeywordDatabase;
+use psp::timewindow::compare_windows;
+use psp_bench::{passenger_corpus, recent_window};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let corpus = passenger_corpus();
+    let db = KeywordDatabase::passenger_car_seed();
+    let config = PspConfig::passenger_car_europe();
+
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10).measurement_time(Duration::from_secs(20));
+    group.bench_function("compare_windows_ecm_reprogramming", |b| {
+        b.iter(|| {
+            black_box(compare_windows(
+                &corpus,
+                &db,
+                &config,
+                "ecm-reprogramming",
+                recent_window(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,233 @@
+//! Assets and cybersecurity properties (ISO/SAE-21434 Clause 15.3).
+//!
+//! Asset identification is the first TARA activity: every item function, data
+//! element or communication channel whose compromise can lead to a damage scenario
+//! is enumerated together with the cybersecurity properties (confidentiality,
+//! integrity, availability, …) that must hold for it.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A cybersecurity property that an asset carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum CybersecurityProperty {
+    /// Information is not disclosed to unauthorised parties.
+    Confidentiality,
+    /// Information and functions are not altered by unauthorised parties.
+    Integrity,
+    /// Information and functions are accessible when required.
+    Availability,
+    /// The origin of data or commands can be trusted.
+    Authenticity,
+    /// Only authorised parties can perform an action.
+    Authorization,
+    /// Actions can be attributed to their originator.
+    NonRepudiation,
+}
+
+impl CybersecurityProperty {
+    /// All properties, in a stable order.
+    pub const ALL: [CybersecurityProperty; 6] = [
+        CybersecurityProperty::Confidentiality,
+        CybersecurityProperty::Integrity,
+        CybersecurityProperty::Availability,
+        CybersecurityProperty::Authenticity,
+        CybersecurityProperty::Authorization,
+        CybersecurityProperty::NonRepudiation,
+    ];
+}
+
+impl fmt::Display for CybersecurityProperty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CybersecurityProperty::Confidentiality => "Confidentiality",
+            CybersecurityProperty::Integrity => "Integrity",
+            CybersecurityProperty::Availability => "Availability",
+            CybersecurityProperty::Authenticity => "Authenticity",
+            CybersecurityProperty::Authorization => "Authorization",
+            CybersecurityProperty::NonRepudiation => "Non-repudiation",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A coarse classification of assets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum AssetCategory {
+    /// Executable firmware or software images.
+    Firmware,
+    /// Calibration maps and configuration parameters.
+    Calibration,
+    /// Cryptographic keys and certificates.
+    CryptographicMaterial,
+    /// Run-time data (sensor values, bus messages).
+    OperationalData,
+    /// Personally identifiable information.
+    PersonalData,
+    /// A vehicle function (e.g. torque control, emission after-treatment).
+    Function,
+    /// A communication channel (bus segment, diagnostic session).
+    CommunicationChannel,
+    /// Physical hardware (the ECU itself, sensors, actuators).
+    Hardware,
+}
+
+/// An asset under analysis.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Asset {
+    name: String,
+    description: String,
+    category: AssetCategory,
+    /// The ECU (by short name) that hosts the asset, if any.
+    host_ecu: Option<String>,
+    properties: Vec<CybersecurityProperty>,
+}
+
+impl Asset {
+    /// Creates a new asset.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use iso21434::{Asset, AssetCategory, CybersecurityProperty};
+    /// let asset = Asset::new("ECM firmware", AssetCategory::Firmware)
+    ///     .hosted_on("ECM")
+    ///     .with_property(CybersecurityProperty::Integrity)
+    ///     .with_property(CybersecurityProperty::Authenticity);
+    /// assert_eq!(asset.properties().len(), 2);
+    /// ```
+    #[must_use]
+    pub fn new(name: impl Into<String>, category: AssetCategory) -> Self {
+        Self {
+            name: name.into(),
+            description: String::new(),
+            category,
+            host_ecu: None,
+            properties: Vec::new(),
+        }
+    }
+
+    /// Adds a free-text description.
+    #[must_use]
+    pub fn with_description(mut self, description: impl Into<String>) -> Self {
+        self.description = description.into();
+        self
+    }
+
+    /// Records the ECU hosting the asset.
+    #[must_use]
+    pub fn hosted_on(mut self, ecu: impl Into<String>) -> Self {
+        self.host_ecu = Some(ecu.into());
+        self
+    }
+
+    /// Adds a cybersecurity property (duplicates are ignored).
+    #[must_use]
+    pub fn with_property(mut self, property: CybersecurityProperty) -> Self {
+        if !self.properties.contains(&property) {
+            self.properties.push(property);
+        }
+        self
+    }
+
+    /// The asset name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The free-text description.
+    #[must_use]
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// The asset category.
+    #[must_use]
+    pub fn category(&self) -> AssetCategory {
+        self.category
+    }
+
+    /// The hosting ECU, if recorded.
+    #[must_use]
+    pub fn host_ecu(&self) -> Option<&str> {
+        self.host_ecu.as_deref()
+    }
+
+    /// The cybersecurity properties that must hold for the asset.
+    #[must_use]
+    pub fn properties(&self) -> &[CybersecurityProperty] {
+        &self.properties
+    }
+
+    /// Whether the asset carries the given property.
+    #[must_use]
+    pub fn has_property(&self, property: CybersecurityProperty) -> bool {
+        self.properties.contains(&property)
+    }
+}
+
+impl fmt::Display for Asset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.host_ecu {
+            Some(ecu) => write!(f, "{} @ {}", self.name, ecu),
+            None => f.write_str(&self.name),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn firmware_asset() -> Asset {
+        Asset::new("ECM firmware", AssetCategory::Firmware)
+            .with_description("engine control firmware image")
+            .hosted_on("ECM")
+            .with_property(CybersecurityProperty::Integrity)
+            .with_property(CybersecurityProperty::Authenticity)
+    }
+
+    #[test]
+    fn builder_accumulates_properties_without_duplicates() {
+        let asset = firmware_asset().with_property(CybersecurityProperty::Integrity);
+        assert_eq!(asset.properties().len(), 2);
+        assert!(asset.has_property(CybersecurityProperty::Integrity));
+        assert!(!asset.has_property(CybersecurityProperty::Confidentiality));
+    }
+
+    #[test]
+    fn host_ecu_is_recorded() {
+        assert_eq!(firmware_asset().host_ecu(), Some("ECM"));
+        assert_eq!(Asset::new("x", AssetCategory::Function).host_ecu(), None);
+    }
+
+    #[test]
+    fn display_includes_host() {
+        assert_eq!(firmware_asset().to_string(), "ECM firmware @ ECM");
+        assert_eq!(
+            Asset::new("VIN", AssetCategory::PersonalData).to_string(),
+            "VIN"
+        );
+    }
+
+    #[test]
+    fn all_properties_distinct() {
+        let set: std::collections::HashSet<_> = CybersecurityProperty::ALL.iter().collect();
+        assert_eq!(set.len(), 6);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let asset = firmware_asset();
+        let json = serde_json::to_string(&asset).unwrap();
+        assert_eq!(asset, serde_json::from_str(&json).unwrap());
+    }
+
+    #[test]
+    fn description_defaults_empty() {
+        assert_eq!(Asset::new("x", AssetCategory::Hardware).description(), "");
+    }
+}

@@ -1,0 +1,290 @@
+//! The CVSS-based feasibility model (ISO/SAE-21434 Annex G.3).
+//!
+//! The standard's second option rates feasibility from the exploitability
+//! sub-metrics of CVSS v3.1: attack vector, attack complexity, privileges required
+//! and user interaction.  The exploitability sub-score is
+//! `8.22 × AV × AC × PR × UI`, and the score bands are mapped onto the shared
+//! [`AttackFeasibilityRating`] scale.
+
+use super::{AttackFeasibilityRating, FeasibilityModel};
+use crate::attack_path::AttackPath;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use vehicle::attack_surface::AttackVector;
+
+/// CVSS v3.1 attack-complexity metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AttackComplexity {
+    /// Specialised access conditions do not exist.
+    Low,
+    /// Successful attack depends on conditions beyond the attacker's control.
+    High,
+}
+
+impl AttackComplexity {
+    /// CVSS numeric weight.
+    #[must_use]
+    pub fn weight(self) -> f64 {
+        match self {
+            AttackComplexity::Low => 0.77,
+            AttackComplexity::High => 0.44,
+        }
+    }
+}
+
+/// CVSS v3.1 privileges-required metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PrivilegesRequired {
+    /// No privileges needed.
+    None,
+    /// Basic user privileges needed.
+    Low,
+    /// Administrative privileges needed.
+    High,
+}
+
+impl PrivilegesRequired {
+    /// CVSS numeric weight (unchanged-scope values).
+    #[must_use]
+    pub fn weight(self) -> f64 {
+        match self {
+            PrivilegesRequired::None => 0.85,
+            PrivilegesRequired::Low => 0.62,
+            PrivilegesRequired::High => 0.27,
+        }
+    }
+}
+
+/// CVSS v3.1 user-interaction metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum UserInteraction {
+    /// No user interaction required.
+    None,
+    /// A user must take some action.
+    Required,
+}
+
+impl UserInteraction {
+    /// CVSS numeric weight.
+    #[must_use]
+    pub fn weight(self) -> f64 {
+        match self {
+            UserInteraction::None => 0.85,
+            UserInteraction::Required => 0.62,
+        }
+    }
+}
+
+/// CVSS numeric weight of the attack-vector metric.
+#[must_use]
+pub fn attack_vector_weight(vector: AttackVector) -> f64 {
+    match vector {
+        AttackVector::Network => 0.85,
+        AttackVector::Adjacent => 0.62,
+        AttackVector::Local => 0.55,
+        AttackVector::Physical => 0.20,
+    }
+}
+
+/// A CVSS exploitability assessment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CvssExploitability {
+    /// The attack-vector metric (taken from the attack path when rating).
+    pub vector: AttackVector,
+    /// The attack-complexity metric.
+    pub complexity: AttackComplexity,
+    /// The privileges-required metric.
+    pub privileges: PrivilegesRequired,
+    /// The user-interaction metric.
+    pub interaction: UserInteraction,
+}
+
+impl CvssExploitability {
+    /// Creates an assessment.
+    #[must_use]
+    pub fn new(
+        vector: AttackVector,
+        complexity: AttackComplexity,
+        privileges: PrivilegesRequired,
+        interaction: UserInteraction,
+    ) -> Self {
+        Self {
+            vector,
+            complexity,
+            privileges,
+            interaction,
+        }
+    }
+
+    /// The CVSS v3.1 exploitability sub-score: `8.22 × AV × AC × PR × UI`.
+    #[must_use]
+    pub fn score(&self) -> f64 {
+        8.22 * attack_vector_weight(self.vector)
+            * self.complexity.weight()
+            * self.privileges.weight()
+            * self.interaction.weight()
+    }
+
+    /// Maps the exploitability score onto the shared rating scale using the Annex G
+    /// bands: < 1 → Very Low, 1–2 → Low, 2–3 → Medium, ≥ 3 → High.
+    #[must_use]
+    pub fn rating(&self) -> AttackFeasibilityRating {
+        let score = self.score();
+        if score < 1.0 {
+            AttackFeasibilityRating::VeryLow
+        } else if score < 2.0 {
+            AttackFeasibilityRating::Low
+        } else if score < 3.0 {
+            AttackFeasibilityRating::Medium
+        } else {
+            AttackFeasibilityRating::High
+        }
+    }
+}
+
+impl fmt::Display for CvssExploitability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CVSS exploitability {:.2} -> {}", self.score(), self.rating())
+    }
+}
+
+/// A [`FeasibilityModel`] that derives the attack-vector metric from the attack
+/// path's limiting vector and keeps the remaining metrics fixed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CvssModel {
+    complexity: AttackComplexity,
+    privileges: PrivilegesRequired,
+    interaction: UserInteraction,
+}
+
+impl CvssModel {
+    /// Creates the model with the given fixed metrics.
+    #[must_use]
+    pub fn new(
+        complexity: AttackComplexity,
+        privileges: PrivilegesRequired,
+        interaction: UserInteraction,
+    ) -> Self {
+        Self {
+            complexity,
+            privileges,
+            interaction,
+        }
+    }
+
+    /// A permissive default: low complexity, no privileges, no interaction —
+    /// the worst case the standard suggests starting from.
+    #[must_use]
+    pub fn permissive() -> Self {
+        Self::new(
+            AttackComplexity::Low,
+            PrivilegesRequired::None,
+            UserInteraction::None,
+        )
+    }
+}
+
+impl Default for CvssModel {
+    fn default() -> Self {
+        Self::permissive()
+    }
+}
+
+impl FeasibilityModel for CvssModel {
+    fn name(&self) -> &str {
+        "CVSS-based (ISO/SAE-21434 G.3)"
+    }
+
+    fn rate(&self, path: &AttackPath) -> AttackFeasibilityRating {
+        let vector = path.limiting_vector().unwrap_or(AttackVector::Physical);
+        CvssExploitability::new(vector, self.complexity, self.privileges, self.interaction)
+            .rating()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assess(vector: AttackVector) -> CvssExploitability {
+        CvssExploitability::new(
+            vector,
+            AttackComplexity::Low,
+            PrivilegesRequired::None,
+            UserInteraction::None,
+        )
+    }
+
+    #[test]
+    fn network_scores_highest() {
+        let network = assess(AttackVector::Network).score();
+        let adjacent = assess(AttackVector::Adjacent).score();
+        let local = assess(AttackVector::Local).score();
+        let physical = assess(AttackVector::Physical).score();
+        assert!(network > adjacent);
+        assert!(adjacent > local);
+        assert!(local > physical);
+        assert!((network - 8.22 * 0.85 * 0.77 * 0.85 * 0.85).abs() < 1e-9);
+    }
+
+    #[test]
+    fn permissive_network_is_high_physical_is_very_low() {
+        // This mirrors the G.9 ordering the paper criticises: even in the most
+        // permissive configuration a physical attack lands in the lowest band.
+        assert_eq!(assess(AttackVector::Network).rating(), AttackFeasibilityRating::High);
+        assert_eq!(
+            assess(AttackVector::Physical).rating(),
+            AttackFeasibilityRating::VeryLow
+        );
+    }
+
+    #[test]
+    fn high_friction_physical_is_very_low() {
+        let hard = CvssExploitability::new(
+            AttackVector::Physical,
+            AttackComplexity::High,
+            PrivilegesRequired::High,
+            UserInteraction::Required,
+        );
+        assert!(hard.score() < 1.0);
+        assert_eq!(hard.rating(), AttackFeasibilityRating::VeryLow);
+    }
+
+    #[test]
+    fn model_uses_limiting_vector_of_path() {
+        let model = CvssModel::permissive();
+        let remote = AttackPath::new("remote").step("exploit TCU", AttackVector::Network);
+        let mixed = AttackPath::new("mixed")
+            .step("exploit TCU", AttackVector::Network)
+            .step("solder bypass", AttackVector::Physical);
+        assert_eq!(model.rate(&remote), AttackFeasibilityRating::High);
+        assert_eq!(model.rate(&mixed), AttackFeasibilityRating::VeryLow);
+    }
+
+    #[test]
+    fn empty_path_defaults_to_physical() {
+        let model = CvssModel::default();
+        let empty = AttackPath::new("empty");
+        assert_eq!(model.rate(&empty), AttackFeasibilityRating::VeryLow);
+    }
+
+    #[test]
+    fn rating_bands_are_exercised() {
+        // Medium: local vector, low complexity, no privileges, no interaction.
+        let medium = assess(AttackVector::Local);
+        assert!(medium.score() >= 2.0 && medium.score() < 3.0);
+        assert_eq!(medium.rating(), AttackFeasibilityRating::Medium);
+    }
+
+    #[test]
+    fn display_contains_score() {
+        let s = assess(AttackVector::Network).to_string();
+        assert!(s.contains("CVSS"));
+        assert!(s.contains("High"));
+    }
+
+    #[test]
+    fn model_name_mentions_cvss() {
+        assert!(CvssModel::default().name().contains("CVSS"));
+    }
+}

@@ -1,0 +1,251 @@
+//! Damage scenarios and impact rating (ISO/SAE-21434 Clause 15.3 / 15.5).
+//!
+//! A damage scenario describes the harm that results if a cybersecurity property of
+//! an asset is violated.  The impact rating assigns one of four levels — severe,
+//! major, moderate, negligible — to each of the four impact categories: safety,
+//! financial, operational and privacy (S/F/O/P).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The four impact categories of ISO/SAE-21434.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ImpactCategory {
+    /// Harm to life and limb of road users.
+    Safety,
+    /// Financial loss to the road user or the OEM.
+    Financial,
+    /// Loss or degradation of a vehicle function.
+    Operational,
+    /// Loss of personal data or privacy of the road user.
+    Privacy,
+}
+
+impl ImpactCategory {
+    /// All categories, in the standard's S/F/O/P order.
+    pub const ALL: [ImpactCategory; 4] = [
+        ImpactCategory::Safety,
+        ImpactCategory::Financial,
+        ImpactCategory::Operational,
+        ImpactCategory::Privacy,
+    ];
+}
+
+impl fmt::Display for ImpactCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// The impact level assigned to one impact category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ImpactRating {
+    /// No noticeable harm.
+    Negligible,
+    /// Inconvenient but recoverable harm.
+    Moderate,
+    /// Substantial harm.
+    Major,
+    /// Life-threatening or catastrophic harm.
+    Severe,
+}
+
+impl ImpactRating {
+    /// All ratings from lowest to highest.
+    pub const ALL: [ImpactRating; 4] = [
+        ImpactRating::Negligible,
+        ImpactRating::Moderate,
+        ImpactRating::Major,
+        ImpactRating::Severe,
+    ];
+
+    /// The numeric impact value used by the risk matrix (1 = negligible … 4 = severe).
+    #[must_use]
+    pub fn value(self) -> u8 {
+        match self {
+            ImpactRating::Negligible => 1,
+            ImpactRating::Moderate => 2,
+            ImpactRating::Major => 3,
+            ImpactRating::Severe => 4,
+        }
+    }
+
+    /// Builds a rating back from its numeric value, clamping out-of-range input.
+    #[must_use]
+    pub fn from_value(value: u8) -> Self {
+        match value {
+            0 | 1 => ImpactRating::Negligible,
+            2 => ImpactRating::Moderate,
+            3 => ImpactRating::Major,
+            _ => ImpactRating::Severe,
+        }
+    }
+}
+
+impl fmt::Display for ImpactRating {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// A damage scenario with its per-category impact rating.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DamageScenario {
+    title: String,
+    description: String,
+    ratings: BTreeMap<ImpactCategory, ImpactRating>,
+}
+
+impl DamageScenario {
+    /// Creates a damage scenario with all categories rated negligible.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use iso21434::{DamageScenario, ImpactCategory, ImpactRating};
+    /// let ds = DamageScenario::new("Engine stall while driving")
+    ///     .rate(ImpactCategory::Safety, ImpactRating::Severe)
+    ///     .rate(ImpactCategory::Operational, ImpactRating::Major);
+    /// assert_eq!(ds.overall(), ImpactRating::Severe);
+    /// ```
+    #[must_use]
+    pub fn new(title: impl Into<String>) -> Self {
+        let ratings = ImpactCategory::ALL
+            .iter()
+            .map(|c| (*c, ImpactRating::Negligible))
+            .collect();
+        Self {
+            title: title.into(),
+            description: String::new(),
+            ratings,
+        }
+    }
+
+    /// Adds a free-text description.
+    #[must_use]
+    pub fn with_description(mut self, description: impl Into<String>) -> Self {
+        self.description = description.into();
+        self
+    }
+
+    /// Sets the rating of one impact category.
+    #[must_use]
+    pub fn rate(mut self, category: ImpactCategory, rating: ImpactRating) -> Self {
+        self.ratings.insert(category, rating);
+        self
+    }
+
+    /// The scenario title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The free-text description.
+    #[must_use]
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// The rating of one category.
+    #[must_use]
+    pub fn rating(&self, category: ImpactCategory) -> ImpactRating {
+        self.ratings
+            .get(&category)
+            .copied()
+            .unwrap_or(ImpactRating::Negligible)
+    }
+
+    /// The overall impact: the maximum over the four categories, as required by the
+    /// standard when a single impact level is needed for risk determination.
+    #[must_use]
+    pub fn overall(&self) -> ImpactRating {
+        self.ratings
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(ImpactRating::Negligible)
+    }
+
+    /// Whether the scenario has any safety impact above negligible.
+    #[must_use]
+    pub fn is_safety_relevant(&self) -> bool {
+        self.rating(ImpactCategory::Safety) > ImpactRating::Negligible
+    }
+}
+
+impl fmt::Display for DamageScenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.title, self.overall())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stall_scenario() -> DamageScenario {
+        DamageScenario::new("Engine stall while driving")
+            .with_description("loss of propulsion at speed")
+            .rate(ImpactCategory::Safety, ImpactRating::Severe)
+            .rate(ImpactCategory::Operational, ImpactRating::Major)
+            .rate(ImpactCategory::Financial, ImpactRating::Moderate)
+    }
+
+    #[test]
+    fn ratings_default_to_negligible() {
+        let ds = DamageScenario::new("nothing");
+        for c in ImpactCategory::ALL {
+            assert_eq!(ds.rating(c), ImpactRating::Negligible);
+        }
+        assert_eq!(ds.overall(), ImpactRating::Negligible);
+        assert!(!ds.is_safety_relevant());
+    }
+
+    #[test]
+    fn overall_is_the_maximum() {
+        assert_eq!(stall_scenario().overall(), ImpactRating::Severe);
+    }
+
+    #[test]
+    fn safety_relevance() {
+        assert!(stall_scenario().is_safety_relevant());
+        let ds = DamageScenario::new("emissions increase")
+            .rate(ImpactCategory::Financial, ImpactRating::Major);
+        assert!(!ds.is_safety_relevant());
+    }
+
+    #[test]
+    fn rating_values_are_monotone() {
+        let values: Vec<_> = ImpactRating::ALL.iter().map(|r| r.value()).collect();
+        assert_eq!(values, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn from_value_round_trip_and_clamp() {
+        for r in ImpactRating::ALL {
+            assert_eq!(ImpactRating::from_value(r.value()), r);
+        }
+        assert_eq!(ImpactRating::from_value(0), ImpactRating::Negligible);
+        assert_eq!(ImpactRating::from_value(200), ImpactRating::Severe);
+    }
+
+    #[test]
+    fn display_contains_overall() {
+        assert!(stall_scenario().to_string().contains("Severe"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let ds = stall_scenario();
+        let json = serde_json::to_string(&ds).unwrap();
+        assert_eq!(ds, serde_json::from_str(&json).unwrap());
+    }
+
+    #[test]
+    fn ordering_of_ratings() {
+        assert!(ImpactRating::Negligible < ImpactRating::Moderate);
+        assert!(ImpactRating::Major < ImpactRating::Severe);
+    }
+}

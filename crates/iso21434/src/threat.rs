@@ -1,0 +1,337 @@
+//! Threat scenarios, STRIDE categories and attacker profiles
+//! (ISO/SAE-21434 Clause 15.4).
+//!
+//! A threat scenario ties an asset and one of its cybersecurity properties to a
+//! potential cause of compromise.  The paper additionally leans on an attacker
+//! profile taxonomy (Insider, Outsider, Rational, Malicious, …) because the PSP
+//! framework only re-tunes the feasibility weights for *insider* threats — attacks
+//! the vehicle owner is aware of and approves.
+
+use crate::asset::CybersecurityProperty;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use vehicle::attack_surface::AttackVector;
+
+/// STRIDE threat categories used to enumerate threat scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum StrideCategory {
+    /// Pretending to be something or somebody else.
+    Spoofing,
+    /// Unauthorised modification of data or code.
+    Tampering,
+    /// Denying having performed an action.
+    Repudiation,
+    /// Exposure of information to unauthorised parties.
+    InformationDisclosure,
+    /// Denial of service.
+    DenialOfService,
+    /// Gaining capabilities without authorisation.
+    ElevationOfPrivilege,
+}
+
+impl StrideCategory {
+    /// All categories.
+    pub const ALL: [StrideCategory; 6] = [
+        StrideCategory::Spoofing,
+        StrideCategory::Tampering,
+        StrideCategory::Repudiation,
+        StrideCategory::InformationDisclosure,
+        StrideCategory::DenialOfService,
+        StrideCategory::ElevationOfPrivilege,
+    ];
+
+    /// The cybersecurity property a threat of this category primarily violates.
+    #[must_use]
+    pub fn violated_property(self) -> CybersecurityProperty {
+        match self {
+            StrideCategory::Spoofing => CybersecurityProperty::Authenticity,
+            StrideCategory::Tampering => CybersecurityProperty::Integrity,
+            StrideCategory::Repudiation => CybersecurityProperty::NonRepudiation,
+            StrideCategory::InformationDisclosure => CybersecurityProperty::Confidentiality,
+            StrideCategory::DenialOfService => CybersecurityProperty::Availability,
+            StrideCategory::ElevationOfPrivilege => CybersecurityProperty::Authorization,
+        }
+    }
+}
+
+impl fmt::Display for StrideCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Attacker profiles, following the taxonomy the paper cites (Section II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum AttackerProfile {
+    /// Service or maintenance personnel, workshops — and, in the paper's reading,
+    /// any attack the owner is aware of and approves.
+    Insider,
+    /// External attackers (black hats) acting without the owner's knowledge.
+    Outsider,
+    /// The vehicle owner acting in their own economic interest.
+    Rational,
+    /// Criminals seeking direct gain (theft, extortion).
+    Malicious,
+    /// Opportunistic thieves using standard tools.
+    Active,
+    /// Rivals or competitors gathering information.
+    Passive,
+    /// Attackers requiring presence at the vehicle.
+    Local,
+    /// Attackers operating remotely.
+    Remote,
+}
+
+impl AttackerProfile {
+    /// All profiles.
+    pub const ALL: [AttackerProfile; 8] = [
+        AttackerProfile::Insider,
+        AttackerProfile::Outsider,
+        AttackerProfile::Rational,
+        AttackerProfile::Malicious,
+        AttackerProfile::Active,
+        AttackerProfile::Passive,
+        AttackerProfile::Local,
+        AttackerProfile::Remote,
+    ];
+
+    /// Whether the profile belongs to the paper's *insider* super-category: attacks
+    /// performed with the owner's awareness and approval (owner, workshop,
+    /// maintenance personnel), typically with unlimited time and free device access.
+    #[must_use]
+    pub fn is_insider_category(self) -> bool {
+        matches!(
+            self,
+            AttackerProfile::Insider | AttackerProfile::Rational | AttackerProfile::Local
+        )
+    }
+
+    /// Whether the profile typically enjoys unlimited physical access to the item —
+    /// the property that breaks the "physical attacks are hard" assumption baked
+    /// into the enterprise-IT feasibility weights.
+    #[must_use]
+    pub fn has_unlimited_access(self) -> bool {
+        matches!(
+            self,
+            AttackerProfile::Insider | AttackerProfile::Rational | AttackerProfile::Local
+        )
+    }
+}
+
+impl fmt::Display for AttackerProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// A threat scenario.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreatScenario {
+    title: String,
+    asset_name: String,
+    violated_property: CybersecurityProperty,
+    stride: StrideCategory,
+    attacker: AttackerProfile,
+    preferred_vector: AttackVector,
+    keywords: Vec<String>,
+}
+
+impl ThreatScenario {
+    /// Creates a threat scenario for the named asset.
+    ///
+    /// The violated property defaults to the one implied by the STRIDE category and
+    /// can be overridden with [`violating`](Self::violating).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use iso21434::{ThreatScenario, StrideCategory, AttackerProfile};
+    /// use vehicle::attack_surface::AttackVector;
+    ///
+    /// let ts = ThreatScenario::new("ECM reprogramming", "ECM firmware", StrideCategory::Tampering)
+    ///     .by(AttackerProfile::Rational)
+    ///     .via(AttackVector::Physical)
+    ///     .with_keyword("chiptuning");
+    /// assert!(ts.attacker().is_insider_category());
+    /// ```
+    #[must_use]
+    pub fn new(
+        title: impl Into<String>,
+        asset_name: impl Into<String>,
+        stride: StrideCategory,
+    ) -> Self {
+        Self {
+            title: title.into(),
+            asset_name: asset_name.into(),
+            violated_property: stride.violated_property(),
+            stride,
+            attacker: AttackerProfile::Outsider,
+            preferred_vector: AttackVector::Network,
+            keywords: Vec::new(),
+        }
+    }
+
+    /// Overrides the violated cybersecurity property.
+    #[must_use]
+    pub fn violating(mut self, property: CybersecurityProperty) -> Self {
+        self.violated_property = property;
+        self
+    }
+
+    /// Sets the attacker profile.
+    #[must_use]
+    pub fn by(mut self, attacker: AttackerProfile) -> Self {
+        self.attacker = attacker;
+        self
+    }
+
+    /// Sets the attack vector the scenario is expected to use.
+    #[must_use]
+    pub fn via(mut self, vector: AttackVector) -> Self {
+        self.preferred_vector = vector;
+        self
+    }
+
+    /// Adds a social-media keyword / hashtag associated with the scenario
+    /// (consumed by the PSP keyword database).
+    #[must_use]
+    pub fn with_keyword(mut self, keyword: impl Into<String>) -> Self {
+        self.keywords.push(keyword.into());
+        self
+    }
+
+    /// The scenario title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The name of the asset under threat.
+    #[must_use]
+    pub fn asset_name(&self) -> &str {
+        &self.asset_name
+    }
+
+    /// The violated cybersecurity property.
+    #[must_use]
+    pub fn violated_property(&self) -> CybersecurityProperty {
+        self.violated_property
+    }
+
+    /// The STRIDE category.
+    #[must_use]
+    pub fn stride(&self) -> StrideCategory {
+        self.stride
+    }
+
+    /// The attacker profile.
+    #[must_use]
+    pub fn attacker(&self) -> AttackerProfile {
+        self.attacker
+    }
+
+    /// The expected attack vector.
+    #[must_use]
+    pub fn preferred_vector(&self) -> AttackVector {
+        self.preferred_vector
+    }
+
+    /// Social-media keywords associated with the scenario.
+    #[must_use]
+    pub fn keywords(&self) -> &[String] {
+        &self.keywords
+    }
+}
+
+impl fmt::Display for ThreatScenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} on {}, {} via {})",
+            self.title, self.stride, self.asset_name, self.attacker, self.preferred_vector
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reprogramming() -> ThreatScenario {
+        ThreatScenario::new("ECM reprogramming", "ECM firmware", StrideCategory::Tampering)
+            .by(AttackerProfile::Rational)
+            .via(AttackVector::Physical)
+            .with_keyword("chiptuning")
+            .with_keyword("ecuremap")
+    }
+
+    #[test]
+    fn stride_implies_property() {
+        assert_eq!(
+            StrideCategory::Tampering.violated_property(),
+            CybersecurityProperty::Integrity
+        );
+        assert_eq!(
+            StrideCategory::DenialOfService.violated_property(),
+            CybersecurityProperty::Availability
+        );
+        assert_eq!(
+            StrideCategory::Spoofing.violated_property(),
+            CybersecurityProperty::Authenticity
+        );
+    }
+
+    #[test]
+    fn scenario_defaults_follow_stride() {
+        let ts = ThreatScenario::new("t", "a", StrideCategory::InformationDisclosure);
+        assert_eq!(ts.violated_property(), CybersecurityProperty::Confidentiality);
+        assert_eq!(ts.attacker(), AttackerProfile::Outsider);
+    }
+
+    #[test]
+    fn violating_overrides_property() {
+        let ts = ThreatScenario::new("t", "a", StrideCategory::Tampering)
+            .violating(CybersecurityProperty::Availability);
+        assert_eq!(ts.violated_property(), CybersecurityProperty::Availability);
+    }
+
+    #[test]
+    fn insider_category_profiles() {
+        assert!(AttackerProfile::Insider.is_insider_category());
+        assert!(AttackerProfile::Rational.is_insider_category());
+        assert!(AttackerProfile::Local.is_insider_category());
+        assert!(!AttackerProfile::Outsider.is_insider_category());
+        assert!(!AttackerProfile::Malicious.is_insider_category());
+    }
+
+    #[test]
+    fn insiders_have_unlimited_access() {
+        for p in AttackerProfile::ALL {
+            if p.is_insider_category() {
+                assert!(p.has_unlimited_access(), "{p}");
+            }
+        }
+    }
+
+    #[test]
+    fn keywords_accumulate() {
+        assert_eq!(reprogramming().keywords(), &["chiptuning", "ecuremap"]);
+    }
+
+    #[test]
+    fn display_mentions_all_parts() {
+        let s = reprogramming().to_string();
+        assert!(s.contains("ECM reprogramming"));
+        assert!(s.contains("Tampering"));
+        assert!(s.contains("Rational"));
+        assert!(s.contains("Physical"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let ts = reprogramming();
+        let json = serde_json::to_string(&ts).unwrap();
+        assert_eq!(ts, serde_json::from_str(&json).unwrap());
+    }
+}

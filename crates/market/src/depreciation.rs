@@ -1,0 +1,116 @@
+//! Straight-line depreciation of CAPEX items (the `SLD` term of Equation 4).
+//!
+//! Equation 4 of the paper includes "the depreciation of Capital Expenditures
+//! (CAPEX) items on a straight-line basis (SLD), which includes various development
+//! tools, electronic instruments, and specialized hardware and software, primarily
+//! laboratory instrumentation such as Analyzers, Tracers, Debuggers, and
+//! Oscilloscopes."
+
+use serde::{Deserialize, Serialize};
+
+/// A capital-expenditure item owned by the adversary's "lab".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapexItem {
+    /// Item description (e.g. "CAN analyzer").
+    pub name: String,
+    /// Acquisition cost in EUR.
+    pub acquisition_cost_eur: f64,
+    /// Useful life in years over which the cost is spread.
+    pub useful_life_years: u32,
+    /// Residual value at the end of the useful life.
+    pub residual_value_eur: f64,
+}
+
+impl CapexItem {
+    /// Creates an item with zero residual value.
+    #[must_use]
+    pub fn new(name: impl Into<String>, acquisition_cost_eur: f64, useful_life_years: u32) -> Self {
+        Self {
+            name: name.into(),
+            acquisition_cost_eur,
+            useful_life_years,
+            residual_value_eur: 0.0,
+        }
+    }
+
+    /// Sets a residual value.
+    #[must_use]
+    pub fn with_residual(mut self, residual_value_eur: f64) -> Self {
+        self.residual_value_eur = residual_value_eur;
+        self
+    }
+
+    /// The yearly straight-line depreciation charge.
+    #[must_use]
+    pub fn annual_depreciation(&self) -> f64 {
+        if self.useful_life_years == 0 {
+            return self.acquisition_cost_eur - self.residual_value_eur;
+        }
+        (self.acquisition_cost_eur - self.residual_value_eur) / f64::from(self.useful_life_years)
+    }
+}
+
+/// The total yearly straight-line depreciation (`SLD`) of a set of CAPEX items.
+#[must_use]
+pub fn straight_line_depreciation(items: &[CapexItem]) -> f64 {
+    items.iter().map(CapexItem::annual_depreciation).sum()
+}
+
+/// A typical adversary lab for ECU tampering work, matching the instrument list the
+/// paper gives (analyzer, tracer, debugger, oscilloscope) plus bench tooling.
+#[must_use]
+pub fn typical_adversary_lab() -> Vec<CapexItem> {
+    vec![
+        CapexItem::new("CAN/LIN bus analyzer", 8_000.0, 5),
+        CapexItem::new("Protocol tracer", 6_000.0, 5),
+        CapexItem::new("JTAG/SWD debugger", 4_000.0, 4),
+        CapexItem::new("Mixed-signal oscilloscope", 12_000.0, 6),
+        CapexItem::new("ECU bench harness and power supplies", 3_000.0, 5),
+        CapexItem::new("Commercial flashing suite licence", 5_000.0, 3),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn annual_depreciation_spreads_cost() {
+        let scope = CapexItem::new("oscilloscope", 12_000.0, 6);
+        assert!((scope.annual_depreciation() - 2_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn residual_value_reduces_the_charge() {
+        let item = CapexItem::new("debugger", 4_000.0, 4).with_residual(400.0);
+        assert!((item.annual_depreciation() - 900.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_life_charges_everything_at_once() {
+        let item = CapexItem::new("disposable", 100.0, 0);
+        assert_eq!(item.annual_depreciation(), 100.0);
+    }
+
+    #[test]
+    fn sld_sums_over_items() {
+        let items = vec![
+            CapexItem::new("a", 1_000.0, 2),
+            CapexItem::new("b", 3_000.0, 3),
+        ];
+        assert!((straight_line_depreciation(&items) - 1_500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn typical_lab_is_plausible() {
+        let lab = typical_adversary_lab();
+        assert_eq!(lab.len(), 6);
+        let sld = straight_line_depreciation(&lab);
+        assert!(sld > 4_000.0 && sld < 12_000.0, "SLD {sld}");
+    }
+
+    #[test]
+    fn empty_lab_has_zero_sld() {
+        assert_eq!(straight_line_depreciation(&[]), 0.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Market and financial substrate for the PSP framework.
+//!
+//! The second half of the PSP framework (paper Section III, Figures 10–11,
+//! Equations 1–7) values every insider attack as a market:
+//!
+//! * [`sales`] — vehicle-sales records that provide `VS` (Equation 2),
+//! * [`share`] — market-share records that provide `MS` for non-monopolistic
+//!   markets,
+//! * [`reports`] — synthetic cybersecurity annual reports that provide the
+//!   percentage of potential attackers `PEA`,
+//! * [`pricing`] — adversary device / service listings that provide the purchase
+//!   price per insider attack `PPIA` and the variable cost per unit `VCU`,
+//! * [`depreciation`] — straight-line depreciation of CAPEX items (`SLD`,
+//!   Equation 4),
+//! * [`bep`] — the break-even analysis of Equations 3–5 and the revenue/cost curves
+//!   behind Figure 11,
+//! * [`datasets`] — the calibrated dataset that reproduces the paper's worked
+//!   excavator example (PAE = 1 406, PPIA = 360 EUR, MV ≈ 506 160 EUR,
+//!   FC ≈ 145 286 EUR).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bep;
+pub mod datasets;
+pub mod depreciation;
+pub mod pricing;
+pub mod reports;
+pub mod sales;
+pub mod share;
+
+pub use bep::{BreakEvenAnalysis, CostRevenuePoint};
+pub use depreciation::{straight_line_depreciation, CapexItem};
+pub use pricing::{PriceObservation, PricingStudy};
+pub use reports::{CyberSecurityReport, IncidentStatistic};
+pub use sales::{SalesLedger, SalesRecord};
+pub use share::MarketStructure;

@@ -1,0 +1,95 @@
+//! Error types for the PSP framework.
+
+use std::fmt;
+
+/// Errors produced by the PSP workflows.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PspError {
+    /// The corpus query returned no posts for any configured keyword.
+    EmptyEvidence {
+        /// The scene that was queried.
+        scene: String,
+    },
+    /// A threat scenario referenced by the caller has no keywords in the database.
+    UnknownScenario {
+        /// The scenario identifier.
+        scenario: String,
+    },
+    /// A financial input was missing or non-positive.
+    InvalidFinancialInput {
+        /// The parameter name.
+        parameter: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Forwarded error from the ISO/SAE-21434 substrate.
+    Tara(iso21434::Iso21434Error),
+}
+
+impl fmt::Display for PspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PspError::EmptyEvidence { scene } => {
+                write!(f, "no social evidence found for scene `{scene}`")
+            }
+            PspError::UnknownScenario { scenario } => {
+                write!(f, "no keywords registered for threat scenario `{scenario}`")
+            }
+            PspError::InvalidFinancialInput { parameter, detail } => {
+                write!(f, "invalid financial input `{parameter}`: {detail}")
+            }
+            PspError::Tara(inner) => write!(f, "TARA error: {inner}"),
+        }
+    }
+}
+
+impl std::error::Error for PspError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PspError::Tara(inner) => Some(inner),
+            _ => None,
+        }
+    }
+}
+
+impl From<iso21434::Iso21434Error> for PspError {
+    fn from(value: iso21434::Iso21434Error) -> Self {
+        PspError::Tara(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(PspError::EmptyEvidence { scene: "excavator".into() }
+            .to_string()
+            .contains("excavator"));
+        assert!(PspError::UnknownScenario { scenario: "x".into() }
+            .to_string()
+            .contains("x"));
+        assert!(PspError::InvalidFinancialInput {
+            parameter: "PPIA",
+            detail: "no prices found".into()
+        }
+        .to_string()
+        .contains("PPIA"));
+    }
+
+    #[test]
+    fn tara_errors_are_wrapped_with_source() {
+        use std::error::Error;
+        let err: PspError = iso21434::Iso21434Error::MissingAttackPath { threat: "t".into() }.into();
+        assert!(err.to_string().contains("TARA"));
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PspError>();
+    }
+}

@@ -1,0 +1,205 @@
+//! Runtime monitoring over sliding analysis windows.
+//!
+//! The paper's stated aim is "to move from static risk assessment models, as
+//! outlined in ISO-21434, to a runtime model environment […] allowing for
+//! monitoring internal risks".  This module runs the PSP analysis over a sequence
+//! of yearly windows, producing a time series of vector shares and tuned tables per
+//! scenario, and detects the year in which the dominant vector flips (the trend
+//! inversion of Figure 9 observed as it happens rather than in hindsight).
+
+use crate::config::PspConfig;
+use crate::keyword_db::KeywordDatabase;
+use crate::sai::SaiList;
+use crate::weights::WeightGenerator;
+use iso21434::feasibility::attack_vector::AttackVectorTable;
+use serde::{Deserialize, Serialize};
+use socialsim::corpus::Corpus;
+use socialsim::time::DateWindow;
+use vehicle::attack_surface::AttackVector;
+
+/// The observation produced for one analysis window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowObservation {
+    /// First year of the window (inclusive).
+    pub from_year: i32,
+    /// Last year of the window (inclusive).
+    pub to_year: i32,
+    /// Number of matching posts across all keywords of the scenario.
+    pub posts: usize,
+    /// SAI share per attack vector within the scenario.
+    pub vector_shares: Vec<(AttackVector, f64)>,
+    /// The dominant vector of the window (`None` when the window has no evidence).
+    pub dominant: Option<AttackVector>,
+    /// The tuned table generated from this window.
+    pub table: AttackVectorTable,
+}
+
+/// The monitoring time series for one scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonitoringSeries {
+    /// The scenario monitored.
+    pub scenario: String,
+    /// One observation per window, in chronological order.
+    pub observations: Vec<WindowObservation>,
+}
+
+impl MonitoringSeries {
+    /// Runs the PSP analysis for `scenario` over consecutive sliding windows of
+    /// `window_years` years, starting each window one year after the previous one,
+    /// covering `from_year..=to_year`.
+    #[must_use]
+    pub fn run(
+        corpus: &Corpus,
+        db: &KeywordDatabase,
+        base_config: &PspConfig,
+        scenario: &str,
+        from_year: i32,
+        to_year: i32,
+        window_years: i32,
+    ) -> Self {
+        let window_years = window_years.max(1);
+        let generator = WeightGenerator::new();
+        let mut observations = Vec::new();
+        let mut start = from_year;
+        while start <= to_year {
+            let end = (start + window_years - 1).min(to_year);
+            let window = DateWindow::years(start, end);
+            let config = base_config.clone().with_window(window);
+            let sai = SaiList::compute(corpus, db, &config);
+            let entries = sai.scenario_entries(scenario);
+            let posts = entries.iter().map(|e| e.posts).sum();
+            let shares = sai.vector_shares(scenario);
+            let dominant = if posts == 0 {
+                None
+            } else {
+                shares
+                    .iter()
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(v, _)| *v)
+            };
+            observations.push(WindowObservation {
+                from_year: start,
+                to_year: end,
+                posts,
+                vector_shares: shares,
+                dominant,
+                table: generator.insider_table(&sai, scenario),
+            });
+            start += 1;
+        }
+        Self {
+            scenario: scenario.to_string(),
+            observations,
+        }
+    }
+
+    /// The observations with evidence (non-zero posts).
+    #[must_use]
+    pub fn active_observations(&self) -> Vec<&WindowObservation> {
+        self.observations.iter().filter(|o| o.posts > 0).collect()
+    }
+
+    /// The first window (by start year) in which the dominant vector differs from
+    /// the dominant vector of the first active window — the year PSP would have
+    /// flagged the trend inversion.
+    #[must_use]
+    pub fn inversion_year(&self) -> Option<i32> {
+        let active = self.active_observations();
+        let baseline = active.first()?.dominant?;
+        for observation in &active {
+            if let Some(dominant) = observation.dominant {
+                if dominant != baseline {
+                    return Some(observation.from_year);
+                }
+            }
+        }
+        None
+    }
+
+    /// The dominant vector per window start year, for plotting / reporting.
+    #[must_use]
+    pub fn dominant_series(&self) -> Vec<(i32, Option<AttackVector>)> {
+        self.observations
+            .iter()
+            .map(|o| (o.from_year, o.dominant))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socialsim::scenario;
+
+    fn series(window_years: i32) -> MonitoringSeries {
+        MonitoringSeries::run(
+            &scenario::passenger_car_europe(42),
+            &KeywordDatabase::passenger_car_seed(),
+            &PspConfig::passenger_car_europe(),
+            "ecm-reprogramming",
+            2015,
+            2023,
+            window_years,
+        )
+    }
+
+    #[test]
+    fn one_observation_per_start_year() {
+        let s = series(2);
+        assert_eq!(s.observations.len(), 9);
+        assert_eq!(s.observations[0].from_year, 2015);
+        assert_eq!(s.observations[8].from_year, 2023);
+        assert_eq!(s.observations[8].to_year, 2023, "last window is clamped");
+    }
+
+    #[test]
+    fn early_windows_are_physical_late_windows_are_local() {
+        let s = series(2);
+        let first = s.observations.first().unwrap();
+        let last = s.observations.last().unwrap();
+        assert_eq!(first.dominant, Some(AttackVector::Physical));
+        assert_eq!(last.dominant, Some(AttackVector::Local));
+    }
+
+    #[test]
+    fn inversion_year_matches_the_encoded_trend() {
+        let s = series(1);
+        let year = s.inversion_year().expect("the scene inverts");
+        assert!(
+            (2020..=2022).contains(&year),
+            "inversion detected at {year}, expected around 2021"
+        );
+    }
+
+    #[test]
+    fn windows_without_evidence_have_no_dominant_vector() {
+        let s = MonitoringSeries::run(
+            &scenario::passenger_car_europe(42),
+            &KeywordDatabase::passenger_car_seed(),
+            &PspConfig::passenger_car_europe(),
+            "ecm-reprogramming",
+            2010,
+            2012,
+            1,
+        );
+        assert!(s.active_observations().is_empty());
+        assert!(s.inversion_year().is_none());
+        assert!(s.observations.iter().all(|o| o.dominant.is_none()));
+    }
+
+    #[test]
+    fn dominant_series_is_chronological() {
+        let s = series(1);
+        let years: Vec<i32> = s.dominant_series().iter().map(|(y, _)| *y).collect();
+        let mut sorted = years.clone();
+        sorted.sort_unstable();
+        assert_eq!(years, sorted);
+    }
+
+    #[test]
+    fn window_length_is_clamped_to_one_year() {
+        let s = series(0);
+        assert_eq!(s.observations.len(), 9);
+        assert!(s.observations.iter().all(|o| o.from_year == o.to_year));
+    }
+}

@@ -1,0 +1,124 @@
+//! Post engagement metrics.
+//!
+//! The PSP SAI computation "elaborates on the number of views, interactions, and
+//! popularity of the identified posts"; these are the metrics a search endpoint
+//! returns per post.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Engagement counters of one post.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Engagement {
+    /// Number of views / impressions.
+    pub views: u64,
+    /// Number of likes.
+    pub likes: u64,
+    /// Number of replies.
+    pub replies: u64,
+    /// Number of reposts / retweets.
+    pub reposts: u64,
+}
+
+impl Engagement {
+    /// Creates an engagement record.
+    #[must_use]
+    pub fn new(views: u64, likes: u64, replies: u64, reposts: u64) -> Self {
+        Self {
+            views,
+            likes,
+            replies,
+            reposts,
+        }
+    }
+
+    /// Total active interactions (likes + replies + reposts).
+    #[must_use]
+    pub fn interactions(&self) -> u64 {
+        self.likes + self.replies + self.reposts
+    }
+
+    /// Interaction rate: interactions per view (0 when the post has no views).
+    #[must_use]
+    pub fn interaction_rate(&self) -> f64 {
+        if self.views == 0 {
+            0.0
+        } else {
+            self.interactions() as f64 / self.views as f64
+        }
+    }
+
+    /// A single popularity score: views weighted lightly, interactions heavily
+    /// (an interaction signals far stronger intent than a passive impression).
+    #[must_use]
+    pub fn popularity(&self) -> f64 {
+        self.views as f64 * 0.01 + self.interactions() as f64
+    }
+
+    /// Element-wise sum of two engagement records.
+    #[must_use]
+    pub fn combined(&self, other: &Engagement) -> Engagement {
+        Engagement {
+            views: self.views + other.views,
+            likes: self.likes + other.likes,
+            replies: self.replies + other.replies,
+            reposts: self.reposts + other.reposts,
+        }
+    }
+}
+
+impl fmt::Display for Engagement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} views / {} interactions",
+            self.views,
+            self.interactions()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interactions_sum_active_signals() {
+        let e = Engagement::new(1_000, 40, 10, 5);
+        assert_eq!(e.interactions(), 55);
+    }
+
+    #[test]
+    fn interaction_rate_handles_zero_views() {
+        assert_eq!(Engagement::new(0, 5, 5, 5).interaction_rate(), 0.0);
+        let e = Engagement::new(200, 10, 0, 0);
+        assert!((e.interaction_rate() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn popularity_weights_interactions_more_than_views() {
+        let viewed = Engagement::new(10_000, 0, 0, 0);
+        let engaged = Engagement::new(1_000, 150, 30, 20);
+        assert!(engaged.popularity() > viewed.popularity());
+    }
+
+    #[test]
+    fn combined_adds_elementwise() {
+        let a = Engagement::new(10, 1, 2, 3);
+        let b = Engagement::new(20, 4, 5, 6);
+        let c = a.combined(&b);
+        assert_eq!(c, Engagement::new(30, 5, 7, 9));
+    }
+
+    #[test]
+    fn default_is_all_zero() {
+        let e = Engagement::default();
+        assert_eq!(e.views, 0);
+        assert_eq!(e.popularity(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_views() {
+        assert!(Engagement::new(7, 1, 0, 0).to_string().contains("7 views"));
+    }
+}

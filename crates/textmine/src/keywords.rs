@@ -1,0 +1,102 @@
+//! Keyword extraction from a document collection.
+
+use crate::stopwords::remove_stopwords;
+use crate::tfidf::TfIdf;
+use crate::token::tokenize;
+use std::collections::BTreeMap;
+
+/// Extracts the `top_n` candidate keywords of a document collection, combining raw
+/// frequency with TF-IDF distinctiveness.  Hashtag tokens keep their `#` stripped so
+/// the result can seed the PSP keyword-attack database directly.
+#[must_use]
+pub fn extract_keywords<'a>(
+    documents: impl IntoIterator<Item = &'a str> + Clone,
+    top_n: usize,
+) -> Vec<(String, f64)> {
+    let index = TfIdf::from_documents(documents.clone());
+    let mut frequency: BTreeMap<String, usize> = BTreeMap::new();
+    for doc in documents {
+        for token in remove_stopwords(&tokenize(doc)) {
+            let bare = token.trim_start_matches(['#', '@']).to_string();
+            if bare.len() < 3 || bare.chars().all(|c| c.is_ascii_digit()) {
+                continue;
+            }
+            *frequency.entry(bare).or_insert(0) += 1;
+        }
+    }
+    let max_freq = frequency.values().copied().max().unwrap_or(1) as f64;
+    let mut scored: Vec<(String, f64)> = frequency
+        .into_iter()
+        .map(|(term, freq)| {
+            let idf = index.idf(&term);
+            let score = (freq as f64 / max_freq) * idf;
+            (term, score)
+        })
+        .collect();
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+    scored.truncate(top_n);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_recurring_domain_terms() {
+        let docs = [
+            "dpf delete kit for excavator 360 EUR",
+            "finished the dpf delete today",
+            "dpf delete is the best mod",
+            "hydraulic oil change interval question",
+        ];
+        let keywords = extract_keywords(docs, 5);
+        let terms: Vec<_> = keywords.iter().map(|(t, _)| t.as_str()).collect();
+        assert!(terms.contains(&"dpf"));
+        assert!(terms.contains(&"delete"));
+    }
+
+    #[test]
+    fn numbers_and_short_tokens_excluded() {
+        let docs = ["360 eur kit ok", "40 hp up"];
+        let keywords = extract_keywords(docs, 10);
+        assert!(keywords.iter().all(|(t, _)| t != "360" && t != "40" && t != "ok" && t != "up"));
+    }
+
+    #[test]
+    fn hashtags_are_stripped() {
+        let docs = ["my #dpfdelete story", "#dpfdelete finished"];
+        let keywords = extract_keywords(docs, 3);
+        assert!(keywords.iter().any(|(t, _)| t == "dpfdelete"));
+        assert!(keywords.iter().all(|(t, _)| !t.starts_with('#')));
+    }
+
+    #[test]
+    fn top_n_limits_output() {
+        let docs = ["alpha beta gamma delta epsilon zeta"];
+        assert_eq!(extract_keywords(docs, 3).len(), 3);
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        let docs: [&str; 0] = [];
+        assert!(extract_keywords(docs, 5).is_empty());
+    }
+
+    #[test]
+    fn scores_are_sorted_descending() {
+        let docs = [
+            "dpf dpf dpf delete",
+            "dpf delete kit",
+            "unrelated post about weather",
+        ];
+        let keywords = extract_keywords(docs, 10);
+        for pair in keywords.windows(2) {
+            assert!(pair[0].1 >= pair[1].1);
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Text normalisation.
+
+/// Lowercases the text and collapses every non-alphanumeric run into a single
+/// space.  `#` and `@` prefixes survive as part of the following token so that
+/// hashtags and mentions remain recognisable to the tokenizer.
+#[must_use]
+pub fn normalize(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut last_was_space = true;
+    for c in text.chars() {
+        if c.is_alphanumeric() || c == '#' || c == '@' {
+            for lc in c.to_lowercase() {
+                out.push(lc);
+            }
+            last_was_space = false;
+        } else if c == '.' || c == ',' {
+            // Keep decimal separators that sit between digits (prices like 1.299,00).
+            let prev_digit = out.chars().last().is_some_and(|p| p.is_ascii_digit());
+            if prev_digit {
+                out.push(c);
+                last_was_space = false;
+                continue;
+            }
+            if !last_was_space {
+                out.push(' ');
+                last_was_space = true;
+            }
+        } else if !last_was_space {
+            out.push(' ');
+            last_was_space = true;
+        }
+    }
+    out.trim().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowercases_and_collapses_punctuation() {
+        assert_eq!(normalize("DPF Delete!!!   Done."), "dpf delete done");
+    }
+
+    #[test]
+    fn keeps_hashtags_and_mentions() {
+        assert_eq!(normalize("#DPFDelete by @TunerShop"), "#dpfdelete by @tunershop");
+    }
+
+    #[test]
+    fn keeps_decimal_separators_between_digits() {
+        assert_eq!(normalize("price: 1.299,50 EUR"), "price 1.299,50 eur");
+    }
+
+    #[test]
+    fn trailing_commas_do_not_linger() {
+        assert_eq!(normalize("done, finally"), "done finally");
+    }
+
+    #[test]
+    fn empty_and_whitespace_input() {
+        assert_eq!(normalize(""), "");
+        assert_eq!(normalize("   \t\n "), "");
+    }
+
+    #[test]
+    fn unicode_is_lowercased() {
+        assert_eq!(normalize("ÖLWECHSEL"), "ölwechsel");
+    }
+}

@@ -1,0 +1,113 @@
+//! The combined document-analysis pipeline.
+//!
+//! One call per post: tokenise, strip stop words, score intent, extract hashtags and
+//! prices.  The PSP SAI computation consumes [`DocumentAnalysis`] records instead of
+//! re-running the individual steps.
+
+use crate::price::extract_prices;
+use crate::sentiment::{IntentLexicon, IntentScore};
+use crate::stopwords::remove_stopwords;
+use crate::token::{hashtags, tokenize};
+use serde::{Deserialize, Serialize};
+
+/// The result of analysing one document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DocumentAnalysis {
+    /// Content tokens after stop-word removal.
+    pub tokens: Vec<String>,
+    /// Hashtags (without `#`).
+    pub hashtags: Vec<String>,
+    /// Prices found in the text.
+    pub prices: Vec<f64>,
+    /// The intent score.
+    pub intent: IntentScore,
+}
+
+impl DocumentAnalysis {
+    /// Whether the document advertises something for money.
+    #[must_use]
+    pub fn is_commercial(&self) -> bool {
+        !self.prices.is_empty() || self.intent.commerce_hits > 0
+    }
+}
+
+/// The reusable pipeline (owns the lexicon configuration).
+#[derive(Debug, Clone, Default)]
+pub struct TextPipeline {
+    lexicon: IntentLexicon,
+}
+
+impl TextPipeline {
+    /// Creates a pipeline with the default lexicon.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a pipeline with a custom lexicon.
+    #[must_use]
+    pub fn with_lexicon(lexicon: IntentLexicon) -> Self {
+        Self { lexicon }
+    }
+
+    /// Analyses one document.
+    #[must_use]
+    pub fn analyze(&self, text: &str) -> DocumentAnalysis {
+        DocumentAnalysis {
+            tokens: remove_stopwords(&tokenize(text)),
+            hashtags: hashtags(text),
+            prices: extract_prices(text),
+            intent: self.lexicon.score(text),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_analysis_of_a_sale_post() {
+        let pipeline = TextPipeline::new();
+        let a = pipeline.analyze("#DPFDelete kit for sale, 360 EUR shipped, install guide included");
+        assert!(a.hashtags.contains(&"dpfdelete".to_string()));
+        assert_eq!(a.prices, vec![360.0]);
+        assert!(a.intent.score > 0.0);
+        assert!(a.is_commercial());
+    }
+
+    #[test]
+    fn neutral_post_is_not_commercial() {
+        let a = TextPipeline::new().analyze("Nice weather at the quarry today");
+        assert!(a.prices.is_empty());
+        assert!(!a.is_commercial());
+        assert!(a.hashtags.is_empty());
+    }
+
+    #[test]
+    fn stopwords_removed_from_tokens() {
+        let a = TextPipeline::new().analyze("the delete is done");
+        assert!(!a.tokens.contains(&"the".to_string()));
+        assert!(a.tokens.contains(&"delete".to_string()));
+    }
+
+    #[test]
+    fn custom_lexicon_is_honoured() {
+        let harsh = IntentLexicon {
+            engagement_weight: 0.0,
+            commerce_weight: 0.0,
+            deterrent_weight: 1.0,
+        };
+        let a = TextPipeline::with_lexicon(harsh).analyze("delete kit for sale");
+        assert_eq!(a.intent.score, 0.0);
+    }
+
+    #[test]
+    fn empty_document() {
+        let a = TextPipeline::new().analyze("");
+        assert!(a.tokens.is_empty());
+        assert!(a.hashtags.is_empty());
+        assert!(a.prices.is_empty());
+        assert_eq!(a.intent.score, 0.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Price extraction from free text.
+//!
+//! The PPIA estimation of the financial model (paper Figure 10, block 2) clusters
+//! "adversary devices or services found online based on their prices".  This module
+//! pulls candidate prices out of post text without a regex dependency: it scans for
+//! numeric tokens adjacent to a currency marker (`EUR`, `euro`, `€`, `$`, `USD`).
+
+/// Extracts prices (in the order they appear) from a text.  A number counts as a
+/// price when a currency marker directly precedes or follows it.
+///
+/// # Examples
+///
+/// ```
+/// use textmine::price::extract_prices;
+/// assert_eq!(extract_prices("kit 360 EUR shipped"), vec![360.0]);
+/// assert_eq!(extract_prices("was €420, now $399"), vec![420.0, 399.0]);
+/// assert!(extract_prices("adds 40 hp").is_empty());
+/// ```
+#[must_use]
+pub fn extract_prices(text: &str) -> Vec<f64> {
+    let cleaned: String = text
+        .chars()
+        .map(|c| {
+            if c == '€' || c == '$' || c == '£' {
+                // Pad currency symbols so "€420" splits into two tokens.
+                format!(" {c} ")
+            } else {
+                c.to_string()
+            }
+        })
+        .collect();
+    let tokens: Vec<String> = cleaned
+        .split_whitespace()
+        .map(|t| t.trim_matches(|c: char| c == ',' || c == '.' || c == '!' || c == '?' || c == ':').to_string())
+        .filter(|t| !t.is_empty())
+        .collect();
+
+    let mut out = Vec::new();
+    for (i, token) in tokens.iter().enumerate() {
+        let Some(value) = parse_number(token) else {
+            continue;
+        };
+        let prev_is_currency = i > 0 && is_currency(&tokens[i - 1]);
+        let next_is_currency = i + 1 < tokens.len() && is_currency(&tokens[i + 1]);
+        if prev_is_currency || next_is_currency {
+            out.push(value);
+        }
+    }
+    out
+}
+
+/// The representative price of a list of observations: the median, which is robust
+/// against the occasional troll listing ("1 EUR") and scam listing ("9999 EUR").
+#[must_use]
+pub fn representative_price(prices: &[f64]) -> Option<f64> {
+    if prices.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = prices.iter().copied().filter(|p| p.is_finite()).collect();
+    if sorted.is_empty() {
+        return None;
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        Some(sorted[mid])
+    } else {
+        Some((sorted[mid - 1] + sorted[mid]) / 2.0)
+    }
+}
+
+fn is_currency(token: &str) -> bool {
+    matches!(
+        token.to_lowercase().as_str(),
+        "eur" | "euro" | "euros" | "€" | "$" | "usd" | "£" | "gbp"
+    )
+}
+
+fn parse_number(token: &str) -> Option<f64> {
+    let normalized = token.replace(',', ".");
+    // Reject tokens with letters ("40hp").
+    if normalized.chars().any(|c| c.is_alphabetic()) {
+        return None;
+    }
+    // Collapse thousands separators like "1.299.00" -> treat the last dot as decimal.
+    let parts: Vec<&str> = normalized.split('.').collect();
+    let candidate = if parts.len() > 2 {
+        format!("{}.{}", parts[..parts.len() - 1].concat(), parts[parts.len() - 1])
+    } else {
+        normalized
+    };
+    candidate.parse::<f64>().ok().filter(|v| *v > 0.0 && *v < 1_000_000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn currency_after_number() {
+        assert_eq!(extract_prices("dpf delete 360 EUR shipped"), vec![360.0]);
+    }
+
+    #[test]
+    fn currency_symbol_before_number() {
+        assert_eq!(extract_prices("special offer €299 this week"), vec![299.0]);
+    }
+
+    #[test]
+    fn multiple_prices_in_order() {
+        assert_eq!(
+            extract_prices("was €420, now 360 EUR or $399"),
+            vec![420.0, 360.0, 399.0]
+        );
+    }
+
+    #[test]
+    fn plain_numbers_are_not_prices() {
+        assert!(extract_prices("stage 1 adds 40 hp at 3500 rpm").is_empty());
+    }
+
+    #[test]
+    fn decimal_prices_parse() {
+        assert_eq!(extract_prices("only 359,99 EUR"), vec![359.99]);
+        assert_eq!(extract_prices("only 359.99 EUR"), vec![359.99]);
+    }
+
+    #[test]
+    fn absurd_values_are_rejected() {
+        assert!(extract_prices("9999999999 EUR").is_empty());
+        assert!(extract_prices("0 EUR").is_empty());
+    }
+
+    #[test]
+    fn median_is_robust() {
+        assert_eq!(representative_price(&[360.0, 380.0, 1.0, 9999.0, 350.0]), Some(360.0));
+        assert_eq!(representative_price(&[100.0, 200.0]), Some(150.0));
+        assert_eq!(representative_price(&[]), None);
+    }
+
+    #[test]
+    fn euro_word_forms() {
+        assert_eq!(extract_prices("price 250 euro obo"), vec![250.0]);
+        assert_eq!(extract_prices("price 250 euros obo"), vec![250.0]);
+    }
+}

@@ -1,0 +1,156 @@
+//! Lexicon-based intent / sentiment scoring.
+//!
+//! The PSP pipeline needs to distinguish posts that signal a genuine tampering
+//! intent or a commercial offer ("kit for sale, plug and play") from neutral news or
+//! warnings ("manufacturer warns against defeat devices").  A small domain lexicon
+//! is enough for the synthetic corpus and keeps the scoring auditable.
+
+use crate::stopwords::remove_stopwords;
+use crate::token::tokenize;
+use serde::{Deserialize, Serialize};
+
+/// Words signalling that the author performed, wants or sells the attack.
+const ENGAGEMENT_WORDS: [&str; 22] = [
+    "delete", "deleted", "removal", "removed", "off", "disable", "disabled", "bypass",
+    "install", "installed", "kit", "sale", "shipped", "dm", "guide", "howto", "done",
+    "tune", "tuned", "remap", "emulator", "unlock",
+];
+
+/// Words signalling deterrence, warnings or enforcement (reduce the intent score).
+const DETERRENT_WORDS: [&str; 12] = [
+    "illegal", "fine", "fined", "ban", "banned", "warranty", "refused", "recall",
+    "warning", "enforcement", "prosecuted", "inspection",
+];
+
+/// Words signalling a commercial offer (price talk boosts market relevance).
+const COMMERCE_WORDS: [&str; 10] = [
+    "eur", "euro", "price", "sale", "shipped", "offer", "deal", "buy", "order", "invoice",
+];
+
+/// The intent lexicon with adjustable weights.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IntentLexicon {
+    /// Weight of each engagement word hit.
+    pub engagement_weight: f64,
+    /// Weight (negative contribution) of each deterrent word hit.
+    pub deterrent_weight: f64,
+    /// Weight of each commerce word hit.
+    pub commerce_weight: f64,
+}
+
+impl Default for IntentLexicon {
+    fn default() -> Self {
+        Self {
+            engagement_weight: 1.0,
+            deterrent_weight: 0.8,
+            commerce_weight: 0.5,
+        }
+    }
+}
+
+/// The scored breakdown of one text.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct IntentScore {
+    /// Number of engagement-word hits.
+    pub engagement_hits: usize,
+    /// Number of deterrent-word hits.
+    pub deterrent_hits: usize,
+    /// Number of commerce-word hits.
+    pub commerce_hits: usize,
+    /// The combined score (≥ 0, higher = stronger tampering/commercial intent).
+    pub score: f64,
+}
+
+impl IntentLexicon {
+    /// Creates the default lexicon.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scores a text.
+    #[must_use]
+    pub fn score(&self, text: &str) -> IntentScore {
+        let tokens = remove_stopwords(&tokenize(text));
+        let mut out = IntentScore::default();
+        for token in &tokens {
+            let bare = token.trim_start_matches(['#', '@']);
+            if ENGAGEMENT_WORDS.contains(&bare) {
+                out.engagement_hits += 1;
+            }
+            if DETERRENT_WORDS.contains(&bare) {
+                out.deterrent_hits += 1;
+            }
+            if COMMERCE_WORDS.contains(&bare) {
+                out.commerce_hits += 1;
+            }
+            // Hashtags embedding an engagement word ("#dpfdelete") count as well.
+            if bare.len() > 3
+                && ENGAGEMENT_WORDS
+                    .iter()
+                    .any(|w| w.len() >= 3 && bare.contains(w) && &bare != w)
+            {
+                out.engagement_hits += 1;
+            }
+        }
+        let raw = self.engagement_weight * out.engagement_hits as f64
+            + self.commerce_weight * out.commerce_hits as f64
+            - self.deterrent_weight * out.deterrent_hits as f64;
+        out.score = raw.max(0.0);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sale_post_scores_higher_than_news_post() {
+        let lex = IntentLexicon::new();
+        let sale = lex.score("DPF delete kit for sale, 360 EUR shipped, install guide included");
+        let news = lex.score("Authorities warn that defeat devices are illegal and owners get fined");
+        assert!(sale.score > news.score);
+        assert!(sale.engagement_hits >= 2);
+        assert!(news.deterrent_hits >= 2);
+    }
+
+    #[test]
+    fn hashtag_with_embedded_intent_counts() {
+        let lex = IntentLexicon::new();
+        let s = lex.score("finally #dpfdelete on the excavator");
+        assert!(s.engagement_hits >= 1);
+        assert!(s.score > 0.0);
+    }
+
+    #[test]
+    fn score_never_goes_negative() {
+        let lex = IntentLexicon::new();
+        let s = lex.score("illegal banned fined recall warning");
+        assert_eq!(s.score, 0.0);
+    }
+
+    #[test]
+    fn empty_text_scores_zero() {
+        let s = IntentLexicon::new().score("");
+        assert_eq!(s.score, 0.0);
+        assert_eq!(s.engagement_hits, 0);
+    }
+
+    #[test]
+    fn custom_weights_change_the_balance() {
+        let strict = IntentLexicon {
+            deterrent_weight: 10.0,
+            ..IntentLexicon::default()
+        };
+        let text = "delete kit for sale but it is illegal";
+        assert!(strict.score(text).score < IntentLexicon::new().score(text).score);
+    }
+
+    #[test]
+    fn commerce_words_contribute() {
+        let s = IntentLexicon::new().score("best price, buy now, 200 eur offer");
+        assert!(s.commerce_hits >= 3);
+        assert!(s.score > 0.0);
+    }
+}

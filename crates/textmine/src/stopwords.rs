@@ -1,0 +1,61 @@
+//! A small English stop-word list tuned for social-media text.
+
+/// Common English stop words plus social-media filler.
+pub const STOPWORDS: [&str; 64] = [
+    "a", "an", "the", "and", "or", "but", "if", "then", "else", "for", "of", "on", "in", "at",
+    "to", "from", "by", "with", "without", "about", "as", "is", "are", "was", "were", "be",
+    "been", "being", "am", "do", "does", "did", "have", "has", "had", "will", "would", "can",
+    "could", "should", "shall", "may", "might", "must", "this", "that", "these", "those", "it",
+    "its", "my", "your", "his", "her", "our", "their", "me", "you", "he", "she", "we", "they",
+    "just", "now",
+];
+
+/// Whether a token is a stop word.
+#[must_use]
+pub fn is_stopword(token: &str) -> bool {
+    STOPWORDS.contains(&token)
+}
+
+/// Removes stop words from a token stream.
+#[must_use]
+pub fn remove_stopwords(tokens: &[String]) -> Vec<String> {
+    tokens
+        .iter()
+        .filter(|t| !is_stopword(t.as_str()))
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn common_words_are_stopwords() {
+        for w in ["the", "and", "is", "with"] {
+            assert!(is_stopword(w), "{w}");
+        }
+    }
+
+    #[test]
+    fn domain_words_are_not_stopwords() {
+        for w in ["dpf", "delete", "tuning", "obd"] {
+            assert!(!is_stopword(w), "{w}");
+        }
+    }
+
+    #[test]
+    fn removal_preserves_order() {
+        let tokens: Vec<String> = ["the", "dpf", "is", "gone"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        assert_eq!(remove_stopwords(&tokens), vec!["dpf", "gone"]);
+    }
+
+    #[test]
+    fn stopword_list_has_no_duplicates() {
+        let set: std::collections::HashSet<_> = STOPWORDS.iter().collect();
+        assert_eq!(set.len(), STOPWORDS.len());
+    }
+}

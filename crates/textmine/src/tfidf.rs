@@ -1,0 +1,184 @@
+//! Term frequency / inverse document frequency over a document collection.
+
+use crate::stopwords::remove_stopwords;
+use crate::token::tokenize;
+use std::collections::{BTreeMap, HashMap};
+
+/// A TF-IDF index over a set of documents.
+#[derive(Debug, Clone, Default)]
+pub struct TfIdf {
+    /// Per-document term counts.
+    docs: Vec<HashMap<String, usize>>,
+    /// Document frequency per term.
+    df: HashMap<String, usize>,
+}
+
+impl TfIdf {
+    /// Creates an empty index.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds an index from an iterator of raw documents.
+    #[must_use]
+    pub fn from_documents<'a>(documents: impl IntoIterator<Item = &'a str>) -> Self {
+        let mut index = Self::new();
+        for doc in documents {
+            index.add_document(doc);
+        }
+        index
+    }
+
+    /// Adds one document.
+    pub fn add_document(&mut self, text: &str) {
+        let tokens = remove_stopwords(&tokenize(text));
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for token in tokens {
+            *counts.entry(token).or_insert(0) += 1;
+        }
+        for term in counts.keys() {
+            *self.df.entry(term.clone()).or_insert(0) += 1;
+        }
+        self.docs.push(counts);
+    }
+
+    /// Number of documents indexed.
+    #[must_use]
+    pub fn document_count(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// The document frequency of a term.
+    #[must_use]
+    pub fn document_frequency(&self, term: &str) -> usize {
+        self.df.get(term).copied().unwrap_or(0)
+    }
+
+    /// The inverse document frequency of a term (smoothed).
+    #[must_use]
+    pub fn idf(&self, term: &str) -> f64 {
+        let n = self.docs.len() as f64;
+        let df = self.document_frequency(term) as f64;
+        ((n + 1.0) / (df + 1.0)).ln() + 1.0
+    }
+
+    /// The TF-IDF weight of a term in document `doc_index` (0 if out of range).
+    #[must_use]
+    pub fn tfidf(&self, doc_index: usize, term: &str) -> f64 {
+        let Some(doc) = self.docs.get(doc_index) else {
+            return 0.0;
+        };
+        let tf = doc.get(term).copied().unwrap_or(0) as f64;
+        if tf == 0.0 {
+            return 0.0;
+        }
+        let total: usize = doc.values().sum();
+        (tf / total as f64) * self.idf(term)
+    }
+
+    /// The `top_n` highest-TF-IDF terms of a document.
+    #[must_use]
+    pub fn top_terms(&self, doc_index: usize, top_n: usize) -> Vec<(String, f64)> {
+        let Some(doc) = self.docs.get(doc_index) else {
+            return Vec::new();
+        };
+        let mut scored: Vec<(String, f64)> = doc
+            .keys()
+            .map(|t| (t.clone(), self.tfidf(doc_index, t)))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+        scored.truncate(top_n);
+        scored
+    }
+
+    /// Corpus-wide distinctive terms: terms ranked by their best TF-IDF score in
+    /// any document, useful for suggesting new attack keywords.
+    #[must_use]
+    pub fn distinctive_terms(&self, top_n: usize) -> Vec<(String, f64)> {
+        let mut best: BTreeMap<String, f64> = BTreeMap::new();
+        for i in 0..self.docs.len() {
+            for term in self.docs[i].keys() {
+                let score = self.tfidf(i, term);
+                let entry = best.entry(term.clone()).or_insert(0.0);
+                if score > *entry {
+                    *entry = score;
+                }
+            }
+        }
+        let mut out: Vec<_> = best.into_iter().collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+        out.truncate(top_n);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_index() -> TfIdf {
+        TfIdf::from_documents([
+            "dpf delete kit for excavator",
+            "dpf regeneration problems on excavator",
+            "chip tuning stage one remap for tractor",
+            "excavator hydraulic filter change",
+        ])
+    }
+
+    #[test]
+    fn document_count_and_frequency() {
+        let idx = sample_index();
+        assert_eq!(idx.document_count(), 4);
+        assert_eq!(idx.document_frequency("excavator"), 3);
+        assert_eq!(idx.document_frequency("dpf"), 2);
+        assert_eq!(idx.document_frequency("unknown"), 0);
+    }
+
+    #[test]
+    fn rare_terms_have_higher_idf() {
+        let idx = sample_index();
+        assert!(idx.idf("remap") > idx.idf("excavator"));
+    }
+
+    #[test]
+    fn tfidf_zero_for_absent_term() {
+        let idx = sample_index();
+        assert_eq!(idx.tfidf(0, "tractor"), 0.0);
+        assert_eq!(idx.tfidf(99, "dpf"), 0.0);
+    }
+
+    #[test]
+    fn top_terms_prefer_distinctive_words() {
+        let idx = sample_index();
+        let top = idx.top_terms(2, 3);
+        assert!(!top.is_empty());
+        let words: Vec<_> = top.iter().map(|(w, _)| w.as_str()).collect();
+        assert!(words.contains(&"remap") || words.contains(&"tuning") || words.contains(&"chip"));
+    }
+
+    #[test]
+    fn distinctive_terms_cover_corpus() {
+        let idx = sample_index();
+        let top = idx.distinctive_terms(5);
+        assert_eq!(top.len(), 5);
+        // Scores must be sorted non-increasing.
+        for pair in top.windows(2) {
+            assert!(pair[0].1 >= pair[1].1);
+        }
+    }
+
+    #[test]
+    fn stopwords_are_not_indexed() {
+        let idx = sample_index();
+        assert_eq!(idx.document_frequency("for"), 0);
+    }
+
+    #[test]
+    fn empty_index_is_harmless() {
+        let idx = TfIdf::new();
+        assert_eq!(idx.document_count(), 0);
+        assert!(idx.top_terms(0, 3).is_empty());
+        assert!(idx.distinctive_terms(3).is_empty());
+    }
+}

@@ -1,0 +1,214 @@
+//! In-vehicle network buses.
+//!
+//! The paper's powertrain argument rests on the properties of the CAN bus: no
+//! native authentication, broadcast medium, physically accessible through the OBD
+//! connector.  This module models the common in-vehicle network technologies and
+//! the properties the risk analysis needs (bandwidth, native security, typical
+//! domain usage).
+
+use crate::domain::FunctionalDomain;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of an in-vehicle network segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum BusKind {
+    /// Classical high-speed CAN (up to 1 Mbit/s).
+    CanHighSpeed,
+    /// Classical low-speed / fault-tolerant CAN (body electronics).
+    CanLowSpeed,
+    /// CAN-FD with flexible data rate (up to 8 Mbit/s payload phase).
+    CanFd,
+    /// LIN sub-bus for low-cost actuators and sensors.
+    Lin,
+    /// FlexRay time-triggered bus (chassis, x-by-wire).
+    FlexRay,
+    /// Automotive Ethernet (100BASE-T1 / 1000BASE-T1).
+    Ethernet,
+    /// MOST multimedia ring (legacy infotainment).
+    Most,
+}
+
+impl BusKind {
+    /// All bus kinds, in a stable order.
+    pub const ALL: [BusKind; 7] = [
+        BusKind::CanHighSpeed,
+        BusKind::CanLowSpeed,
+        BusKind::CanFd,
+        BusKind::Lin,
+        BusKind::FlexRay,
+        BusKind::Ethernet,
+        BusKind::Most,
+    ];
+
+    /// Nominal bandwidth in kilobit per second.
+    #[must_use]
+    pub fn bandwidth_kbps(self) -> u32 {
+        match self {
+            BusKind::CanHighSpeed => 1_000,
+            BusKind::CanLowSpeed => 125,
+            BusKind::CanFd => 8_000,
+            BusKind::Lin => 20,
+            BusKind::FlexRay => 10_000,
+            BusKind::Ethernet => 1_000_000,
+            BusKind::Most => 150_000,
+        }
+    }
+
+    /// Whether the bus technology ships any native security mechanism
+    /// (message authentication, encryption).  Classical CAN, LIN and FlexRay do not,
+    /// which is exactly what makes physical and OBD-local attacks on the powertrain
+    /// sub-network attractive.
+    #[must_use]
+    pub fn has_native_security(self) -> bool {
+        matches!(self, BusKind::Ethernet)
+    }
+
+    /// Whether frames are broadcast to every node on the segment.
+    #[must_use]
+    pub fn is_broadcast(self) -> bool {
+        !matches!(self, BusKind::Ethernet)
+    }
+
+    /// A short label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            BusKind::CanHighSpeed => "CAN-HS",
+            BusKind::CanLowSpeed => "CAN-LS",
+            BusKind::CanFd => "CAN-FD",
+            BusKind::Lin => "LIN",
+            BusKind::FlexRay => "FlexRay",
+            BusKind::Ethernet => "Ethernet",
+            BusKind::Most => "MOST",
+        }
+    }
+}
+
+impl fmt::Display for BusKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A concrete network segment in a vehicle architecture.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Bus {
+    name: String,
+    kind: BusKind,
+    domain: FunctionalDomain,
+}
+
+impl Bus {
+    /// Creates a new bus segment.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vehicle::{Bus, BusKind, FunctionalDomain};
+    /// let bus = Bus::new("PT-CAN", BusKind::CanHighSpeed, FunctionalDomain::Powertrain);
+    /// assert_eq!(bus.name(), "PT-CAN");
+    /// ```
+    pub fn new(
+        name: impl Into<String>,
+        kind: BusKind,
+        domain: FunctionalDomain,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            kind,
+            domain,
+        }
+    }
+
+    /// The segment name, unique within a topology.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The network technology.
+    #[must_use]
+    pub fn kind(&self) -> BusKind {
+        self.kind
+    }
+
+    /// The functional domain this segment primarily serves.
+    #[must_use]
+    pub fn domain(&self) -> FunctionalDomain {
+        self.domain
+    }
+
+    /// Whether an attacker with physical access to the harness can inject frames
+    /// that every node will accept (broadcast bus without native security).
+    #[must_use]
+    pub fn is_injection_prone(&self) -> bool {
+        self.kind.is_broadcast() && !self.kind.has_native_security()
+    }
+}
+
+impl fmt::Display for Bus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name, self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn can_is_broadcast_without_security() {
+        assert!(BusKind::CanHighSpeed.is_broadcast());
+        assert!(!BusKind::CanHighSpeed.has_native_security());
+        assert!(BusKind::CanFd.is_broadcast());
+    }
+
+    #[test]
+    fn ethernet_is_switched_with_security() {
+        assert!(!BusKind::Ethernet.is_broadcast());
+        assert!(BusKind::Ethernet.has_native_security());
+    }
+
+    #[test]
+    fn bandwidth_ordering_is_sensible() {
+        assert!(BusKind::Lin.bandwidth_kbps() < BusKind::CanHighSpeed.bandwidth_kbps());
+        assert!(BusKind::CanHighSpeed.bandwidth_kbps() < BusKind::CanFd.bandwidth_kbps());
+        assert!(BusKind::CanFd.bandwidth_kbps() < BusKind::Ethernet.bandwidth_kbps());
+    }
+
+    #[test]
+    fn powertrain_can_is_injection_prone() {
+        let bus = Bus::new("PT-CAN", BusKind::CanHighSpeed, FunctionalDomain::Powertrain);
+        assert!(bus.is_injection_prone());
+        assert_eq!(bus.domain(), FunctionalDomain::Powertrain);
+    }
+
+    #[test]
+    fn ethernet_backbone_is_not_injection_prone() {
+        let bus = Bus::new("BACKBONE", BusKind::Ethernet, FunctionalDomain::Communication);
+        assert!(!bus.is_injection_prone());
+    }
+
+    #[test]
+    fn display_includes_kind() {
+        let bus = Bus::new("BODY-LIN", BusKind::Lin, FunctionalDomain::Body);
+        assert_eq!(bus.to_string(), "BODY-LIN (LIN)");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let bus = Bus::new("PT-CAN", BusKind::CanFd, FunctionalDomain::Powertrain);
+        let json = serde_json::to_string(&bus).unwrap();
+        let back: Bus = serde_json::from_str(&json).unwrap();
+        assert_eq!(bus, back);
+    }
+
+    #[test]
+    fn all_kinds_have_distinct_labels() {
+        let labels: std::collections::HashSet<_> =
+            BusKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), BusKind::ALL.len());
+    }
+}

@@ -1,0 +1,149 @@
+//! Functional domains of a road vehicle E/E architecture.
+//!
+//! The paper (Figure 4) partitions the vehicle into functional domains —
+//! powertrain, chassis, body, infotainment, communication, diagnostics — and argues
+//! that attack feasibility must be judged per domain: the powertrain sub-network is
+//! dominated by physical and local (OBD) attacks, while the communication domain is
+//! the natural entry point for long-range attacks.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A functional domain of the vehicle E/E architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum FunctionalDomain {
+    /// Engine, transmission and emission control: hard real-time, safety critical.
+    Powertrain,
+    /// Braking, steering, suspension: hard real-time, safety critical.
+    Chassis,
+    /// Doors, lights, seats, climate: soft real-time.
+    Body,
+    /// Head unit, media, navigation, companion-app connectivity.
+    Infotainment,
+    /// Telematics, V2X, gateways: the externally connected domain.
+    Communication,
+    /// Advanced driver-assistance sensors and fusion.
+    Adas,
+    /// Diagnostic access (OBD port, workshop testers).
+    Diagnostics,
+}
+
+impl FunctionalDomain {
+    /// All domains, in a stable order.
+    pub const ALL: [FunctionalDomain; 7] = [
+        FunctionalDomain::Powertrain,
+        FunctionalDomain::Chassis,
+        FunctionalDomain::Body,
+        FunctionalDomain::Infotainment,
+        FunctionalDomain::Communication,
+        FunctionalDomain::Adas,
+        FunctionalDomain::Diagnostics,
+    ];
+
+    /// Whether functions in this domain have hard real-time deadlines.
+    ///
+    /// The paper stresses that the powertrain domain "oversees real-time functions
+    /// that carry critical safety implications"; the same holds for chassis and ADAS.
+    #[must_use]
+    pub fn is_hard_real_time(self) -> bool {
+        matches!(
+            self,
+            FunctionalDomain::Powertrain | FunctionalDomain::Chassis | FunctionalDomain::Adas
+        )
+    }
+
+    /// Whether a successful attack on this domain has direct safety impact.
+    #[must_use]
+    pub fn is_safety_critical(self) -> bool {
+        matches!(
+            self,
+            FunctionalDomain::Powertrain | FunctionalDomain::Chassis | FunctionalDomain::Adas
+        )
+    }
+
+    /// Whether the domain is, by design, exposed to off-board communication.
+    #[must_use]
+    pub fn is_externally_connected(self) -> bool {
+        matches!(
+            self,
+            FunctionalDomain::Communication
+                | FunctionalDomain::Infotainment
+                | FunctionalDomain::Diagnostics
+        )
+    }
+
+    /// A short, human-readable label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FunctionalDomain::Powertrain => "PowerTrain",
+            FunctionalDomain::Chassis => "Chassis",
+            FunctionalDomain::Body => "Body",
+            FunctionalDomain::Infotainment => "Infotainment",
+            FunctionalDomain::Communication => "Communication",
+            FunctionalDomain::Adas => "ADAS",
+            FunctionalDomain::Diagnostics => "On Board Diagnostic",
+        }
+    }
+}
+
+impl fmt::Display for FunctionalDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn all_domains_are_distinct() {
+        let set: HashSet<_> = FunctionalDomain::ALL.iter().collect();
+        assert_eq!(set.len(), FunctionalDomain::ALL.len());
+    }
+
+    #[test]
+    fn powertrain_is_hard_real_time_and_safety_critical() {
+        assert!(FunctionalDomain::Powertrain.is_hard_real_time());
+        assert!(FunctionalDomain::Powertrain.is_safety_critical());
+        assert!(!FunctionalDomain::Powertrain.is_externally_connected());
+    }
+
+    #[test]
+    fn infotainment_is_connected_but_not_safety_critical() {
+        assert!(FunctionalDomain::Infotainment.is_externally_connected());
+        assert!(!FunctionalDomain::Infotainment.is_safety_critical());
+    }
+
+    #[test]
+    fn body_is_neither_real_time_nor_connected() {
+        assert!(!FunctionalDomain::Body.is_hard_real_time());
+        assert!(!FunctionalDomain::Body.is_externally_connected());
+    }
+
+    #[test]
+    fn labels_match_paper_figure_4() {
+        assert_eq!(FunctionalDomain::Powertrain.to_string(), "PowerTrain");
+        assert_eq!(FunctionalDomain::Diagnostics.to_string(), "On Board Diagnostic");
+        assert_eq!(FunctionalDomain::Communication.to_string(), "Communication");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for domain in FunctionalDomain::ALL {
+            let json = serde_json::to_string(&domain).unwrap();
+            let back: FunctionalDomain = serde_json::from_str(&json).unwrap();
+            assert_eq!(domain, back);
+        }
+    }
+
+    #[test]
+    fn ordering_is_stable() {
+        let mut sorted = FunctionalDomain::ALL;
+        sorted.sort();
+        assert_eq!(sorted[0], FunctionalDomain::Powertrain);
+    }
+}

@@ -1,0 +1,343 @@
+//! Electronic Control Units (ECUs).
+//!
+//! The ECU is the item under analysis in an ISO/SAE-21434 TARA.  The model keeps
+//! the properties that drive the risk analysis: functional domain, bus attachments,
+//! external interfaces, whether the unit accepts firmware-over-the-air updates,
+//! whether it is a gateway, and its safety integrity level.
+
+use crate::attack_surface::ExternalInterface;
+use crate::domain::FunctionalDomain;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Automotive Safety Integrity Level (ISO 26262), kept here because the paper maps
+/// CAL levels onto ASIL levels when discussing powertrain DoS attacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AsilLevel {
+    /// Quality-managed, no safety requirement.
+    Qm,
+    /// ASIL A (lowest safety integrity requirement).
+    A,
+    /// ASIL B.
+    B,
+    /// ASIL C.
+    C,
+    /// ASIL D (highest safety integrity requirement).
+    D,
+}
+
+impl AsilLevel {
+    /// All levels from lowest to highest.
+    pub const ALL: [AsilLevel; 5] = [
+        AsilLevel::Qm,
+        AsilLevel::A,
+        AsilLevel::B,
+        AsilLevel::C,
+        AsilLevel::D,
+    ];
+
+    /// A numeric rank (0 = QM … 4 = ASIL D).
+    #[must_use]
+    pub fn rank(self) -> u8 {
+        match self {
+            AsilLevel::Qm => 0,
+            AsilLevel::A => 1,
+            AsilLevel::B => 2,
+            AsilLevel::C => 3,
+            AsilLevel::D => 4,
+        }
+    }
+}
+
+impl fmt::Display for AsilLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsilLevel::Qm => f.write_str("QM"),
+            AsilLevel::A => f.write_str("ASIL A"),
+            AsilLevel::B => f.write_str("ASIL B"),
+            AsilLevel::C => f.write_str("ASIL C"),
+            AsilLevel::D => f.write_str("ASIL D"),
+        }
+    }
+}
+
+/// An electronic control unit in the vehicle architecture.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ecu {
+    name: String,
+    full_name: String,
+    domain: FunctionalDomain,
+    buses: Vec<String>,
+    interfaces: Vec<ExternalInterface>,
+    gateway: bool,
+    fota_capable: bool,
+    asil: AsilLevel,
+}
+
+impl Ecu {
+    /// Starts building an ECU with the given short name (e.g. `"ECM"`).
+    #[must_use]
+    pub fn builder(name: impl Into<String>) -> EcuBuilder {
+        EcuBuilder::new(name)
+    }
+
+    /// The short name (acronym) of the ECU, unique within a topology.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The descriptive name of the ECU.
+    #[must_use]
+    pub fn full_name(&self) -> &str {
+        &self.full_name
+    }
+
+    /// The functional domain the ECU belongs to.
+    #[must_use]
+    pub fn domain(&self) -> FunctionalDomain {
+        self.domain
+    }
+
+    /// Names of the bus segments the ECU is attached to.
+    #[must_use]
+    pub fn buses(&self) -> &[String] {
+        &self.buses
+    }
+
+    /// External interfaces terminated directly on this ECU.
+    #[must_use]
+    pub fn interfaces(&self) -> &[ExternalInterface] {
+        &self.interfaces
+    }
+
+    /// Whether this ECU routes traffic between bus segments.
+    #[must_use]
+    pub fn is_gateway(&self) -> bool {
+        self.gateway
+    }
+
+    /// Whether the ECU accepts firmware updates over the air.
+    ///
+    /// The paper notes that "implementing a remote attack against the ECU without
+    /// FOTA support is uncommon and challenging" — this flag is what the
+    /// reachability analysis uses to decide whether a long-range path can end in a
+    /// reprogramming attack.
+    #[must_use]
+    pub fn is_fota_capable(&self) -> bool {
+        self.fota_capable
+    }
+
+    /// The ASIL level of the most critical function hosted by the ECU.
+    #[must_use]
+    pub fn asil(&self) -> AsilLevel {
+        self.asil
+    }
+
+    /// Whether the ECU has at least one directly terminated external interface.
+    #[must_use]
+    pub fn is_externally_exposed(&self) -> bool {
+        !self.interfaces.is_empty()
+    }
+}
+
+impl fmt::Display for Ecu {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name, self.full_name)
+    }
+}
+
+/// Builder for [`Ecu`].
+///
+/// # Examples
+///
+/// ```
+/// use vehicle::{Ecu, FunctionalDomain, AsilLevel};
+/// use vehicle::attack_surface::ExternalInterface;
+///
+/// let ecm = Ecu::builder("ECM")
+///     .full_name("Engine Control Module")
+///     .domain(FunctionalDomain::Powertrain)
+///     .on_bus("PT-CAN")
+///     .asil(AsilLevel::D)
+///     .build();
+/// assert!(ecm.buses().contains(&"PT-CAN".to_string()));
+/// assert!(!ecm.is_fota_capable());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EcuBuilder {
+    name: String,
+    full_name: Option<String>,
+    domain: FunctionalDomain,
+    buses: Vec<String>,
+    interfaces: Vec<ExternalInterface>,
+    gateway: bool,
+    fota_capable: bool,
+    asil: AsilLevel,
+}
+
+impl EcuBuilder {
+    /// Creates a builder with defaults: body domain, no buses, no interfaces,
+    /// not a gateway, no FOTA, QM.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        let name = name.into();
+        Self {
+            full_name: None,
+            name,
+            domain: FunctionalDomain::Body,
+            buses: Vec::new(),
+            interfaces: Vec::new(),
+            gateway: false,
+            fota_capable: false,
+            asil: AsilLevel::Qm,
+        }
+    }
+
+    /// Sets the descriptive name.
+    #[must_use]
+    pub fn full_name(mut self, full_name: impl Into<String>) -> Self {
+        self.full_name = Some(full_name.into());
+        self
+    }
+
+    /// Sets the functional domain.
+    #[must_use]
+    pub fn domain(mut self, domain: FunctionalDomain) -> Self {
+        self.domain = domain;
+        self
+    }
+
+    /// Attaches the ECU to a bus segment (may be called repeatedly).
+    #[must_use]
+    pub fn on_bus(mut self, bus: impl Into<String>) -> Self {
+        self.buses.push(bus.into());
+        self
+    }
+
+    /// Adds a directly terminated external interface (may be called repeatedly).
+    #[must_use]
+    pub fn interface(mut self, interface: ExternalInterface) -> Self {
+        self.interfaces.push(interface);
+        self
+    }
+
+    /// Marks the ECU as a gateway between its bus segments.
+    #[must_use]
+    pub fn gateway(mut self, gateway: bool) -> Self {
+        self.gateway = gateway;
+        self
+    }
+
+    /// Marks the ECU as firmware-over-the-air capable.
+    #[must_use]
+    pub fn fota(mut self, fota_capable: bool) -> Self {
+        self.fota_capable = fota_capable;
+        self
+    }
+
+    /// Sets the ASIL level.
+    #[must_use]
+    pub fn asil(mut self, asil: AsilLevel) -> Self {
+        self.asil = asil;
+        self
+    }
+
+    /// Finishes building the ECU.
+    #[must_use]
+    pub fn build(self) -> Ecu {
+        let full_name = self.full_name.unwrap_or_else(|| self.name.clone());
+        Ecu {
+            name: self.name,
+            full_name,
+            domain: self.domain,
+            buses: self.buses,
+            interfaces: self.interfaces,
+            gateway: self.gateway,
+            fota_capable: self.fota_capable,
+            asil: self.asil,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tcu() -> Ecu {
+        Ecu::builder("TCU")
+            .full_name("Telematics Control Unit")
+            .domain(FunctionalDomain::Communication)
+            .on_bus("BACKBONE")
+            .interface(ExternalInterface::Cellular)
+            .interface(ExternalInterface::Gnss)
+            .fota(true)
+            .build()
+    }
+
+    #[test]
+    fn builder_defaults() {
+        let ecu = Ecu::builder("LCM").build();
+        assert_eq!(ecu.name(), "LCM");
+        assert_eq!(ecu.full_name(), "LCM");
+        assert_eq!(ecu.domain(), FunctionalDomain::Body);
+        assert!(ecu.buses().is_empty());
+        assert!(!ecu.is_gateway());
+        assert!(!ecu.is_fota_capable());
+        assert_eq!(ecu.asil(), AsilLevel::Qm);
+        assert!(!ecu.is_externally_exposed());
+    }
+
+    #[test]
+    fn builder_sets_all_fields() {
+        let tcu = sample_tcu();
+        assert_eq!(tcu.full_name(), "Telematics Control Unit");
+        assert_eq!(tcu.domain(), FunctionalDomain::Communication);
+        assert_eq!(tcu.buses(), &["BACKBONE".to_string()]);
+        assert_eq!(tcu.interfaces().len(), 2);
+        assert!(tcu.is_fota_capable());
+        assert!(tcu.is_externally_exposed());
+    }
+
+    #[test]
+    fn asil_ranks_are_monotone() {
+        let ranks: Vec<_> = AsilLevel::ALL.iter().map(|l| l.rank()).collect();
+        let mut sorted = ranks.clone();
+        sorted.sort_unstable();
+        assert_eq!(ranks, sorted);
+    }
+
+    #[test]
+    fn asil_display() {
+        assert_eq!(AsilLevel::Qm.to_string(), "QM");
+        assert_eq!(AsilLevel::D.to_string(), "ASIL D");
+    }
+
+    #[test]
+    fn ecu_display_contains_both_names() {
+        let tcu = sample_tcu();
+        let s = tcu.to_string();
+        assert!(s.contains("TCU"));
+        assert!(s.contains("Telematics"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let tcu = sample_tcu();
+        let json = serde_json::to_string(&tcu).unwrap();
+        let back: Ecu = serde_json::from_str(&json).unwrap();
+        assert_eq!(tcu, back);
+    }
+
+    #[test]
+    fn multiple_buses_accumulate() {
+        let gw = Ecu::builder("GW")
+            .on_bus("PT-CAN")
+            .on_bus("BODY-CAN")
+            .on_bus("BACKBONE")
+            .gateway(true)
+            .build();
+        assert_eq!(gw.buses().len(), 3);
+        assert!(gw.is_gateway());
+    }
+}

@@ -1,0 +1,368 @@
+//! Reference vehicle architectures used across the workspace.
+//!
+//! [`passenger_car`] reproduces the architecture sketched in paper Figure 4
+//! (gateway-centred topology with powertrain, chassis, body, infotainment and
+//! communication domains plus the OBD port).  [`excavator`] and [`light_truck`]
+//! model the industrial and commercial applications the financial case study of
+//! Section III uses (DPF tampering on European excavators).
+
+use crate::attack_surface::ExternalInterface;
+use crate::bus::{Bus, BusKind};
+use crate::domain::FunctionalDomain;
+use crate::ecu::{AsilLevel, Ecu};
+use crate::topology::VehicleTopology;
+
+/// The passenger-car reference architecture of paper Figure 4.
+///
+/// # Panics
+///
+/// Never panics: the built-in definition is validated by the crate's test suite.
+#[must_use]
+pub fn passenger_car() -> VehicleTopology {
+    VehicleTopology::builder("passenger-car")
+        // Network segments.
+        .bus(Bus::new("PT-CAN", BusKind::CanHighSpeed, FunctionalDomain::Powertrain))
+        .bus(Bus::new("CHASSIS-CAN", BusKind::CanFd, FunctionalDomain::Chassis))
+        .bus(Bus::new("BODY-CAN", BusKind::CanLowSpeed, FunctionalDomain::Body))
+        .bus(Bus::new("BODY-LIN", BusKind::Lin, FunctionalDomain::Body))
+        .bus(Bus::new("INFO-CAN", BusKind::CanFd, FunctionalDomain::Infotainment))
+        .bus(Bus::new("DIAG-CAN", BusKind::CanHighSpeed, FunctionalDomain::Diagnostics))
+        // Central gateway.
+        .ecu(
+            Ecu::builder("GATEWAY")
+                .full_name("Central Gateway")
+                .domain(FunctionalDomain::Communication)
+                .on_bus("PT-CAN")
+                .on_bus("CHASSIS-CAN")
+                .on_bus("BODY-CAN")
+                .on_bus("INFO-CAN")
+                .on_bus("DIAG-CAN")
+                .gateway(true)
+                .asil(AsilLevel::B)
+                .build(),
+        )
+        // Communication domain.
+        .ecu(
+            Ecu::builder("TCU")
+                .full_name("Telematics Control Unit")
+                .domain(FunctionalDomain::Communication)
+                .on_bus("INFO-CAN")
+                .interface(ExternalInterface::Cellular)
+                .interface(ExternalInterface::Gnss)
+                .fota(true)
+                .build(),
+        )
+        .ecu(
+            Ecu::builder("V2X")
+                .full_name("Vehicle-to-Everything Module")
+                .domain(FunctionalDomain::Communication)
+                .on_bus("INFO-CAN")
+                .interface(ExternalInterface::V2x)
+                .build(),
+        )
+        // Infotainment domain.
+        .ecu(
+            Ecu::builder("ICM")
+                .full_name("Infotainment Control Module")
+                .domain(FunctionalDomain::Infotainment)
+                .on_bus("INFO-CAN")
+                .interface(ExternalInterface::Bluetooth)
+                .interface(ExternalInterface::WiFi)
+                .interface(ExternalInterface::UsbMedia)
+                .fota(true)
+                .build(),
+        )
+        .ecu(
+            Ecu::builder("SCU")
+                .full_name("Smart Connectivity Unit")
+                .domain(FunctionalDomain::Infotainment)
+                .on_bus("INFO-CAN")
+                .interface(ExternalInterface::KeyFobRadio)
+                .build(),
+        )
+        // Powertrain domain.
+        .ecu(
+            Ecu::builder("ECM")
+                .full_name("Engine Control Module")
+                .domain(FunctionalDomain::Powertrain)
+                .on_bus("PT-CAN")
+                .asil(AsilLevel::D)
+                .build(),
+        )
+        .ecu(
+            Ecu::builder("TCM")
+                .full_name("Transmission Control Module")
+                .domain(FunctionalDomain::Powertrain)
+                .on_bus("PT-CAN")
+                .asil(AsilLevel::C)
+                .build(),
+        )
+        .ecu(
+            Ecu::builder("DEFC")
+                .full_name("Diesel Exhaust Fluid Controller")
+                .domain(FunctionalDomain::Powertrain)
+                .on_bus("PT-CAN")
+                .asil(AsilLevel::B)
+                .build(),
+        )
+        // Chassis domain.
+        .ecu(
+            Ecu::builder("BCU")
+                .full_name("Brake Control Unit")
+                .domain(FunctionalDomain::Chassis)
+                .on_bus("CHASSIS-CAN")
+                .asil(AsilLevel::D)
+                .build(),
+        )
+        .ecu(
+            Ecu::builder("SCM")
+                .full_name("Steering Control Module")
+                .domain(FunctionalDomain::Chassis)
+                .on_bus("CHASSIS-CAN")
+                .asil(AsilLevel::D)
+                .build(),
+        )
+        .ecu(
+            Ecu::builder("DCU")
+                .full_name("Damping Control Unit")
+                .domain(FunctionalDomain::Chassis)
+                .on_bus("CHASSIS-CAN")
+                .asil(AsilLevel::B)
+                .build(),
+        )
+        .ecu(
+            Ecu::builder("WCU")
+                .full_name("Wheel Control Unit")
+                .domain(FunctionalDomain::Chassis)
+                .on_bus("CHASSIS-CAN")
+                .interface(ExternalInterface::Tpms)
+                .asil(AsilLevel::B)
+                .build(),
+        )
+        // Body domain.
+        .ecu(
+            Ecu::builder("BCM")
+                .full_name("Body Control Module")
+                .domain(FunctionalDomain::Body)
+                .on_bus("BODY-CAN")
+                .on_bus("BODY-LIN")
+                .gateway(true)
+                .build(),
+        )
+        .ecu(
+            Ecu::builder("LCM")
+                .full_name("Light Control Module")
+                .domain(FunctionalDomain::Body)
+                .on_bus("BODY-LIN")
+                .build(),
+        )
+        // Diagnostics.
+        .ecu(
+            Ecu::builder("OBD")
+                .full_name("On-Board Diagnostic Port")
+                .domain(FunctionalDomain::Diagnostics)
+                .on_bus("DIAG-CAN")
+                .interface(ExternalInterface::ObdPort)
+                .build(),
+        )
+        .build()
+        .expect("built-in passenger car architecture is valid")
+}
+
+/// A European soil excavator: no telematics by default, engine / after-treatment
+/// centric, with the service (diagnostic) connector in the cab.  This is the target
+/// application of the paper's DPF-tampering financial case study.
+#[must_use]
+pub fn excavator() -> VehicleTopology {
+    VehicleTopology::builder("excavator")
+        .bus(Bus::new("ENG-CAN", BusKind::CanHighSpeed, FunctionalDomain::Powertrain))
+        .bus(Bus::new("IMPL-CAN", BusKind::CanHighSpeed, FunctionalDomain::Chassis))
+        .bus(Bus::new("CAB-CAN", BusKind::CanLowSpeed, FunctionalDomain::Body))
+        .ecu(
+            Ecu::builder("ECM")
+                .full_name("Engine Control Module")
+                .domain(FunctionalDomain::Powertrain)
+                .on_bus("ENG-CAN")
+                .asil(AsilLevel::C)
+                .build(),
+        )
+        .ecu(
+            Ecu::builder("ATM")
+                .full_name("After-Treatment Module (DPF/EGR/SCR)")
+                .domain(FunctionalDomain::Powertrain)
+                .on_bus("ENG-CAN")
+                .asil(AsilLevel::B)
+                .build(),
+        )
+        .ecu(
+            Ecu::builder("HCM")
+                .full_name("Hydraulics Control Module")
+                .domain(FunctionalDomain::Chassis)
+                .on_bus("IMPL-CAN")
+                .asil(AsilLevel::C)
+                .build(),
+        )
+        .ecu(
+            Ecu::builder("CABGW")
+                .full_name("Cab Gateway & Display")
+                .domain(FunctionalDomain::Communication)
+                .on_bus("ENG-CAN")
+                .on_bus("IMPL-CAN")
+                .on_bus("CAB-CAN")
+                .gateway(true)
+                .build(),
+        )
+        .ecu(
+            Ecu::builder("SVC")
+                .full_name("Service Connector")
+                .domain(FunctionalDomain::Diagnostics)
+                .on_bus("ENG-CAN")
+                .interface(ExternalInterface::ObdPort)
+                .build(),
+        )
+        .build()
+        .expect("built-in excavator architecture is valid")
+}
+
+/// A connected light truck: like the passenger car but with a fleet-telematics unit
+/// on the powertrain CAN (common retrofit), which is what moves some powertrain
+/// threats into the long-range bucket.
+#[must_use]
+pub fn light_truck() -> VehicleTopology {
+    VehicleTopology::builder("light-truck")
+        .bus(Bus::new("PT-CAN", BusKind::CanHighSpeed, FunctionalDomain::Powertrain))
+        .bus(Bus::new("BODY-CAN", BusKind::CanLowSpeed, FunctionalDomain::Body))
+        .bus(Bus::new("DIAG-CAN", BusKind::CanHighSpeed, FunctionalDomain::Diagnostics))
+        .ecu(
+            Ecu::builder("GATEWAY")
+                .full_name("Central Gateway")
+                .domain(FunctionalDomain::Communication)
+                .on_bus("PT-CAN")
+                .on_bus("BODY-CAN")
+                .on_bus("DIAG-CAN")
+                .gateway(true)
+                .build(),
+        )
+        .ecu(
+            Ecu::builder("ECM")
+                .full_name("Engine Control Module")
+                .domain(FunctionalDomain::Powertrain)
+                .on_bus("PT-CAN")
+                .asil(AsilLevel::D)
+                .build(),
+        )
+        .ecu(
+            Ecu::builder("DEFC")
+                .full_name("Diesel Exhaust Fluid Controller")
+                .domain(FunctionalDomain::Powertrain)
+                .on_bus("PT-CAN")
+                .asil(AsilLevel::B)
+                .build(),
+        )
+        .ecu(
+            Ecu::builder("FLEET")
+                .full_name("Fleet Telematics Unit")
+                .domain(FunctionalDomain::Communication)
+                .on_bus("PT-CAN")
+                .interface(ExternalInterface::Cellular)
+                .fota(true)
+                .build(),
+        )
+        .ecu(
+            Ecu::builder("BCM")
+                .full_name("Body Control Module")
+                .domain(FunctionalDomain::Body)
+                .on_bus("BODY-CAN")
+                .build(),
+        )
+        .ecu(
+            Ecu::builder("OBD")
+                .full_name("On-Board Diagnostic Port")
+                .domain(FunctionalDomain::Diagnostics)
+                .on_bus("DIAG-CAN")
+                .interface(ExternalInterface::ObdPort)
+                .build(),
+        )
+        .build()
+        .expect("built-in light truck architecture is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack_surface::AttackRange;
+    use crate::reachability::ReachabilityAnalysis;
+
+    #[test]
+    fn passenger_car_has_expected_shape() {
+        let car = passenger_car();
+        assert_eq!(car.name(), "passenger-car");
+        assert_eq!(car.ecu_count(), 15);
+        assert_eq!(car.buses().count(), 6);
+        assert!(car.ecu("ECM").is_some());
+        assert!(car.ecu("GATEWAY").unwrap().is_gateway());
+    }
+
+    #[test]
+    fn passenger_car_powertrain_is_not_directly_remote() {
+        let car = passenger_car();
+        let analysis = ReachabilityAnalysis::analyze(&car);
+        for name in ["ECM", "TCM", "DEFC"] {
+            let c = analysis.classification_of(name).unwrap();
+            assert!(
+                c.direct_ranges().iter().all(|r| *r == AttackRange::Physical),
+                "{name} must only be directly exposed to physical access"
+            );
+        }
+    }
+
+    #[test]
+    fn passenger_car_tcu_is_long_range() {
+        let car = passenger_car();
+        let analysis = ReachabilityAnalysis::analyze(&car);
+        let tcu = analysis.classification_of("TCU").unwrap();
+        assert!(tcu.direct_ranges().contains(&AttackRange::LongRange));
+    }
+
+    #[test]
+    fn excavator_has_no_long_range_interface() {
+        let exc = excavator();
+        let analysis = ReachabilityAnalysis::analyze(&exc);
+        for c in analysis.iter() {
+            assert!(
+                !c.direct_ranges().contains(&AttackRange::LongRange),
+                "{} should not be directly long-range reachable",
+                c.name()
+            );
+        }
+    }
+
+    #[test]
+    fn excavator_ecm_reachable_via_obd() {
+        let exc = excavator();
+        let analysis = ReachabilityAnalysis::analyze(&exc);
+        let ecm = analysis.classification_of("ECM").unwrap();
+        assert!(ecm
+            .exposures()
+            .iter()
+            .any(|e| e.vector == crate::attack_surface::AttackVector::Local));
+    }
+
+    #[test]
+    fn light_truck_fleet_unit_exposes_pt_can_remotely() {
+        let truck = light_truck();
+        let analysis = ReachabilityAnalysis::analyze(&truck);
+        let ecm = analysis.classification_of("ECM").unwrap();
+        assert!(ecm.reachable_ranges().contains(&AttackRange::LongRange));
+    }
+
+    #[test]
+    fn all_reference_architectures_have_an_obd_or_service_port() {
+        for topo in [passenger_car(), excavator(), light_truck()] {
+            let has_obd = topo
+                .interfaces()
+                .any(|(i, _)| i == ExternalInterface::ObdPort);
+            assert!(has_obd, "{} lacks an OBD/service port", topo.name());
+        }
+    }
+}

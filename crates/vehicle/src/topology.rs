@@ -1,0 +1,347 @@
+//! Vehicle network topology graph.
+//!
+//! The topology is an undirected graph whose nodes are ECUs, bus segments and
+//! external interfaces, and whose edges are physical attachments:
+//! `interface — ECU`, `ECU — bus`.  Gateways are ECUs attached to more than one
+//! bus; they are the only way traffic crosses between segments, which is exactly
+//! the structural property the reachability analysis of paper Figure 4 exploits.
+
+use crate::attack_surface::ExternalInterface;
+use crate::bus::Bus;
+use crate::ecu::Ecu;
+use crate::error::VehicleError;
+use petgraph::graph::{NodeIndex, UnGraph};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The kind of node stored in the topology graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// An electronic control unit.
+    Ecu(Ecu),
+    /// A bus segment.
+    Bus(Bus),
+    /// An external interface (attached to exactly one ECU).
+    Interface(ExternalInterface),
+}
+
+impl NodeKind {
+    /// The unique name of this node within the topology.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self {
+            NodeKind::Ecu(e) => e.name().to_string(),
+            NodeKind::Bus(b) => b.name().to_string(),
+            NodeKind::Interface(i) => format!("IF:{}", i.label()),
+        }
+    }
+}
+
+/// A complete vehicle E/E topology.
+#[derive(Debug, Clone)]
+pub struct VehicleTopology {
+    name: String,
+    graph: UnGraph<NodeKind, ()>,
+    by_name: HashMap<String, NodeIndex>,
+}
+
+impl VehicleTopology {
+    /// Starts building a topology with the given name.
+    #[must_use]
+    pub fn builder(name: impl Into<String>) -> VehicleTopologyBuilder {
+        VehicleTopologyBuilder::new(name)
+    }
+
+    /// The architecture name (e.g. `"passenger-car"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The underlying undirected graph.
+    #[must_use]
+    pub fn graph(&self) -> &UnGraph<NodeKind, ()> {
+        &self.graph
+    }
+
+    /// Number of ECUs in the topology.
+    #[must_use]
+    pub fn ecu_count(&self) -> usize {
+        self.ecus().count()
+    }
+
+    /// Iterates over all ECUs.
+    pub fn ecus(&self) -> impl Iterator<Item = &Ecu> {
+        self.graph.node_weights().filter_map(|n| match n {
+            NodeKind::Ecu(e) => Some(e),
+            _ => None,
+        })
+    }
+
+    /// Iterates over all bus segments.
+    pub fn buses(&self) -> impl Iterator<Item = &Bus> {
+        self.graph.node_weights().filter_map(|n| match n {
+            NodeKind::Bus(b) => Some(b),
+            _ => None,
+        })
+    }
+
+    /// Iterates over all external interface nodes together with the ECU that
+    /// terminates them.
+    pub fn interfaces(&self) -> impl Iterator<Item = (ExternalInterface, &Ecu)> + '_ {
+        self.graph.node_indices().filter_map(move |idx| {
+            if let NodeKind::Interface(iface) = &self.graph[idx] {
+                let ecu = self.graph.neighbors(idx).find_map(|n| match &self.graph[n] {
+                    NodeKind::Ecu(e) => Some(e),
+                    _ => None,
+                })?;
+                Some((*iface, ecu))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Looks up an ECU by name.
+    #[must_use]
+    pub fn ecu(&self, name: &str) -> Option<&Ecu> {
+        self.by_name.get(name).and_then(|idx| match &self.graph[*idx] {
+            NodeKind::Ecu(e) => Some(e),
+            _ => None,
+        })
+    }
+
+    /// Looks up a bus by name.
+    #[must_use]
+    pub fn bus(&self, name: &str) -> Option<&Bus> {
+        self.by_name.get(name).and_then(|idx| match &self.graph[*idx] {
+            NodeKind::Bus(b) => Some(b),
+            _ => None,
+        })
+    }
+
+    /// Returns the node index of a named node, if present.
+    #[must_use]
+    pub fn node_index(&self, name: &str) -> Option<NodeIndex> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The ECUs attached to the named bus.
+    #[must_use]
+    pub fn ecus_on_bus(&self, bus_name: &str) -> Vec<&Ecu> {
+        let Some(idx) = self.by_name.get(bus_name) else {
+            return Vec::new();
+        };
+        self.graph
+            .neighbors(*idx)
+            .filter_map(|n| match &self.graph[n] {
+                NodeKind::Ecu(e) => Some(e),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Gateways: ECUs attached to two or more bus segments.
+    #[must_use]
+    pub fn gateways(&self) -> Vec<&Ecu> {
+        self.ecus()
+            .filter(|e| e.is_gateway() || e.buses().len() >= 2)
+            .collect()
+    }
+}
+
+/// Builder for [`VehicleTopology`].
+#[derive(Debug, Clone)]
+pub struct VehicleTopologyBuilder {
+    name: String,
+    buses: Vec<Bus>,
+    ecus: Vec<Ecu>,
+}
+
+impl VehicleTopologyBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            buses: Vec::new(),
+            ecus: Vec::new(),
+        }
+    }
+
+    /// Adds a bus segment.
+    #[must_use]
+    pub fn bus(mut self, bus: Bus) -> Self {
+        self.buses.push(bus);
+        self
+    }
+
+    /// Adds an ECU (its `on_bus` attachments must reference buses added to this
+    /// builder before [`build`](Self::build) is called).
+    #[must_use]
+    pub fn ecu(mut self, ecu: Ecu) -> Self {
+        self.ecus.push(ecu);
+        self
+    }
+
+    /// Builds the topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VehicleError::DuplicateNode`] if two buses or ECUs share a name,
+    /// [`VehicleError::UnknownNode`] if an ECU references an undeclared bus and
+    /// [`VehicleError::EmptyTopology`] if no ECU was added.
+    pub fn build(self) -> Result<VehicleTopology, VehicleError> {
+        if self.ecus.is_empty() {
+            return Err(VehicleError::EmptyTopology);
+        }
+        let mut graph = UnGraph::new_undirected();
+        let mut by_name: HashMap<String, NodeIndex> = HashMap::new();
+
+        for bus in &self.buses {
+            if by_name.contains_key(bus.name()) {
+                return Err(VehicleError::DuplicateNode {
+                    name: bus.name().to_string(),
+                });
+            }
+            let idx = graph.add_node(NodeKind::Bus(bus.clone()));
+            by_name.insert(bus.name().to_string(), idx);
+        }
+
+        for ecu in &self.ecus {
+            if by_name.contains_key(ecu.name()) {
+                return Err(VehicleError::DuplicateNode {
+                    name: ecu.name().to_string(),
+                });
+            }
+            let idx = graph.add_node(NodeKind::Ecu(ecu.clone()));
+            by_name.insert(ecu.name().to_string(), idx);
+        }
+
+        // Attach ECUs to buses and interfaces to ECUs.
+        for ecu in &self.ecus {
+            let ecu_idx = by_name[ecu.name()];
+            for bus_name in ecu.buses() {
+                let bus_idx = by_name.get(bus_name).copied().ok_or_else(|| {
+                    VehicleError::UnknownNode {
+                        name: bus_name.clone(),
+                    }
+                })?;
+                graph.add_edge(ecu_idx, bus_idx, ());
+            }
+            for iface in ecu.interfaces() {
+                let iface_idx = graph.add_node(NodeKind::Interface(*iface));
+                graph.add_edge(iface_idx, ecu_idx, ());
+            }
+        }
+
+        Ok(VehicleTopology {
+            name: self.name,
+            graph,
+            by_name,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::BusKind;
+    use crate::domain::FunctionalDomain;
+
+    fn tiny_topology() -> VehicleTopology {
+        VehicleTopology::builder("tiny")
+            .bus(Bus::new("PT-CAN", BusKind::CanHighSpeed, FunctionalDomain::Powertrain))
+            .bus(Bus::new("BACKBONE", BusKind::Ethernet, FunctionalDomain::Communication))
+            .ecu(
+                Ecu::builder("ECM")
+                    .domain(FunctionalDomain::Powertrain)
+                    .on_bus("PT-CAN")
+                    .build(),
+            )
+            .ecu(
+                Ecu::builder("GW")
+                    .domain(FunctionalDomain::Communication)
+                    .on_bus("PT-CAN")
+                    .on_bus("BACKBONE")
+                    .gateway(true)
+                    .build(),
+            )
+            .ecu(
+                Ecu::builder("TCU")
+                    .domain(FunctionalDomain::Communication)
+                    .on_bus("BACKBONE")
+                    .interface(ExternalInterface::Cellular)
+                    .fota(true)
+                    .build(),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builds_and_counts_nodes() {
+        let topo = tiny_topology();
+        assert_eq!(topo.ecu_count(), 3);
+        assert_eq!(topo.buses().count(), 2);
+        assert_eq!(topo.interfaces().count(), 1);
+    }
+
+    #[test]
+    fn ecus_on_bus_finds_attachments() {
+        let topo = tiny_topology();
+        let names: Vec<_> = topo.ecus_on_bus("PT-CAN").iter().map(|e| e.name().to_string()).collect();
+        assert!(names.contains(&"ECM".to_string()));
+        assert!(names.contains(&"GW".to_string()));
+        assert!(!names.contains(&"TCU".to_string()));
+    }
+
+    #[test]
+    fn gateways_detected() {
+        let topo = tiny_topology();
+        let gws: Vec<_> = topo.gateways().iter().map(|e| e.name().to_string()).collect();
+        assert_eq!(gws, vec!["GW".to_string()]);
+    }
+
+    #[test]
+    fn interface_is_linked_to_its_ecu() {
+        let topo = tiny_topology();
+        let (iface, ecu) = topo.interfaces().next().unwrap();
+        assert_eq!(iface, ExternalInterface::Cellular);
+        assert_eq!(ecu.name(), "TCU");
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let topo = tiny_topology();
+        assert!(topo.ecu("ECM").is_some());
+        assert!(topo.ecu("NOPE").is_none());
+        assert!(topo.bus("PT-CAN").is_some());
+        assert!(topo.bus("ECM").is_none(), "an ECU name is not a bus");
+    }
+
+    #[test]
+    fn duplicate_ecu_rejected() {
+        let err = VehicleTopology::builder("dup")
+            .ecu(Ecu::builder("ECM").build())
+            .ecu(Ecu::builder("ECM").build())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, VehicleError::DuplicateNode { name: "ECM".into() });
+    }
+
+    #[test]
+    fn unknown_bus_rejected() {
+        let err = VehicleTopology::builder("bad")
+            .ecu(Ecu::builder("ECM").on_bus("MISSING").build())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, VehicleError::UnknownNode { name: "MISSING".into() });
+    }
+
+    #[test]
+    fn empty_topology_rejected() {
+        let err = VehicleTopology::builder("empty").build().unwrap_err();
+        assert_eq!(err, VehicleError::EmptyTopology);
+    }
+}

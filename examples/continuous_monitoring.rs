@@ -1,0 +1,108 @@
+//! Continuous monitoring: the "runtime model environment" the paper's conclusion
+//! aims for, plus closing the loop with a control plan sized to the financial
+//! investment bound.
+//!
+//! Runs the PSP analysis over sliding yearly windows (2015-2023), prints the
+//! dominant attack vector per window, reports the year the trend inversion is
+//! detected, and finally selects anti-tampering controls whose combined resistance
+//! exceeds the adversary investment bound computed by the financial model.
+//!
+//! ```text
+//! cargo run --example continuous_monitoring
+//! ```
+
+use psp_suite::iso21434::controls::{anti_tampering_catalogue, ControlPlan};
+use psp_suite::market::datasets;
+use psp_suite::psp::config::PspConfig;
+use psp_suite::psp::financial::{FinancialAssessment, FinancialInputs};
+use psp_suite::psp::keyword_db::KeywordDatabase;
+use psp_suite::psp::monitoring::MonitoringSeries;
+use psp_suite::psp::sai::SaiList;
+use psp_suite::socialsim::scenario;
+use psp_suite::vehicle::attack_surface::AttackVector;
+
+fn main() {
+    // Part 1: sliding-window monitoring of the ECM-reprogramming scene.
+    let corpus = scenario::passenger_car_europe(42);
+    let series = MonitoringSeries::run(
+        &corpus,
+        &KeywordDatabase::passenger_car_seed(),
+        &PspConfig::passenger_car_europe(),
+        "ecm-reprogramming",
+        2015,
+        2023,
+        2,
+    );
+
+    println!("ECM reprogramming, 2-year sliding windows:");
+    for observation in &series.observations {
+        let dominant = observation
+            .dominant
+            .map_or("no evidence".to_string(), |v| v.to_string());
+        let shares: Vec<String> = observation
+            .vector_shares
+            .iter()
+            .filter(|(_, s)| *s > 0.0)
+            .map(|(v, s)| format!("{v} {:.0}%", s * 100.0))
+            .collect();
+        println!(
+            "  {}-{}  posts={:<5} dominant={:<10} [{}]",
+            observation.from_year,
+            observation.to_year,
+            observation.posts,
+            dominant,
+            shares.join(", ")
+        );
+    }
+    match series.inversion_year() {
+        Some(year) => println!("trend inversion first visible in the window starting {year}"),
+        None => println!("no trend inversion detected"),
+    }
+
+    // Part 2: size a control plan against the financial investment bound of the
+    // excavator DPF case study.
+    let excavator = scenario::excavator_europe(42);
+    let sai = SaiList::compute(
+        &excavator,
+        &KeywordDatabase::excavator_seed(),
+        &PspConfig::excavator_europe(),
+    );
+    let assessment = FinancialAssessment::assess(
+        "dpf-tampering",
+        &sai,
+        &datasets::excavator_sales_europe(),
+        &datasets::annual_report(),
+        &FinancialInputs::paper_excavator_example(),
+    )
+    .expect("calibrated example assesses");
+
+    println!(
+        "\nDPF tampering investment bound (Eq. 7): {:.0} EUR — the protections must withstand at least this.",
+        assessment.investment_bound
+    );
+    match ControlPlan::select_for(
+        &anti_tampering_catalogue(),
+        AttackVector::Local,
+        assessment.investment_bound,
+    ) {
+        Some(plan) => {
+            println!("selected controls (local / OBD attack route):");
+            for control in plan.controls() {
+                println!("  - {control}");
+            }
+            println!(
+                "combined resistance {:.0} EUR at an implementation cost of {:.0} EUR",
+                plan.resistance_for(AttackVector::Local),
+                plan.total_cost()
+            );
+            println!(
+                "residual feasibility for a Local attack initially rated High: {}",
+                plan.residual_feasibility(
+                    AttackVector::Local,
+                    psp_suite::iso21434::feasibility::AttackFeasibilityRating::High
+                )
+            );
+        }
+        None => println!("the reference catalogue cannot reach the required resistance"),
+    }
+}

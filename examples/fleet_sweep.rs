@@ -1,0 +1,109 @@
+//! Fleet sweep: how the PSP verdict changes across vehicle applications, market
+//! structures and analysis windows.
+//!
+//! The paper motivates PSP with the diversity of the road-vehicle sector — the same
+//! threat scenario has very different dynamics on a passenger car, a light truck
+//! and an excavator.  This example sweeps the three reference architectures, runs
+//! the reachability analysis, the PSP weight tuning and the financial model, and
+//! prints one summary row per (application, window) combination.
+//!
+//! ```text
+//! cargo run --example fleet_sweep
+//! ```
+
+use psp_suite::market::datasets;
+use psp_suite::market::share::MarketStructure;
+use psp_suite::psp::config::PspConfig;
+use psp_suite::psp::financial::{rate_financial_feasibility, FinancialAssessment, FinancialInputs};
+use psp_suite::psp::keyword_db::KeywordDatabase;
+use psp_suite::psp::sai::SaiList;
+use psp_suite::psp::workflow::PspWorkflow;
+use psp_suite::socialsim::scenario;
+use psp_suite::socialsim::time::DateWindow;
+use psp_suite::vehicle::attack_surface::AttackRange;
+use psp_suite::vehicle::reachability::ReachabilityAnalysis;
+use psp_suite::vehicle::reference::{excavator, light_truck, passenger_car};
+
+fn main() {
+    // Part 1: structural exposure of the three reference fleets (Figure 4 recap).
+    println!("Structural exposure of the reference architectures:");
+    for topology in [passenger_car(), light_truck(), excavator()] {
+        let analysis = ReachabilityAnalysis::analyze(&topology);
+        let grouped = analysis.grouped_by_dominant_range(1);
+        let count = |range: AttackRange| grouped.get(&range).map_or(0, Vec::len);
+        println!(
+            "  {:<14} ECUs={:<3} long-range={:<3} short-range={:<3} physical-only={}",
+            topology.name(),
+            topology.ecu_count(),
+            count(AttackRange::LongRange),
+            count(AttackRange::ShortRange),
+            count(AttackRange::Physical),
+        );
+    }
+
+    // Part 2: PSP weight tuning per scene and window.
+    println!("\nDominant insider vector for ECM reprogramming (passenger car):");
+    let car_corpus = scenario::passenger_car_europe(42);
+    for (label, window) in [
+        ("all time", None),
+        ("2021+", Some(DateWindow::years(2021, 2023))),
+        ("2015-2019", Some(DateWindow::years(2015, 2019))),
+    ] {
+        let mut config = PspConfig::passenger_car_europe();
+        if let Some(w) = window {
+            config = config.with_window(w);
+        }
+        let outcome =
+            PspWorkflow::new(config, KeywordDatabase::passenger_car_seed()).run(&car_corpus);
+        let table = outcome
+            .insider_table("ecm-reprogramming")
+            .expect("scenario tuned");
+        println!("  window {label:<10} -> ranking {:?}", table.ranking());
+    }
+
+    // Part 3: financial sweep over market structures for the excavator DPF attack.
+    println!("\nFinancial sweep for excavator DPF tampering:");
+    let corpus = scenario::excavator_europe(42);
+    let sai = SaiList::compute(
+        &corpus,
+        &KeywordDatabase::excavator_seed(),
+        &PspConfig::excavator_europe(),
+    );
+    println!(
+        "  {:<28} {:>10} {:>14} {:>14} {:>10}",
+        "market structure", "PAE", "MV EUR/yr", "FC bound EUR", "rating"
+    );
+    for (label, market) in [
+        ("monopolistic (full fleet)", MarketStructure::Monopolistic),
+        ("40% market share", MarketStructure::with_share(0.40)),
+        ("15% market share", MarketStructure::with_share(0.15)),
+        ("5% market share", MarketStructure::with_share(0.05)),
+    ] {
+        let mut inputs = FinancialInputs::paper_excavator_example();
+        inputs.market = market;
+        let assessment = FinancialAssessment::assess(
+            "dpf-tampering",
+            &sai,
+            &datasets::excavator_sales_europe(),
+            &datasets::annual_report(),
+            &inputs,
+        )
+        .expect("sweep assesses");
+        println!(
+            "  {:<28} {:>10.0} {:>14.0} {:>14.0} {:>10}",
+            label,
+            assessment.pae,
+            assessment.market_value,
+            assessment.investment_bound,
+            assessment.rating
+        );
+    }
+
+    // Part 4: how the financial rating behaves as demand shrinks relative to the
+    // break-even volume (the blue/red zones of Figure 11).
+    println!("\nFinancial feasibility vs demand/break-even ratio:");
+    for ratio in [3.0, 2.0, 1.2, 1.0, 0.7, 0.4, 0.1] {
+        let rating = rate_financial_feasibility(ratio * 1_000.0, Some(1_000.0));
+        println!("  demand = {ratio:>4.1} x BEP -> {rating}");
+    }
+}

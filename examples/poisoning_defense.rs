@@ -1,0 +1,81 @@
+//! Poisoning defence: what happens to the PSP weights when an adversary floods the
+//! social corpus with bot posts, and how the credibility filter recovers.
+//!
+//! The paper's future-work section plans "a filtering strategy for messages to
+//! ensure we process only authentic posts and prevent attackers from poisoning the
+//! data".  This example injects a bot campaign that pushes a *network*-flavoured
+//! attack hashtag into the passenger-car scene, shows that an unfiltered PSP run is
+//! misled, and that enabling the credibility filter restores the original table.
+//!
+//! ```text
+//! cargo run --example poisoning_defense
+//! ```
+
+use psp_suite::psp::classify::AttackOrigin;
+use psp_suite::psp::config::PspConfig;
+use psp_suite::psp::keyword_db::{KeywordDatabase, KeywordProfile};
+use psp_suite::psp::workflow::PspWorkflow;
+use psp_suite::socialsim::poisoning::{filter_by_credibility, BotCampaign};
+use psp_suite::socialsim::post::{Region, TargetApplication};
+use psp_suite::socialsim::scenario;
+use psp_suite::vehicle::attack_surface::AttackVector;
+
+fn main() {
+    // The attacker's goal: make remote attacks look dominant so the OEM spends its
+    // budget on network hardening instead of the anti-tampering protections that
+    // actually matter for the insider threat.
+    let mut db = KeywordDatabase::passenger_car_seed();
+    db.insert(KeywordProfile::manual(
+        "otaunlock",
+        "ecm-reprogramming",
+        AttackVector::Network,
+        AttackOrigin::Insider,
+    ));
+
+    let clean = scenario::passenger_car_europe(42);
+    let mut poisoned = clean.clone();
+    let injected = BotCampaign::new("otaunlock", 2_500, 2023)
+        .targeting(Region::Europe, TargetApplication::PassengerCar)
+        .inject(&mut poisoned, 7);
+    println!("injected {injected} bot posts pushing #otaunlock");
+
+    let config = PspConfig::passenger_car_europe();
+    let baseline = PspWorkflow::new(config.clone(), db.clone()).run(&clean);
+    let misled = PspWorkflow::new(config.clone(), db.clone()).run(&poisoned);
+    let defended = PspWorkflow::new(config.with_poisoning_filter(0.25), db.clone()).run(&poisoned);
+
+    for (label, outcome) in [
+        ("clean corpus", &baseline),
+        ("poisoned, no filter", &misled),
+        ("poisoned, credibility filter", &defended),
+    ] {
+        let table = outcome
+            .insider_table("ecm-reprogramming")
+            .expect("scenario tuned");
+        println!("\n[{label}]");
+        println!("{table}");
+    }
+
+    // Show the filter quality numbers on the poisoned corpus.
+    let (_, outcome) = filter_by_credibility(&poisoned, 0.25);
+    println!(
+        "credibility filter on the poisoned corpus: precision {:.2}, recall {:.2} \
+         ({} removed, {} kept)",
+        outcome.precision(),
+        outcome.recall(),
+        outcome.removed,
+        outcome.kept
+    );
+
+    let misled_top = misled
+        .insider_table("ecm-reprogramming")
+        .expect("table")
+        .ranking()[0];
+    let defended_top = defended
+        .insider_table("ecm-reprogramming")
+        .expect("table")
+        .ranking()[0];
+    println!(
+        "\ntop-ranked vector: poisoned run = {misled_top}, defended run = {defended_top}"
+    );
+}

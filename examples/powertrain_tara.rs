@@ -1,0 +1,79 @@
+//! Powertrain TARA, static vs dynamic: the paper's ECM-reprogramming case study.
+//!
+//! Runs the reference ECM TARA twice — once with the standard ISO/SAE-21434 G.9
+//! attack-vector table and once with the PSP-tuned insider table derived from the
+//! European passenger-car social corpus — and prints the per-threat deltas, both for
+//! the full history (Figure 9-B) and for the 2021+ window (Figure 9-C).
+//!
+//! ```text
+//! cargo run --example powertrain_tara
+//! ```
+
+use psp_suite::psp::config::PspConfig;
+use psp_suite::psp::dynamic_tara::{ecm_reference_tara, DynamicTaraComparison};
+use psp_suite::psp::keyword_db::KeywordDatabase;
+use psp_suite::psp::workflow::PspWorkflow;
+use psp_suite::socialsim::scenario;
+use psp_suite::socialsim::time::DateWindow;
+use psp_suite::vehicle::reachability::ReachabilityAnalysis;
+use psp_suite::vehicle::reference::passenger_car;
+
+fn main() {
+    // The vehicle context: which attack ranges can even reach the ECM?
+    let car = passenger_car();
+    let reachability = ReachabilityAnalysis::analyze(&car);
+    let ecm = reachability.classification_of("ECM").expect("ECM in reference car");
+    println!("ECM exposure in the reference passenger car:");
+    for exposure in ecm.exposures() {
+        println!(
+            "  {:<20} vector={:<9} gateway hops={} direct={}",
+            exposure.range.to_string(),
+            exposure.vector.to_string(),
+            exposure.gateway_hops,
+            exposure.direct
+        );
+    }
+
+    let corpus = scenario::passenger_car_europe(42);
+    let tara = ecm_reference_tara("ECM (passenger car, EU)");
+
+    for (label, window) in [
+        ("full history (Figure 9-B)", None),
+        ("2021 onwards (Figure 9-C)", Some(DateWindow::years(2021, 2023))),
+    ] {
+        let mut config = PspConfig::passenger_car_europe();
+        if let Some(w) = window {
+            config = config.with_window(w);
+        }
+        let outcome = PspWorkflow::new(config, KeywordDatabase::passenger_car_seed()).run(&corpus);
+        let comparison =
+            DynamicTaraComparison::evaluate(&tara, &outcome, "ecm-reprogramming")
+                .expect("reference TARA evaluates");
+
+        println!("\n=== {label} ===");
+        println!(
+            "tuned table:\n{}",
+            outcome
+                .insider_table("ecm-reprogramming")
+                .expect("scenario tuned")
+        );
+        println!("{}", comparison.static_report);
+        println!("{}", comparison.dynamic_report);
+        println!("deltas:");
+        for delta in comparison.deltas.values() {
+            println!(
+                "  {:<38} feasibility {:>8} -> {:<8} risk {} -> {}",
+                delta.threat_title,
+                delta.static_feasibility.to_string(),
+                delta.dynamic_feasibility.to_string(),
+                delta.static_risk,
+                delta.dynamic_risk
+            );
+        }
+        println!(
+            "threats re-rated: {} of {}",
+            comparison.changed_count(),
+            comparison.deltas.len()
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Quickstart: run the PSP workflow end to end on the excavator scene and print
+//! the Social Attraction Index ranking plus the tuned weight tables.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use psp_suite::psp::config::PspConfig;
+use psp_suite::psp::keyword_db::KeywordDatabase;
+use psp_suite::psp::workflow::PspWorkflow;
+use psp_suite::socialsim::scenario;
+
+fn main() {
+    // 1. Build (or load) the social corpus.  In the paper this is a Twitter query;
+    //    here it is the deterministic excavator/Europe scene.
+    let corpus = scenario::excavator_europe(42);
+    println!("corpus: {} posts", corpus.len());
+
+    // 2. Configure the PSP run: target application, region, scoring weights.
+    let config = PspConfig::excavator_europe();
+    let database = KeywordDatabase::excavator_seed();
+
+    // 3. Run the workflow (Figure 7 of the paper, blocks 1-12).
+    let outcome = PspWorkflow::new(config, database).run(&corpus);
+
+    // 4. Inspect the SAI ranking (Figure 12).
+    println!("\nSocial Attraction Index (top 5 keywords):");
+    for entry in outcome.sai.entries().iter().take(5) {
+        println!(
+            "  {:<20} scenario={:<18} posts={:<5} SAI={:>12.1} p={:>5.1}%",
+            entry.keyword,
+            entry.scenario,
+            entry.posts,
+            entry.sai,
+            entry.probability * 100.0
+        );
+    }
+
+    println!("\nScenario ranking:");
+    for (scenario, sai) in outcome.sai.scenario_ranking() {
+        println!("  {scenario:<20} {sai:>12.1}");
+    }
+
+    // 5. Inspect the generated insider weight tables (Figure 8-B).
+    println!("\nPSP insider weight tables:");
+    for scenario in outcome.insider_scenarios() {
+        let table = outcome.insider_table(scenario).expect("table exists");
+        println!("--- {scenario}\n{table}");
+    }
+}

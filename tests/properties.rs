@@ -1,0 +1,188 @@
+//! Property-based tests (proptest) over the core data structures and invariants.
+
+use proptest::prelude::*;
+use psp_suite::iso21434::feasibility::attack_potential::{
+    AttackPotential, ElapsedTime, Equipment, Expertise, Knowledge, WindowOfOpportunity,
+};
+use psp_suite::iso21434::feasibility::AttackFeasibilityRating;
+use psp_suite::iso21434::impact::ImpactRating;
+use psp_suite::iso21434::risk::{RiskMatrix, RiskValue};
+use psp_suite::iso21434::tables;
+use psp_suite::market::bep::BreakEvenAnalysis;
+use psp_suite::socialsim::hashtag::Hashtag;
+use psp_suite::socialsim::time::{DateWindow, SimDate};
+use psp_suite::textmine::cluster::kmeans_1d;
+use psp_suite::textmine::price::{extract_prices, representative_price};
+use psp_suite::textmine::tokenize;
+
+fn arb_impact() -> impl Strategy<Value = ImpactRating> {
+    prop_oneof![
+        Just(ImpactRating::Negligible),
+        Just(ImpactRating::Moderate),
+        Just(ImpactRating::Major),
+        Just(ImpactRating::Severe),
+    ]
+}
+
+fn arb_feasibility() -> impl Strategy<Value = AttackFeasibilityRating> {
+    prop_oneof![
+        Just(AttackFeasibilityRating::VeryLow),
+        Just(AttackFeasibilityRating::Low),
+        Just(AttackFeasibilityRating::Medium),
+        Just(AttackFeasibilityRating::High),
+    ]
+}
+
+fn arb_potential() -> impl Strategy<Value = AttackPotential> {
+    (
+        prop_oneof![
+            Just(ElapsedTime::OneDay),
+            Just(ElapsedTime::OneWeek),
+            Just(ElapsedTime::OneMonth),
+            Just(ElapsedTime::SixMonths),
+            Just(ElapsedTime::BeyondSixMonths),
+        ],
+        prop_oneof![
+            Just(Expertise::Layman),
+            Just(Expertise::Proficient),
+            Just(Expertise::Expert),
+            Just(Expertise::MultipleExperts),
+        ],
+        prop_oneof![
+            Just(Knowledge::Public),
+            Just(Knowledge::Restricted),
+            Just(Knowledge::Confidential),
+            Just(Knowledge::StrictlyConfidential),
+        ],
+        prop_oneof![
+            Just(WindowOfOpportunity::Unlimited),
+            Just(WindowOfOpportunity::Easy),
+            Just(WindowOfOpportunity::Moderate),
+            Just(WindowOfOpportunity::Difficult),
+        ],
+        prop_oneof![
+            Just(Equipment::Standard),
+            Just(Equipment::Specialized),
+            Just(Equipment::Bespoke),
+            Just(Equipment::MultipleBespoke),
+        ],
+    )
+        .prop_map(|(et, ex, kn, wo, eq)| AttackPotential::new(et, ex, kn, wo, eq))
+}
+
+proptest! {
+    /// The risk value is always within the defined 1..=5 range and the treatment
+    /// threshold is consistent with it.
+    #[test]
+    fn risk_matrix_is_bounded(impact in arb_impact(), feasibility in arb_feasibility()) {
+        let risk = RiskMatrix::new().risk(impact, feasibility);
+        prop_assert!(risk >= RiskValue::MIN && risk <= RiskValue::MAX);
+        prop_assert_eq!(risk.requires_treatment(), risk.get() >= 4);
+    }
+
+    /// Risk never decreases when either the impact or the feasibility increases.
+    #[test]
+    fn risk_matrix_is_monotone(
+        i1 in arb_impact(), i2 in arb_impact(),
+        f1 in arb_feasibility(), f2 in arb_feasibility()
+    ) {
+        let m = RiskMatrix::new();
+        if i1 <= i2 && f1 <= f2 {
+            prop_assert!(m.risk(i1, f1) <= m.risk(i2, f2));
+        }
+    }
+
+    /// The attack-potential rating always agrees with the band table of Annex G and
+    /// higher totals can only reduce the feasibility.
+    #[test]
+    fn attack_potential_rating_matches_bands(ap in arb_potential(), other in arb_potential()) {
+        prop_assert_eq!(ap.rating(), tables::feasibility_for_potential(ap.total()));
+        if ap.total() <= other.total() {
+            prop_assert!(ap.rating() >= other.rating());
+        }
+    }
+
+    /// Hashtag normalisation is idempotent and never yields a `#` prefix.
+    #[test]
+    fn hashtag_normalisation_is_idempotent(raw in "[#]?[A-Za-z0-9_ -]{0,24}") {
+        let once = Hashtag::new(&raw);
+        let twice = Hashtag::new(once.as_str());
+        prop_assert_eq!(once.as_str(), twice.as_str());
+        prop_assert!(!once.as_str().starts_with('#'));
+        prop_assert!(once.as_str().chars().all(|c| c.is_alphanumeric()));
+    }
+
+    /// Tokenisation never produces empty tokens and is stable under re-joining.
+    #[test]
+    fn tokenize_produces_clean_tokens(text in ".{0,200}") {
+        let tokens = tokenize(&text);
+        prop_assert!(tokens.iter().all(|t| !t.is_empty()));
+        let rejoined = tokens.join(" ");
+        prop_assert_eq!(tokenize(&rejoined), tokens);
+    }
+
+    /// Every extracted price is positive, finite and bounded, and the
+    /// representative price lies within the observed range.
+    #[test]
+    fn extracted_prices_are_sane(amount in 1u32..100_000u32, noise in ".{0,40}") {
+        let text = format!("{noise} selling for {amount} EUR obo");
+        let prices = extract_prices(&text);
+        prop_assert!(prices.iter().all(|p| p.is_finite() && *p > 0.0 && *p < 1_000_000.0));
+        if let Some(median) = representative_price(&prices) {
+            let min = prices.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = prices.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(median >= min && median <= max);
+        }
+    }
+
+    /// k-means never loses or invents observations and keeps cluster centres within
+    /// the data range.
+    #[test]
+    fn kmeans_preserves_mass(values in prop::collection::vec(0.0f64..10_000.0, 0..60), k in 1usize..5) {
+        let clusters = kmeans_1d(&values, k, 30);
+        let total: usize = clusters.iter().map(|c| c.members.len()).sum();
+        prop_assert_eq!(total, values.len());
+        if !values.is_empty() {
+            let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            for cluster in &clusters {
+                prop_assert!(cluster.center >= min - 1e-9 && cluster.center <= max + 1e-9);
+            }
+        }
+    }
+
+    /// Break-even algebra: the forward and inverse functions of Equations 3 and 5
+    /// are consistent, and the break-even volume grows with the number of
+    /// competitors.
+    #[test]
+    fn break_even_round_trip(
+        fc in 1.0f64..1_000_000.0,
+        margin in 1.0f64..5_000.0,
+        vcu in 0.0f64..1_000.0,
+        n in 1u32..8
+    ) {
+        let analysis = BreakEvenAnalysis::new(fc, vcu + margin, vcu, n);
+        let bep = analysis.break_even_units().expect("positive margin");
+        let fc_back = analysis.fixed_cost_for_break_even(bep);
+        prop_assert!((fc_back - fc).abs() / fc < 1e-9);
+        let crowded = BreakEvenAnalysis::new(fc, vcu + margin, vcu, n + 1);
+        prop_assert!(crowded.break_even_units().unwrap() > bep - 1e-9);
+    }
+
+    /// Dates and windows: a window always contains its bounds and containment is
+    /// consistent with the ordering.
+    #[test]
+    fn date_windows_are_consistent(
+        y1 in 2000i32..2030, m1 in 1u8..=12, d1 in 1u8..=28,
+        y2 in 2000i32..2030, m2 in 1u8..=12, d2 in 1u8..=28,
+        y3 in 2000i32..2030, m3 in 1u8..=12, d3 in 1u8..=28
+    ) {
+        let a = SimDate::new(y1, m1, d1);
+        let b = SimDate::new(y2, m2, d2);
+        let probe = SimDate::new(y3, m3, d3);
+        let window = DateWindow::new(a, b);
+        prop_assert!(window.contains(window.from));
+        prop_assert!(window.contains(window.to));
+        prop_assert_eq!(window.contains(probe), probe >= window.from && probe <= window.to);
+    }
+}

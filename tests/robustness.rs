@@ -1,0 +1,151 @@
+//! Robustness and failure-injection integration tests: poisoned corpora, missing
+//! data, degenerate configurations.
+
+use psp_suite::iso21434::feasibility::attack_vector::AttackVectorTable;
+use psp_suite::psp::classify::AttackOrigin;
+use psp_suite::psp::config::{PspConfig, SaiWeights};
+use psp_suite::psp::error::PspError;
+use psp_suite::psp::financial::{FinancialAssessment, FinancialInputs};
+use psp_suite::psp::keyword_db::{KeywordDatabase, KeywordProfile};
+use psp_suite::psp::sai::SaiList;
+use psp_suite::psp::workflow::PspWorkflow;
+use psp_suite::market::datasets;
+use psp_suite::socialsim::corpus::Corpus;
+use psp_suite::socialsim::poisoning::{filter_by_credibility, BotCampaign};
+use psp_suite::socialsim::post::{Region, TargetApplication};
+use psp_suite::socialsim::scenario;
+use psp_suite::vehicle::attack_surface::AttackVector;
+
+fn poisoned_scene() -> (Corpus, KeywordDatabase) {
+    let mut db = KeywordDatabase::passenger_car_seed();
+    db.insert(KeywordProfile::manual(
+        "otaunlock",
+        "ecm-reprogramming",
+        AttackVector::Network,
+        AttackOrigin::Insider,
+    ));
+    let mut corpus = scenario::passenger_car_europe(42);
+    BotCampaign::new("otaunlock", 2_500, 2023)
+        .targeting(Region::Europe, TargetApplication::PassengerCar)
+        .inject(&mut corpus, 7);
+    (corpus, db)
+}
+
+#[test]
+fn poisoning_misleads_the_unfiltered_run() {
+    let (corpus, db) = poisoned_scene();
+    let outcome = PspWorkflow::new(PspConfig::passenger_car_europe(), db).run(&corpus);
+    let table = outcome.insider_table("ecm-reprogramming").unwrap();
+    assert_eq!(
+        table.ranking()[0],
+        AttackVector::Network,
+        "without a filter the injected campaign dominates"
+    );
+}
+
+#[test]
+fn credibility_filter_restores_the_original_verdict() {
+    let (corpus, db) = poisoned_scene();
+    let defended = PspWorkflow::new(
+        PspConfig::passenger_car_europe().with_poisoning_filter(0.25),
+        db.clone(),
+    )
+    .run(&corpus);
+    let clean = PspWorkflow::new(PspConfig::passenger_car_europe(), db)
+        .run(&scenario::passenger_car_europe(42));
+    let defended_table = defended.insider_table("ecm-reprogramming").unwrap();
+    let clean_table = clean.insider_table("ecm-reprogramming").unwrap();
+    assert_eq!(defended_table.ranking()[0], AttackVector::Physical);
+    assert!(defended_table.same_ratings_as(clean_table));
+}
+
+#[test]
+fn corpus_level_filter_has_high_precision_and_recall() {
+    let (corpus, _) = poisoned_scene();
+    let (_, outcome) = filter_by_credibility(&corpus, 0.25);
+    assert!(outcome.precision() > 0.9);
+    assert!(outcome.recall() > 0.9);
+}
+
+#[test]
+fn empty_corpus_degrades_to_the_standard_table() {
+    let outcome = PspWorkflow::new(
+        PspConfig::passenger_car_europe(),
+        KeywordDatabase::passenger_car_seed(),
+    )
+    .run(&Corpus::new());
+    for scenario_name in outcome.insider_scenarios() {
+        assert!(outcome
+            .insider_table(scenario_name)
+            .unwrap()
+            .same_ratings_as(&AttackVectorTable::standard()));
+    }
+}
+
+#[test]
+fn degenerate_weight_configurations_still_produce_complete_tables() {
+    let corpus = scenario::passenger_car_europe(42);
+    for weights in [SaiWeights::views_only(), SaiWeights::interactions_only()] {
+        let outcome = PspWorkflow::new(
+            PspConfig::passenger_car_europe().with_weights(weights),
+            KeywordDatabase::passenger_car_seed(),
+        )
+        .run(&corpus);
+        let table = outcome.insider_table("ecm-reprogramming").unwrap();
+        assert_eq!(table.rows().count(), 4);
+    }
+}
+
+#[test]
+fn financial_model_rejects_missing_inputs_cleanly() {
+    let corpus = scenario::excavator_europe(42);
+    let sai = SaiList::compute(
+        &corpus,
+        &KeywordDatabase::excavator_seed(),
+        &PspConfig::excavator_europe(),
+    );
+
+    let mut bad_region = FinancialInputs::paper_excavator_example();
+    bad_region.region = "Atlantis".to_string();
+    let err = FinancialAssessment::assess(
+        "dpf-tampering",
+        &sai,
+        &datasets::excavator_sales_europe(),
+        &datasets::annual_report(),
+        &bad_region,
+    )
+    .unwrap_err();
+    assert!(matches!(err, PspError::InvalidFinancialInput { parameter: "VS", .. }));
+
+    let mut bad_category = FinancialInputs::paper_excavator_example();
+    bad_category.report_category = "quantum ransomware".to_string();
+    let err = FinancialAssessment::assess(
+        "dpf-tampering",
+        &sai,
+        &datasets::excavator_sales_europe(),
+        &datasets::annual_report(),
+        &bad_category,
+    )
+    .unwrap_err();
+    assert!(matches!(err, PspError::InvalidFinancialInput { parameter: "PEA", .. }));
+}
+
+#[test]
+fn unpriced_scenarios_cannot_be_financially_assessed() {
+    let corpus = scenario::passenger_car_europe(42);
+    let sai = SaiList::compute(
+        &corpus,
+        &KeywordDatabase::passenger_car_seed(),
+        &PspConfig::passenger_car_europe(),
+    );
+    // "vehicle-theft" posts advertise no device price in the synthetic scene.
+    let err = FinancialAssessment::assess(
+        "vehicle-theft",
+        &sai,
+        &datasets::excavator_sales_europe(),
+        &datasets::annual_report(),
+        &FinancialInputs::paper_excavator_example(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, PspError::InvalidFinancialInput { parameter: "PPIA", .. }));
+}
