@@ -19,7 +19,9 @@ fn bench(c: &mut Criterion) {
     let db = KeywordDatabase::passenger_car_seed();
 
     let mut group = c.benchmark_group("ablations");
-    group.sample_size(10).measurement_time(Duration::from_secs(20));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(20));
 
     // SAI weight presets.
     for (label, weights) in [

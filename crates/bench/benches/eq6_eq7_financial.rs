@@ -14,7 +14,9 @@ fn bench(c: &mut Criterion) {
     let inputs = FinancialInputs::paper_excavator_example();
 
     let mut group = c.benchmark_group("financial");
-    group.sample_size(20).measurement_time(Duration::from_secs(10));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(10));
     group.bench_function("eq6_eq7_assessment_dpf", |b| {
         b.iter(|| {
             black_box(

@@ -1,7 +1,12 @@
 //! E12 / Figure 12 — SAI computation on the excavator scene.
+//!
+//! `SaiList::compute` now routes through the indexed `ScoringEngine`; this
+//! bench measures the one-shot path, the engine build, the amortised indexed
+//! pass on a prebuilt engine, and the naive linear-scan reference.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use psp::config::PspConfig;
+use psp::engine::ScoringEngine;
 use psp::keyword_db::KeywordDatabase;
 use psp::sai::SaiList;
 use psp_bench::{excavator_corpus, excavator_sai};
@@ -14,9 +19,21 @@ fn bench(c: &mut Criterion) {
     let config = PspConfig::excavator_europe();
 
     let mut group = c.benchmark_group("fig12");
-    group.sample_size(10).measurement_time(Duration::from_secs(20));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(20));
     group.bench_function("sai_computation_excavator", |b| {
         b.iter(|| black_box(SaiList::compute(&corpus, &db, &config)))
+    });
+    group.bench_function("sai_naive_reference_excavator", |b| {
+        b.iter(|| black_box(SaiList::compute_naive(&corpus, &db, &config)))
+    });
+    group.bench_function("engine_build_excavator", |b| {
+        b.iter(|| black_box(ScoringEngine::new(&corpus)))
+    });
+    let engine = ScoringEngine::new(&corpus);
+    group.bench_function("engine_sai_indexed_pass", |b| {
+        b.iter(|| black_box(engine.sai_list(&db, &config)))
     });
     group.finish();
 

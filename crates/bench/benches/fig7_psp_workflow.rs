@@ -12,7 +12,9 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig7");
-    group.sample_size(10).measurement_time(Duration::from_secs(20));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(20));
 
     group.bench_function("corpus_generation_passenger", |b| {
         b.iter(|| black_box(scenario::passenger_car_europe(42)))
@@ -22,9 +24,7 @@ fn bench(c: &mut Criterion) {
     let db = KeywordDatabase::passenger_car_seed();
     group.bench_function("full_workflow_with_learning", |b| {
         b.iter(|| {
-            black_box(
-                PspWorkflow::new(PspConfig::passenger_car_europe(), db.clone()).run(&corpus),
-            )
+            black_box(PspWorkflow::new(PspConfig::passenger_car_europe(), db.clone()).run(&corpus))
         })
     });
     group.bench_function("full_workflow_without_learning", |b| {
@@ -35,6 +35,17 @@ fn bench(c: &mut Criterion) {
                     db.clone(),
                 )
                 .run(&corpus),
+            )
+        })
+    });
+    // The amortised serving shape: the corpus is indexed once in a
+    // ScoringEngine and each workflow run only pays the indexed scoring pass.
+    let engine = psp::engine::ScoringEngine::new(&corpus);
+    group.bench_function("full_workflow_prebuilt_engine", |b| {
+        b.iter(|| {
+            black_box(
+                PspWorkflow::new(PspConfig::passenger_car_europe(), db.clone())
+                    .run_with_engine(&engine),
             )
         })
     });

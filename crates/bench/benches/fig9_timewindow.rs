@@ -14,7 +14,9 @@ fn bench(c: &mut Criterion) {
     let config = PspConfig::passenger_car_europe();
 
     let mut group = c.benchmark_group("fig9");
-    group.sample_size(10).measurement_time(Duration::from_secs(20));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(20));
     group.bench_function("compare_windows_ecm_reprogramming", |b| {
         b.iter(|| {
             black_box(compare_windows(

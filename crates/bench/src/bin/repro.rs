@@ -21,9 +21,7 @@ use psp::financial::{FinancialAssessment, FinancialInputs};
 use psp::keyword_db::KeywordDatabase;
 use psp::timewindow::compare_windows;
 use psp::weights::WeightGenerator;
-use psp_bench::{
-    excavator_sai, passenger_corpus, passenger_outcome, passenger_sai, recent_window,
-};
+use psp_bench::{excavator_sai, passenger_corpus, passenger_outcome, passenger_sai, recent_window};
 use vehicle::attack_surface::AttackVector;
 use vehicle::lifecycle::{DevelopmentLifecycle, LifecyclePhase};
 use vehicle::reachability::ReachabilityAnalysis;
@@ -95,7 +93,11 @@ fn fig2() {
             "  {:<45} {:<18} TARA reprocessing: {}",
             phase.label(),
             phase.clause(),
-            if phase.triggers_tara_reprocessing() { "yes" } else { "no" }
+            if phase.triggers_tara_reprocessing() {
+                "yes"
+            } else {
+                "no"
+            }
         );
     }
     println!(
@@ -116,7 +118,11 @@ fn fig3() {
     }
     println!("aggregation bands:");
     for (lo, hi, rating) in tables::ATTACK_POTENTIAL_BANDS {
-        let hi_label = if hi == u32::MAX { "+".to_string() } else { hi.to_string() };
+        let hi_label = if hi == u32::MAX {
+            "+".to_string()
+        } else {
+            hi.to_string()
+        };
         println!("  {lo:>3} ..= {hi_label:<4} -> {rating}");
     }
 }
@@ -211,7 +217,10 @@ fn fig7() {
         outcome.sai.insider_entries().len(),
         outcome.sai.outsider_entries().len()
     );
-    println!("blocks 10-12 generated insider tables: {:?}", outcome.insider_scenarios());
+    println!(
+        "blocks 10-12 generated insider tables: {:?}",
+        outcome.insider_scenarios()
+    );
 }
 
 fn fig8() {
@@ -230,7 +239,11 @@ fn fig8() {
         WeightGenerator::new().corrective_factors(&passenger_sai(None), "ecm-reprogramming");
     println!("corrective factors (SAI share per vector):");
     for (vector, share) in factors {
-        println!("  {:<9} {:>6.1}%", vector.to_string(), share.max(0.0) * 100.0);
+        println!(
+            "  {:<9} {:>6.1}%",
+            vector.to_string(),
+            share.max(0.0) * 100.0
+        );
     }
 }
 
@@ -258,12 +271,9 @@ fn fig9() {
 
     println!("\nimpact on the reference ECM TARA (static vs dynamic):");
     let outcome = passenger_outcome(None);
-    let tara_cmp = DynamicTaraComparison::evaluate(
-        &ecm_reference_tara("ECM"),
-        &outcome,
-        "ecm-reprogramming",
-    )
-    .expect("reference TARA evaluates");
+    let tara_cmp =
+        DynamicTaraComparison::evaluate(&ecm_reference_tara("ECM"), &outcome, "ecm-reprogramming")
+            .expect("reference TARA evaluates");
     for delta in tara_cmp.deltas.values() {
         println!(
             "  {:<38} feasibility {:>8} -> {:<8} risk {} -> {}",
@@ -292,16 +302,28 @@ fn fig10() {
     let a = excavator_assessment();
     println!("block 1  threat scenario: {}", a.scenario);
     println!("block 2  PPIA (price mining): {:.0} EUR", a.ppia);
-    println!("block 3  cybersecurity annual report PEA: {:.1}%", a.pea * 100.0);
+    println!(
+        "block 3  cybersecurity annual report PEA: {:.1}%",
+        a.pea * 100.0
+    );
     println!("block 4  previous-year sales VS: {}", a.vehicle_sales);
     println!("block 5  PAE = VS x PEA = {:.0}", a.pae);
     println!("block 6  MV = PAE x PPIA = {:.0} EUR/yr", a.market_value);
-    println!("block 7  VCU = {:.0} EUR, FC (Eq.4) = {:.0} EUR, BEP (Eq.3) = {}",
+    println!(
+        "block 7  VCU = {:.0} EUR, FC (Eq.4) = {:.0} EUR, BEP (Eq.3) = {}",
         a.vcu,
         a.forward_fixed_cost,
-        a.break_even_units.map_or("n/a".into(), |v| format!("{v:.0} units")));
-    println!("         investment bound FC (Eq.5, BEP=PAE) = {:.0} EUR", a.investment_bound);
-    println!("         profitable: {}, financial feasibility rating: {}", a.profitable, a.rating);
+        a.break_even_units
+            .map_or("n/a".into(), |v| format!("{v:.0} units"))
+    );
+    println!(
+        "         investment bound FC (Eq.5, BEP=PAE) = {:.0} EUR",
+        a.investment_bound
+    );
+    println!(
+        "         profitable: {}, financial feasibility rating: {}",
+        a.profitable, a.rating
+    );
 }
 
 fn fig11() {
@@ -315,9 +337,15 @@ fn fig11() {
     );
     println!(
         "FC = {:.0} EUR, PPIA = {:.0} EUR, VCU = {:.0} EUR, n = {}",
-        a.forward_fixed_cost, a.ppia, a.vcu, datasets::PAPER_COMPETITORS
+        a.forward_fixed_cost,
+        a.ppia,
+        a.vcu,
+        datasets::PAPER_COMPETITORS
     );
-    println!("{:>8} {:>14} {:>14} {:>6}", "units", "revenue", "cost", "zone");
+    println!(
+        "{:>8} {:>14} {:>14} {:>6}",
+        "units", "revenue", "cost", "zone"
+    );
     for point in analysis.curve(a.pae * 2.0, 11) {
         println!(
             "{:>8.0} {:>14.0} {:>14.0} {:>6}",
@@ -338,7 +366,10 @@ fn fig11() {
 fn fig12() {
     header("E12 / Figure 12 — SAI ranking for excavator insider attacks (Europe)");
     let sai = excavator_sai();
-    println!("{:<22} {:>12} {:>8} {:>12} {:>8}", "scenario", "SAI", "posts", "views", "prob");
+    println!(
+        "{:<22} {:>12} {:>8} {:>12} {:>8}",
+        "scenario", "SAI", "posts", "views", "prob"
+    );
     for (scenario_name, score) in sai.scenario_ranking() {
         let entries = sai.scenario_entries(&scenario_name);
         let posts: usize = entries.iter().map(|e| e.posts).sum();

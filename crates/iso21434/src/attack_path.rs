@@ -133,16 +133,28 @@ mod tests {
 
     fn obd_reflash_path() -> AttackPath {
         AttackPath::new("OBD reflash")
-            .step("connect J2534 pass-thru tool to OBD port", AttackVector::Local)
-            .step("unlock programming session via seed-key brute force", AttackVector::Local)
+            .step(
+                "connect J2534 pass-thru tool to OBD port",
+                AttackVector::Local,
+            )
+            .step(
+                "unlock programming session via seed-key brute force",
+                AttackVector::Local,
+            )
             .step("flash modified calibration", AttackVector::Local)
     }
 
     fn remote_then_physical_path() -> AttackPath {
         AttackPath::new("remote foothold, physical finish")
-            .step("compromise telematics unit over cellular", AttackVector::Network)
+            .step(
+                "compromise telematics unit over cellular",
+                AttackVector::Network,
+            )
             .step("pivot to powertrain CAN via gateway", AttackVector::Network)
-            .step("solder bypass wire on the ECM board", AttackVector::Physical)
+            .step(
+                "solder bypass wire on the ECM board",
+                AttackVector::Physical,
+            )
     }
 
     #[test]
@@ -165,7 +177,10 @@ mod tests {
 
     #[test]
     fn limiting_vector_is_most_local_step() {
-        assert_eq!(obd_reflash_path().limiting_vector(), Some(AttackVector::Local));
+        assert_eq!(
+            obd_reflash_path().limiting_vector(),
+            Some(AttackVector::Local)
+        );
         assert_eq!(
             remote_then_physical_path().limiting_vector(),
             Some(AttackVector::Physical)

@@ -150,7 +150,11 @@ mod tests {
         let m = CalMatrix::new();
         for vector in AttackVector::ALL {
             let mut prev = Cal::Cal1;
-            for impact in [ImpactRating::Moderate, ImpactRating::Major, ImpactRating::Severe] {
+            for impact in [
+                ImpactRating::Moderate,
+                ImpactRating::Major,
+                ImpactRating::Severe,
+            ] {
                 let cal = m.cal(impact, vector).unwrap();
                 assert!(cal >= prev, "{vector:?}: CAL must not decrease with impact");
                 prev = cal;
@@ -161,7 +165,11 @@ mod tests {
     #[test]
     fn cal_grows_with_vector_remoteness_for_fixed_impact() {
         let m = CalMatrix::new();
-        for impact in [ImpactRating::Moderate, ImpactRating::Major, ImpactRating::Severe] {
+        for impact in [
+            ImpactRating::Moderate,
+            ImpactRating::Major,
+            ImpactRating::Severe,
+        ] {
             let mut prev = Cal::Cal1;
             // Physical -> Local -> Adjacent -> Network is increasing remoteness.
             for vector in [

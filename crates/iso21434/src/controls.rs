@@ -146,7 +146,10 @@ impl ControlPlan {
     /// Total implementation cost.
     #[must_use]
     pub fn total_cost(&self) -> f64 {
-        self.controls.iter().map(|c| c.implementation_cost_eur).sum()
+        self.controls
+            .iter()
+            .map(|c| c.implementation_cost_eur)
+            .sum()
     }
 
     /// The combined resistance budget against attacks using the given vector

@@ -56,18 +56,28 @@ mod tests {
     #[test]
     fn display_variants() {
         assert_eq!(
-            Iso21434Error::UnknownAsset { name: "ECM FW".into() }.to_string(),
+            Iso21434Error::UnknownAsset {
+                name: "ECM FW".into()
+            }
+            .to_string(),
             "unknown asset `ECM FW`"
         );
-        assert!(Iso21434Error::MissingAttackPath { threat: "T1".into() }
-            .to_string()
-            .contains("no attack path"));
-        assert!(Iso21434Error::InvalidWeightTable { reason: "empty".into() }
-            .to_string()
-            .contains("empty"));
-        assert!(Iso21434Error::OutOfRange { parameter: "PEA", value: 1.5 }
-            .to_string()
-            .contains("PEA"));
+        assert!(Iso21434Error::MissingAttackPath {
+            threat: "T1".into()
+        }
+        .to_string()
+        .contains("no attack path"));
+        assert!(Iso21434Error::InvalidWeightTable {
+            reason: "empty".into()
+        }
+        .to_string()
+        .contains("empty"));
+        assert!(Iso21434Error::OutOfRange {
+            parameter: "PEA",
+            value: 1.5
+        }
+        .to_string()
+        .contains("PEA"));
     }
 
     #[test]

@@ -341,31 +341,31 @@ mod tests {
     fn band_boundaries() {
         // 13 is the top of High.
         let high = AttackPotential::new(
-            ElapsedTime::OneWeek, // 1
-            Expertise::Proficient, // 3
-            Knowledge::Restricted, // 3
+            ElapsedTime::OneWeek,          // 1
+            Expertise::Proficient,         // 3
+            Knowledge::Restricted,         // 3
             WindowOfOpportunity::Moderate, // 4
-            Equipment::Standard, // 0
+            Equipment::Standard,           // 0
         );
         assert_eq!(high.total(), 11);
         assert_eq!(high.rating(), AttackFeasibilityRating::High);
 
         let medium = AttackPotential::new(
-            ElapsedTime::OneMonth, // 4
-            Expertise::Expert,     // 6
-            Knowledge::Restricted, // 3
+            ElapsedTime::OneMonth,     // 4
+            Expertise::Expert,         // 6
+            Knowledge::Restricted,     // 3
             WindowOfOpportunity::Easy, // 1
-            Equipment::Standard,   // 0
+            Equipment::Standard,       // 0
         );
         assert_eq!(medium.total(), 14);
         assert_eq!(medium.rating(), AttackFeasibilityRating::Medium);
 
         let low = AttackPotential::new(
-            ElapsedTime::OneMonth,  // 4
-            Expertise::Expert,      // 6
-            Knowledge::Confidential, // 7
+            ElapsedTime::OneMonth,     // 4
+            Expertise::Expert,         // 6
+            Knowledge::Confidential,   // 7
             WindowOfOpportunity::Easy, // 1
-            Equipment::Specialized, // 4
+            Equipment::Specialized,    // 4
         );
         assert_eq!(low.total(), 22);
         assert_eq!(low.rating(), AttackFeasibilityRating::Low);

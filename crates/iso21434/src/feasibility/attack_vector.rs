@@ -173,10 +173,19 @@ mod tests {
     #[test]
     fn standard_table_matches_g9() {
         let t = AttackVectorTable::standard();
-        assert_eq!(t.rating(AttackVector::Network), AttackFeasibilityRating::High);
-        assert_eq!(t.rating(AttackVector::Adjacent), AttackFeasibilityRating::Medium);
+        assert_eq!(
+            t.rating(AttackVector::Network),
+            AttackFeasibilityRating::High
+        );
+        assert_eq!(
+            t.rating(AttackVector::Adjacent),
+            AttackFeasibilityRating::Medium
+        );
         assert_eq!(t.rating(AttackVector::Local), AttackFeasibilityRating::Low);
-        assert_eq!(t.rating(AttackVector::Physical), AttackFeasibilityRating::VeryLow);
+        assert_eq!(
+            t.rating(AttackVector::Physical),
+            AttackFeasibilityRating::VeryLow
+        );
     }
 
     #[test]
@@ -217,7 +226,8 @@ mod tests {
     fn model_rates_by_limiting_vector() {
         let model = AttackVectorModel::standard();
         let remote = AttackPath::new("remote").step("cellular exploit", AttackVector::Network);
-        let physical = AttackPath::new("bench").step("reflash on the bench", AttackVector::Physical);
+        let physical =
+            AttackPath::new("bench").step("reflash on the bench", AttackVector::Physical);
         assert_eq!(model.rate(&remote), AttackFeasibilityRating::High);
         assert_eq!(model.rate(&physical), AttackFeasibilityRating::VeryLow);
     }

@@ -144,7 +144,12 @@ impl CvssExploitability {
 
 impl fmt::Display for CvssExploitability {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "CVSS exploitability {:.2} -> {}", self.score(), self.rating())
+        write!(
+            f,
+            "CVSS exploitability {:.2} -> {}",
+            self.score(),
+            self.rating()
+        )
     }
 }
 
@@ -197,8 +202,7 @@ impl FeasibilityModel for CvssModel {
 
     fn rate(&self, path: &AttackPath) -> AttackFeasibilityRating {
         let vector = path.limiting_vector().unwrap_or(AttackVector::Physical);
-        CvssExploitability::new(vector, self.complexity, self.privileges, self.interaction)
-            .rating()
+        CvssExploitability::new(vector, self.complexity, self.privileges, self.interaction).rating()
     }
 }
 
@@ -231,7 +235,10 @@ mod tests {
     fn permissive_network_is_high_physical_is_very_low() {
         // This mirrors the G.9 ordering the paper criticises: even in the most
         // permissive configuration a physical attack lands in the lowest band.
-        assert_eq!(assess(AttackVector::Network).rating(), AttackFeasibilityRating::High);
+        assert_eq!(
+            assess(AttackVector::Network).rating(),
+            AttackFeasibilityRating::High
+        );
         assert_eq!(
             assess(AttackVector::Physical).rating(),
             AttackFeasibilityRating::VeryLow

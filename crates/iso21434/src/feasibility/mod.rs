@@ -104,7 +104,10 @@ mod tests {
 
     #[test]
     fn values_are_monotone_with_feasibility() {
-        let values: Vec<_> = AttackFeasibilityRating::ALL.iter().map(|r| r.value()).collect();
+        let values: Vec<_> = AttackFeasibilityRating::ALL
+            .iter()
+            .map(|r| r.value())
+            .collect();
         assert_eq!(values, vec![1, 2, 3, 4]);
     }
 

@@ -56,7 +56,10 @@ pub fn attack_potential_rows() -> Vec<PotentialRow> {
         ("Public information", Knowledge::Public),
         ("Restricted information", Knowledge::Restricted),
         ("Confidential information", Knowledge::Confidential),
-        ("Strictly confidential information", Knowledge::StrictlyConfidential),
+        (
+            "Strictly confidential information",
+            Knowledge::StrictlyConfidential,
+        ),
     ];
     for (label, v) in kn {
         rows.push(PotentialRow {
@@ -155,11 +158,20 @@ mod tests {
         }
         assert_eq!(feasibility_for_potential(0), AttackFeasibilityRating::High);
         assert_eq!(feasibility_for_potential(13), AttackFeasibilityRating::High);
-        assert_eq!(feasibility_for_potential(14), AttackFeasibilityRating::Medium);
-        assert_eq!(feasibility_for_potential(19), AttackFeasibilityRating::Medium);
+        assert_eq!(
+            feasibility_for_potential(14),
+            AttackFeasibilityRating::Medium
+        );
+        assert_eq!(
+            feasibility_for_potential(19),
+            AttackFeasibilityRating::Medium
+        );
         assert_eq!(feasibility_for_potential(20), AttackFeasibilityRating::Low);
         assert_eq!(feasibility_for_potential(24), AttackFeasibilityRating::Low);
-        assert_eq!(feasibility_for_potential(25), AttackFeasibilityRating::VeryLow);
+        assert_eq!(
+            feasibility_for_potential(25),
+            AttackFeasibilityRating::VeryLow
+        );
     }
 
     #[test]

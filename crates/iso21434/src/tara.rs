@@ -10,6 +10,7 @@
 //! reproduces the before/after comparisons of paper Figure 9.
 
 use crate::asset::Asset;
+use crate::attack_path::AttackPath;
 use crate::cal::{Cal, CalMatrix};
 use crate::error::Iso21434Error;
 use crate::feasibility::{AttackFeasibilityRating, FeasibilityModel};
@@ -17,7 +18,6 @@ use crate::impact::{DamageScenario, ImpactRating};
 use crate::risk::{RiskMatrix, RiskValue};
 use crate::threat::ThreatScenario;
 use crate::treatment::{CybersecurityGoal, RiskTreatment};
-use crate::attack_path::AttackPath;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -123,7 +123,9 @@ impl TaraReport {
     /// The assessment of a named threat scenario.
     #[must_use]
     pub fn assessment_of(&self, threat_title: &str) -> Option<&TaraAssessment> {
-        self.assessments.iter().find(|a| a.threat_title == threat_title)
+        self.assessments
+            .iter()
+            .find(|a| a.threat_title == threat_title)
     }
 
     /// Histogram of risk values (risk value → count), useful for comparing a
@@ -140,13 +142,20 @@ impl TaraReport {
     /// Number of assessments whose risk requires treatment (risk ≥ 4).
     #[must_use]
     pub fn treatment_required_count(&self) -> usize {
-        self.assessments.iter().filter(|a| a.risk.requires_treatment()).count()
+        self.assessments
+            .iter()
+            .filter(|a| a.risk.requires_treatment())
+            .count()
     }
 }
 
 impl fmt::Display for TaraReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "TARA report for {} (model: {})", self.item_name, self.model_name)?;
+        writeln!(
+            f,
+            "TARA report for {} (model: {})",
+            self.item_name, self.model_name
+        )?;
         for a in &self.assessments {
             writeln!(
                 f,
@@ -301,9 +310,13 @@ mod tests {
             .with_property(CybersecurityProperty::Availability);
 
         let reprogramming = TaraEntry::new(
-            ThreatScenario::new("ECM reprogramming", "ECM firmware", StrideCategory::Tampering)
-                .by(AttackerProfile::Rational)
-                .via(AttackVector::Physical),
+            ThreatScenario::new(
+                "ECM reprogramming",
+                "ECM firmware",
+                StrideCategory::Tampering,
+            )
+            .by(AttackerProfile::Rational)
+            .via(AttackVector::Physical),
             DamageScenario::new("Emission defeat / warranty fraud")
                 .rate(ImpactCategory::Financial, ImpactRating::Major)
                 .rate(ImpactCategory::Operational, ImpactRating::Moderate),
@@ -311,7 +324,10 @@ mod tests {
         .with_path(
             AttackPath::new("bench flash")
                 .step("remove ECM from vehicle", AttackVector::Physical)
-                .step("flash modified calibration on the bench", AttackVector::Physical),
+                .step(
+                    "flash modified calibration on the bench",
+                    AttackVector::Physical,
+                ),
         )
         .with_path(
             AttackPath::new("OBD reflash")
@@ -320,16 +336,26 @@ mod tests {
         );
 
         let dos = TaraEntry::new(
-            ThreatScenario::new("CAN DoS on powertrain", "Torque control", StrideCategory::DenialOfService)
-                .by(AttackerProfile::Outsider)
-                .via(AttackVector::Physical),
+            ThreatScenario::new(
+                "CAN DoS on powertrain",
+                "Torque control",
+                StrideCategory::DenialOfService,
+            )
+            .by(AttackerProfile::Outsider)
+            .via(AttackVector::Physical),
             DamageScenario::new("Loss of propulsion while driving")
                 .rate(ImpactCategory::Safety, ImpactRating::Severe),
         )
         .with_path(
             AttackPath::new("bus flood")
-                .step("splice into the powertrain CAN harness", AttackVector::Physical)
-                .step("flood bus with high-priority frames", AttackVector::Physical),
+                .step(
+                    "splice into the powertrain CAN harness",
+                    AttackVector::Physical,
+                )
+                .step(
+                    "flood bus with high-priority frames",
+                    AttackVector::Physical,
+                ),
         );
 
         Tara::new("ECM")
@@ -418,9 +444,18 @@ mod tests {
         let static_report = ecm_tara().evaluate(&AttackVectorModel::standard()).unwrap();
         let tuned_report = ecm_tara().evaluate(&tuned).unwrap();
 
-        let before = static_report.assessment_of("ECM reprogramming").unwrap().risk;
-        let after = tuned_report.assessment_of("ECM reprogramming").unwrap().risk;
-        assert!(after > before, "insider tuning must raise the reprogramming risk");
+        let before = static_report
+            .assessment_of("ECM reprogramming")
+            .unwrap()
+            .risk;
+        let after = tuned_report
+            .assessment_of("ECM reprogramming")
+            .unwrap()
+            .risk;
+        assert!(
+            after > before,
+            "insider tuning must raise the reprogramming risk"
+        );
     }
 
     #[test]

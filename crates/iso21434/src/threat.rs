@@ -259,11 +259,15 @@ mod tests {
     use super::*;
 
     fn reprogramming() -> ThreatScenario {
-        ThreatScenario::new("ECM reprogramming", "ECM firmware", StrideCategory::Tampering)
-            .by(AttackerProfile::Rational)
-            .via(AttackVector::Physical)
-            .with_keyword("chiptuning")
-            .with_keyword("ecuremap")
+        ThreatScenario::new(
+            "ECM reprogramming",
+            "ECM firmware",
+            StrideCategory::Tampering,
+        )
+        .by(AttackerProfile::Rational)
+        .via(AttackVector::Physical)
+        .with_keyword("chiptuning")
+        .with_keyword("ecuremap")
     }
 
     #[test]
@@ -285,7 +289,10 @@ mod tests {
     #[test]
     fn scenario_defaults_follow_stride() {
         let ts = ThreatScenario::new("t", "a", StrideCategory::InformationDisclosure);
-        assert_eq!(ts.violated_property(), CybersecurityProperty::Confidentiality);
+        assert_eq!(
+            ts.violated_property(),
+            CybersecurityProperty::Confidentiality
+        );
         assert_eq!(ts.attacker(), AttackerProfile::Outsider);
     }
 

@@ -104,11 +104,26 @@ mod tests {
 
     #[test]
     fn default_policy_escalates_with_risk() {
-        assert_eq!(RiskTreatment::default_for(RiskValue::new(1)), RiskTreatment::Retain);
-        assert_eq!(RiskTreatment::default_for(RiskValue::new(2)), RiskTreatment::Share);
-        assert_eq!(RiskTreatment::default_for(RiskValue::new(3)), RiskTreatment::Reduce);
-        assert_eq!(RiskTreatment::default_for(RiskValue::new(4)), RiskTreatment::Reduce);
-        assert_eq!(RiskTreatment::default_for(RiskValue::new(5)), RiskTreatment::Avoid);
+        assert_eq!(
+            RiskTreatment::default_for(RiskValue::new(1)),
+            RiskTreatment::Retain
+        );
+        assert_eq!(
+            RiskTreatment::default_for(RiskValue::new(2)),
+            RiskTreatment::Share
+        );
+        assert_eq!(
+            RiskTreatment::default_for(RiskValue::new(3)),
+            RiskTreatment::Reduce
+        );
+        assert_eq!(
+            RiskTreatment::default_for(RiskValue::new(4)),
+            RiskTreatment::Reduce
+        );
+        assert_eq!(
+            RiskTreatment::default_for(RiskValue::new(5)),
+            RiskTreatment::Avoid
+        );
     }
 
     #[test]

@@ -36,13 +36,29 @@ pub fn excavator_sales_europe() -> SalesLedger {
 #[must_use]
 pub fn annual_report() -> CyberSecurityReport {
     CyberSecurityReport::new("Synthetic Automotive Cybersecurity Observatory")
-        .with_statistic(IncidentStatistic::new("emission tampering (DPF)", 2021, 0.064))
-        .with_statistic(IncidentStatistic::new("emission tampering (DPF)", 2022, 0.07))
-        .with_statistic(IncidentStatistic::new("emission tampering (EGR)", 2022, 0.045))
+        .with_statistic(IncidentStatistic::new(
+            "emission tampering (DPF)",
+            2021,
+            0.064,
+        ))
+        .with_statistic(IncidentStatistic::new(
+            "emission tampering (DPF)",
+            2022,
+            0.07,
+        ))
+        .with_statistic(IncidentStatistic::new(
+            "emission tampering (EGR)",
+            2022,
+            0.045,
+        ))
         .with_statistic(IncidentStatistic::new("ECU reprogramming", 2022, 0.11))
         .with_statistic(IncidentStatistic::new("AdBlue/SCR emulation", 2022, 0.03))
         .with_statistic(IncidentStatistic::new("keyless entry theft", 2022, 0.004))
-        .with_statistic(IncidentStatistic::new("odometer / hour-meter fraud", 2022, 0.02))
+        .with_statistic(IncidentStatistic::new(
+            "odometer / hour-meter fraud",
+            2022,
+            0.02,
+        ))
 }
 
 /// The market structure the paper assumes for the excavator example: a single major
@@ -80,7 +96,9 @@ mod tests {
         let sales = excavator_sales_europe();
         let report = annual_report();
         let vs = sales.previous_year_sales("excavator", "Europe").unwrap();
-        let pea = report.potential_attacker_share("emission tampering (DPF)").unwrap();
+        let pea = report
+            .potential_attacker_share("emission tampering (DPF)")
+            .unwrap();
         let pae = excavator_market_structure().exposed_units(vs) * pea;
         assert!((pae - PAPER_PAE).abs() < 1.5, "PAE = {pae}");
     }
@@ -93,7 +111,12 @@ mod tests {
 
     #[test]
     fn calibration_reproduces_equation_7_fixed_cost() {
-        let analysis = BreakEvenAnalysis::new(0.0, PAPER_PPIA_EUR, PAPER_PPIA_EUR - PAPER_UNIT_MARGIN_EUR, PAPER_COMPETITORS);
+        let analysis = BreakEvenAnalysis::new(
+            0.0,
+            PAPER_PPIA_EUR,
+            PAPER_PPIA_EUR - PAPER_UNIT_MARGIN_EUR,
+            PAPER_COMPETITORS,
+        );
         let fc = analysis.fixed_cost_for_break_even(PAPER_PAE);
         assert!((fc - PAPER_FC_EUR).abs() < 100.0, "FC = {fc}");
     }

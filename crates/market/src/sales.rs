@@ -18,7 +18,12 @@ pub struct SalesRecord {
 impl SalesRecord {
     /// Creates a record.
     #[must_use]
-    pub fn new(application: impl Into<String>, region: impl Into<String>, year: i32, units: u64) -> Self {
+    pub fn new(
+        application: impl Into<String>,
+        region: impl Into<String>,
+        year: i32,
+        units: u64,
+    ) -> Self {
         Self {
             application: application.into(),
             region: region.into(),

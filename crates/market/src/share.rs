@@ -47,7 +47,10 @@ mod tests {
 
     #[test]
     fn monopolistic_uses_all_units() {
-        assert_eq!(MarketStructure::Monopolistic.exposed_units(20_000), 20_000.0);
+        assert_eq!(
+            MarketStructure::Monopolistic.exposed_units(20_000),
+            20_000.0
+        );
     }
 
     #[test]

@@ -77,11 +77,26 @@ mod tests {
 
     #[test]
     fn profiles_map_to_the_paper_super_categories() {
-        assert_eq!(AttackOrigin::from_profile(AttackerProfile::Rational), AttackOrigin::Insider);
-        assert_eq!(AttackOrigin::from_profile(AttackerProfile::Insider), AttackOrigin::Insider);
-        assert_eq!(AttackOrigin::from_profile(AttackerProfile::Local), AttackOrigin::Insider);
-        assert_eq!(AttackOrigin::from_profile(AttackerProfile::Outsider), AttackOrigin::Outsider);
-        assert_eq!(AttackOrigin::from_profile(AttackerProfile::Malicious), AttackOrigin::Outsider);
+        assert_eq!(
+            AttackOrigin::from_profile(AttackerProfile::Rational),
+            AttackOrigin::Insider
+        );
+        assert_eq!(
+            AttackOrigin::from_profile(AttackerProfile::Insider),
+            AttackOrigin::Insider
+        );
+        assert_eq!(
+            AttackOrigin::from_profile(AttackerProfile::Local),
+            AttackOrigin::Insider
+        );
+        assert_eq!(
+            AttackOrigin::from_profile(AttackerProfile::Outsider),
+            AttackOrigin::Outsider
+        );
+        assert_eq!(
+            AttackOrigin::from_profile(AttackerProfile::Malicious),
+            AttackOrigin::Outsider
+        );
     }
 
     #[test]
@@ -102,10 +117,22 @@ mod tests {
 
     #[test]
     fn vector_heuristic() {
-        assert_eq!(AttackOrigin::from_vector(AttackVector::Local), AttackOrigin::Insider);
-        assert_eq!(AttackOrigin::from_vector(AttackVector::Physical), AttackOrigin::Insider);
-        assert_eq!(AttackOrigin::from_vector(AttackVector::Network), AttackOrigin::Outsider);
-        assert_eq!(AttackOrigin::from_vector(AttackVector::Adjacent), AttackOrigin::Outsider);
+        assert_eq!(
+            AttackOrigin::from_vector(AttackVector::Local),
+            AttackOrigin::Insider
+        );
+        assert_eq!(
+            AttackOrigin::from_vector(AttackVector::Physical),
+            AttackOrigin::Insider
+        );
+        assert_eq!(
+            AttackOrigin::from_vector(AttackVector::Network),
+            AttackOrigin::Outsider
+        );
+        assert_eq!(
+            AttackOrigin::from_vector(AttackVector::Adjacent),
+            AttackOrigin::Outsider
+        );
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! (the static model the paper criticises) and once with the PSP insider table for
 //! the relevant threat scenario — and the differences are reported per threat.
 
-use crate::workflow::PspOutcome;
+use crate::engine::ScoringEngine;
+use crate::workflow::{PspOutcome, PspWorkflow};
 use iso21434::feasibility::attack_vector::AttackVectorModel;
 use iso21434::feasibility::AttackFeasibilityRating;
 use iso21434::risk::RiskValue;
@@ -105,6 +106,24 @@ impl DynamicTaraComparison {
         })
     }
 
+    /// Runs the PSP workflow against a prebuilt [`ScoringEngine`] and evaluates
+    /// the TARA with the freshly tuned tables — the continuous-re-evaluation
+    /// entry point: the corpus is indexed once in the engine and each
+    /// re-evaluation only pays for the indexed scoring pass.
+    ///
+    /// # Errors
+    ///
+    /// Forwards [`Iso21434Error`] from the TARA engine.
+    pub fn evaluate_with_engine(
+        tara: &Tara,
+        engine: &ScoringEngine<'_>,
+        workflow: &PspWorkflow,
+        scenario: &str,
+    ) -> Result<Self, Iso21434Error> {
+        let outcome = workflow.run_with_engine(engine);
+        Self::evaluate(tara, &outcome, scenario)
+    }
+
     /// The delta for one threat.
     #[must_use]
     pub fn delta(&self, threat_title: &str) -> Option<&ThreatDelta> {
@@ -165,11 +184,17 @@ pub fn ecm_reference_tara(item_name: &str) -> Tara {
     .with_path(
         AttackPath::new("bench flash")
             .step("remove the ECM from the vehicle", AttackVector::Physical)
-            .step("open the case and flash via boot mode", AttackVector::Physical),
+            .step(
+                "open the case and flash via boot mode",
+                AttackVector::Physical,
+            ),
     )
     .with_path(
         AttackPath::new("OBD reflash")
-            .step("connect a pass-thru tool to the OBD port", AttackVector::Local)
+            .step(
+                "connect a pass-thru tool to the OBD port",
+                AttackVector::Local,
+            )
             .step("unlock the programming session", AttackVector::Local)
             .step("flash the modified calibration", AttackVector::Local),
     );
@@ -206,8 +231,14 @@ pub fn ecm_reference_tara(item_name: &str) -> Tara {
     )
     .with_path(
         AttackPath::new("bus flood via spliced harness")
-            .step("splice into the powertrain CAN harness", AttackVector::Physical)
-            .step("flood the bus with highest-priority frames", AttackVector::Physical),
+            .step(
+                "splice into the powertrain CAN harness",
+                AttackVector::Physical,
+            )
+            .step(
+                "flood the bus with highest-priority frames",
+                AttackVector::Physical,
+            ),
     );
 
     Tara::new(item_name)
@@ -237,20 +268,29 @@ mod tests {
 
     #[test]
     fn dynamic_model_raises_the_reprogramming_risk() {
-        let comparison =
-            DynamicTaraComparison::evaluate(&ecm_reference_tara("ECM"), &outcome(), "ecm-reprogramming")
-                .unwrap();
+        let comparison = DynamicTaraComparison::evaluate(
+            &ecm_reference_tara("ECM"),
+            &outcome(),
+            "ecm-reprogramming",
+        )
+        .unwrap();
         let delta = comparison.delta("ECM reprogramming").unwrap();
-        assert!(delta.risk_raised(), "insider tuning must raise the risk: {delta:?}");
+        assert!(
+            delta.risk_raised(),
+            "insider tuning must raise the risk: {delta:?}"
+        );
         assert!(delta.dynamic_feasibility > delta.static_feasibility);
         assert!(comparison.raised_count() >= 1);
     }
 
     #[test]
     fn comparison_covers_every_threat() {
-        let comparison =
-            DynamicTaraComparison::evaluate(&ecm_reference_tara("ECM"), &outcome(), "ecm-reprogramming")
-                .unwrap();
+        let comparison = DynamicTaraComparison::evaluate(
+            &ecm_reference_tara("ECM"),
+            &outcome(),
+            "ecm-reprogramming",
+        )
+        .unwrap();
         assert_eq!(comparison.deltas.len(), 3);
         assert_eq!(
             comparison.static_report.assessments().len(),
@@ -260,9 +300,12 @@ mod tests {
 
     #[test]
     fn missing_scenario_falls_back_to_standard_table() {
-        let comparison =
-            DynamicTaraComparison::evaluate(&ecm_reference_tara("ECM"), &outcome(), "no-such-scenario")
-                .unwrap();
+        let comparison = DynamicTaraComparison::evaluate(
+            &ecm_reference_tara("ECM"),
+            &outcome(),
+            "no-such-scenario",
+        )
+        .unwrap();
         assert_eq!(comparison.changed_count(), 0);
     }
 

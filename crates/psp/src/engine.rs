@@ -1,0 +1,348 @@
+//! The shared, indexed, parallel SAI scoring engine.
+//!
+//! The PSP hot path (paper Figure 7, blocks 2–6) queries the social corpus once
+//! per attack keyword and folds the matching posts into SAI scores.  The naive
+//! implementation rescans the corpus *and re-runs the text-mining pipeline* for
+//! every keyword — O(keywords × posts) pipeline invocations, which also repeats
+//! per analysis window in monitoring and time-window runs.
+//!
+//! [`ScoringEngine`] amortises all of that:
+//!
+//! * a [`CorpusIndex`] answers each keyword query from inverted structures
+//!   instead of a scan;
+//! * the per-post text signals (intent score, mined prices) and author
+//!   credibility are memoised **at most once per post** — lazily, so posts no
+//!   query ever reaches never pay for the text pipeline — and shared by every
+//!   subsequent query and window;
+//! * SAI lists for many keyword profiles — and many configurations over the
+//!   same corpus — fan out over worker threads with `rayon`
+//!   ([`ScoringEngine::precompute_signals`] warms the whole cache in parallel
+//!   for throughput-critical serving).
+//!
+//! The engine is *exactly* equivalent to the naive path: candidate ids come
+//! back in ascending post order, so every sum is folded in the same order the
+//! linear scan would use, producing bit-identical `SaiList`s (pinned down by
+//! the `psp-suite` property tests).
+//!
+//! All former callers of `SaiList::compute` route through here:
+//! [`crate::sai::SaiList::compute`] delegates to a one-shot engine, while
+//! [`crate::workflow::PspWorkflow`], [`crate::monitoring::MonitoringSeries`]
+//! and [`crate::timewindow::compare_windows`] build one engine per corpus and
+//! reuse it across keywords and windows.
+
+use crate::config::PspConfig;
+use crate::keyword_db::{KeywordDatabase, KeywordProfile};
+use crate::sai::{SaiEntry, SaiList};
+use rayon::prelude::*;
+use socialsim::corpus::Corpus;
+use socialsim::index::CorpusIndex;
+use socialsim::query::Query;
+use std::sync::OnceLock;
+use textmine::pipeline::TextPipeline;
+
+/// Per-post evidence computed at most once per post, on first use.
+#[derive(Debug, Clone)]
+struct PostSignals {
+    /// View count.
+    views: u64,
+    /// Active interactions (likes + replies + reposts).
+    interactions: u64,
+    /// Text-mined intent score.
+    intent: f64,
+    /// Prices mined from the text (EUR), in extraction order.
+    prices: Vec<f64>,
+    /// Author credibility in `[0, 1]`.
+    credibility: f64,
+    /// Interactions per view.
+    interaction_rate: f64,
+}
+
+/// An indexed, parallel SAI scoring engine bound to one corpus snapshot.
+///
+/// Build it once per corpus ([`ScoringEngine::new`]), then compute as many SAI
+/// lists as needed — per keyword database, per configuration, per analysis
+/// window — without ever rescanning posts or re-running the text pipeline.
+#[derive(Debug)]
+pub struct ScoringEngine<'c> {
+    corpus: &'c Corpus,
+    index: CorpusIndex,
+    pipeline: TextPipeline,
+    /// Lazily initialised per-post signals: a post pays for the text-mining
+    /// pipeline at most once, and only if some query actually reaches it.
+    signals: Vec<OnceLock<PostSignals>>,
+}
+
+impl<'c> ScoringEngine<'c> {
+    /// Builds the inverted index; per-post text signals are computed lazily on
+    /// first use (see [`precompute_signals`](Self::precompute_signals)).
+    #[must_use]
+    pub fn new(corpus: &'c Corpus) -> Self {
+        let index = CorpusIndex::build(corpus);
+        let mut signals = Vec::new();
+        signals.resize_with(corpus.posts().len(), OnceLock::new);
+        Self {
+            corpus,
+            index,
+            pipeline: TextPipeline::new(),
+            signals,
+        }
+    }
+
+    /// The (memoised) signals of one post.
+    fn signal(&self, id: u32) -> &PostSignals {
+        self.signals[id as usize].get_or_init(|| {
+            let post = &self.corpus.posts()[id as usize];
+            let analysis = self.pipeline.analyze(post.text());
+            PostSignals {
+                views: post.engagement().views,
+                interactions: post.engagement().interactions(),
+                intent: analysis.intent.score,
+                prices: analysis.prices,
+                credibility: post.author().credibility(),
+                interaction_rate: post.engagement().interaction_rate(),
+            }
+        })
+    }
+
+    /// Eagerly materialises the signals of every post, fanning out over worker
+    /// threads.  Useful before a throughput-critical serving phase; otherwise
+    /// signals fill in lazily as queries touch posts.
+    pub fn precompute_signals(&self) {
+        let ids: Vec<u32> = (0..self.signals.len() as u32).collect();
+        let _: Vec<()> = ids
+            .par_iter()
+            .map(|id| {
+                self.signal(*id);
+            })
+            .collect();
+    }
+
+    /// The corpus the engine is bound to.
+    #[must_use]
+    pub fn corpus(&self) -> &'c Corpus {
+        self.corpus
+    }
+
+    /// The underlying inverted index.
+    #[must_use]
+    pub fn index(&self) -> &CorpusIndex {
+        &self.index
+    }
+
+    /// The query the SAI computation issues for one keyword profile under one
+    /// configuration (hashtag OR keyword content, conjunctive scene filters).
+    #[must_use]
+    pub fn profile_query(profile: &KeywordProfile, config: &PspConfig) -> Query {
+        let mut query = Query::new()
+            .with_hashtag(profile.keyword.as_str())
+            .with_keyword(profile.keyword.as_str())
+            .in_region(config.region)
+            .about(config.application);
+        if let Some(window) = config.window {
+            query = query.within(window);
+        }
+        query
+    }
+
+    /// Scores one keyword profile into an (unnormalised) SAI entry.
+    fn score_profile(&self, profile: &KeywordProfile, config: &PspConfig) -> SaiEntry {
+        let query = Self::profile_query(profile, config);
+        let ids = self.index.query(self.corpus, &query);
+        self.aggregate(profile, config, ids.into_iter())
+    }
+
+    /// Folds a set of candidate post ids (ascending) into an SAI entry.
+    fn aggregate(
+        &self,
+        profile: &KeywordProfile,
+        config: &PspConfig,
+        ids: impl Iterator<Item = u32>,
+    ) -> SaiEntry {
+        let weights = config.sai_weights;
+        let mut posts = 0_usize;
+        let mut views = 0_u64;
+        let mut interactions = 0_u64;
+        let mut intent = 0.0_f64;
+        let mut prices = Vec::new();
+        for id in ids {
+            let signal = self.signal(id);
+            if let Some(threshold) = config.min_author_credibility {
+                // Same rule as the naive path: credible author, or organic
+                // engagement above 1% interaction rate.
+                if signal.credibility < threshold && signal.interaction_rate <= 0.01 {
+                    continue;
+                }
+            }
+            posts += 1;
+            views += signal.views;
+            interactions += signal.interactions;
+            intent += signal.intent;
+            prices.extend_from_slice(&signal.prices);
+        }
+        let sai = weights.view_weight * views as f64
+            + weights.interaction_weight * interactions as f64
+            + weights.post_weight * posts as f64
+            + weights.intent_weight * intent;
+
+        SaiEntry {
+            keyword: profile.keyword.clone(),
+            scenario: profile.scenario.clone(),
+            vector: profile.vector,
+            origin: profile.origin,
+            posts,
+            views,
+            interactions,
+            intent,
+            prices,
+            sai,
+            probability: 0.0,
+        }
+    }
+
+    /// Computes the full SAI list for a keyword database and configuration in
+    /// one indexed pass, fanning out over keyword profiles with `rayon`.
+    #[must_use]
+    pub fn sai_list(&self, db: &KeywordDatabase, config: &PspConfig) -> SaiList {
+        let profiles: Vec<&KeywordProfile> = db.iter().collect();
+        let entries: Vec<SaiEntry> = profiles
+            .par_iter()
+            .map(|profile| self.score_profile(profile, config))
+            .collect();
+        SaiList::from_entries(entries)
+    }
+
+    /// Computes one SAI list per configuration against the same corpus — the
+    /// batch entry point for window sweeps (monitoring, Figure 9 comparisons).
+    ///
+    /// A keyword's content candidates do not depend on the configuration, so
+    /// they are resolved once per profile and only the cheap metadata filter
+    /// (region / application / window) and aggregation re-run per
+    /// configuration.  Always returns exactly one list per configuration
+    /// (empty lists for an empty database).
+    #[must_use]
+    pub fn sai_lists(&self, db: &KeywordDatabase, configs: &[PspConfig]) -> Vec<SaiList> {
+        let profiles: Vec<&KeywordProfile> = db.iter().collect();
+        if configs.is_empty() {
+            return Vec::new();
+        }
+        if profiles.is_empty() {
+            return configs
+                .iter()
+                .map(|_| SaiList::from_entries(Vec::new()))
+                .collect();
+        }
+        // One parallel job per profile: resolve the (config-independent)
+        // content candidates once, then score every configuration against them.
+        let per_profile: Vec<Vec<SaiEntry>> = profiles
+            .par_iter()
+            .map(|profile| {
+                let content_query = Self::profile_query(profile, &configs[0]);
+                let candidates = self.index.content_candidates(self.corpus, &content_query);
+                configs
+                    .iter()
+                    .map(|config| {
+                        let query = Self::profile_query(profile, config);
+                        self.aggregate(
+                            profile,
+                            config,
+                            candidates
+                                .iter()
+                                .copied()
+                                .filter(|id| self.index.matches_metadata(*id, &query)),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        // Transpose the profile-major grid into one entry list per config,
+        // preserving keyword-database order within each list.
+        let mut per_config: Vec<Vec<SaiEntry>> = configs
+            .iter()
+            .map(|_| Vec::with_capacity(per_profile.len()))
+            .collect();
+        for row in per_profile {
+            for (c, entry) in row.into_iter().enumerate() {
+                per_config[c].push(entry);
+            }
+        }
+        per_config.into_iter().map(SaiList::from_entries).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socialsim::scenario;
+    use socialsim::time::DateWindow;
+
+    #[test]
+    fn engine_matches_the_naive_reference_exactly() {
+        let corpus = scenario::passenger_car_europe(42);
+        let db = KeywordDatabase::passenger_car_seed();
+        let config = PspConfig::passenger_car_europe();
+        let engine = ScoringEngine::new(&corpus);
+        assert_eq!(
+            engine.sai_list(&db, &config),
+            SaiList::compute_naive(&corpus, &db, &config)
+        );
+    }
+
+    #[test]
+    fn engine_matches_naive_with_window_and_filter() {
+        let corpus = scenario::excavator_europe(7);
+        let db = KeywordDatabase::excavator_seed();
+        let config = PspConfig::excavator_europe()
+            .with_window(DateWindow::years(2020, 2022))
+            .with_poisoning_filter(0.25);
+        let engine = ScoringEngine::new(&corpus);
+        assert_eq!(
+            engine.sai_list(&db, &config),
+            SaiList::compute_naive(&corpus, &db, &config)
+        );
+    }
+
+    #[test]
+    fn batch_lists_match_individual_lists() {
+        let corpus = scenario::passenger_car_europe(42);
+        let db = KeywordDatabase::passenger_car_seed();
+        let engine = ScoringEngine::new(&corpus);
+        let configs: Vec<PspConfig> = (2018..2023)
+            .map(|y| PspConfig::passenger_car_europe().with_window(DateWindow::years(y, y + 1)))
+            .collect();
+        let batch = engine.sai_lists(&db, &configs);
+        assert_eq!(batch.len(), configs.len());
+        for (config, list) in configs.iter().zip(&batch) {
+            assert_eq!(*list, engine.sai_list(&db, config));
+        }
+    }
+
+    #[test]
+    fn empty_corpus_and_empty_db_degrade_gracefully() {
+        let corpus = Corpus::new();
+        let engine = ScoringEngine::new(&corpus);
+        let sai = engine.sai_list(
+            &KeywordDatabase::excavator_seed(),
+            &PspConfig::excavator_europe(),
+        );
+        assert!(sai
+            .entries()
+            .iter()
+            .all(|e| e.sai == 0.0 && e.probability == 0.0));
+        let none = engine.sai_list(&KeywordDatabase::new(), &PspConfig::excavator_europe());
+        assert!(none.is_empty());
+        assert!(engine.sai_lists(&KeywordDatabase::new(), &[]).is_empty());
+    }
+
+    #[test]
+    fn batch_returns_one_list_per_config_even_for_an_empty_database() {
+        let corpus = scenario::excavator_europe(7);
+        let engine = ScoringEngine::new(&corpus);
+        let configs = [
+            PspConfig::excavator_europe(),
+            PspConfig::excavator_europe().with_window(DateWindow::years(2020, 2021)),
+        ];
+        let lists = engine.sai_lists(&KeywordDatabase::new(), &configs);
+        assert_eq!(lists.len(), configs.len());
+        assert!(lists.iter().all(SaiList::is_empty));
+    }
+}

@@ -65,12 +65,16 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(PspError::EmptyEvidence { scene: "excavator".into() }
-            .to_string()
-            .contains("excavator"));
-        assert!(PspError::UnknownScenario { scenario: "x".into() }
-            .to_string()
-            .contains("x"));
+        assert!(PspError::EmptyEvidence {
+            scene: "excavator".into()
+        }
+        .to_string()
+        .contains("excavator"));
+        assert!(PspError::UnknownScenario {
+            scenario: "x".into()
+        }
+        .to_string()
+        .contains("x"));
         assert!(PspError::InvalidFinancialInput {
             parameter: "PPIA",
             detail: "no prices found".into()
@@ -82,7 +86,8 @@ mod tests {
     #[test]
     fn tara_errors_are_wrapped_with_source() {
         use std::error::Error;
-        let err: PspError = iso21434::Iso21434Error::MissingAttackPath { threat: "t".into() }.into();
+        let err: PspError =
+            iso21434::Iso21434Error::MissingAttackPath { threat: "t".into() }.into();
         assert!(err.to_string().contains("TARA"));
         assert!(err.source().is_some());
     }

@@ -173,7 +173,9 @@ impl FinancialAssessment {
         }
         let vcu = inputs.vcu_override.unwrap_or_else(|| {
             PricingStudy::from_observations(
-                prices.iter().map(|p| market::pricing::PriceObservation::service(*p)),
+                prices
+                    .iter()
+                    .map(|p| market::pricing::PriceObservation::service(*p)),
             )
             .vcu()
             .unwrap_or(ppia / 7.0)
@@ -270,7 +272,11 @@ mod tests {
     #[test]
     fn equation_2_pae_matches_the_paper() {
         let a = excavator_assessment();
-        assert!((a.pae - market::datasets::PAPER_PAE).abs() < 5.0, "PAE = {}", a.pae);
+        assert!(
+            (a.pae - market::datasets::PAPER_PAE).abs() < 5.0,
+            "PAE = {}",
+            a.pae
+        );
     }
 
     #[test]
@@ -318,7 +324,13 @@ mod tests {
             &inputs,
         )
         .unwrap_err();
-        assert!(matches!(err, PspError::InvalidFinancialInput { parameter: "VS", .. }));
+        assert!(matches!(
+            err,
+            PspError::InvalidFinancialInput {
+                parameter: "VS",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -337,17 +349,41 @@ mod tests {
             &FinancialInputs::paper_excavator_example(),
         )
         .unwrap_err();
-        assert!(matches!(err, PspError::InvalidFinancialInput { parameter: "PPIA", .. }));
+        assert!(matches!(
+            err,
+            PspError::InvalidFinancialInput {
+                parameter: "PPIA",
+                ..
+            }
+        ));
     }
 
     #[test]
     fn rating_bands() {
-        assert_eq!(rate_financial_feasibility(100.0, None), AttackFeasibilityRating::VeryLow);
-        assert_eq!(rate_financial_feasibility(100.0, Some(40.0)), AttackFeasibilityRating::High);
-        assert_eq!(rate_financial_feasibility(100.0, Some(80.0)), AttackFeasibilityRating::Medium);
-        assert_eq!(rate_financial_feasibility(100.0, Some(150.0)), AttackFeasibilityRating::Low);
-        assert_eq!(rate_financial_feasibility(100.0, Some(500.0)), AttackFeasibilityRating::VeryLow);
-        assert_eq!(rate_financial_feasibility(10.0, Some(0.0)), AttackFeasibilityRating::High);
+        assert_eq!(
+            rate_financial_feasibility(100.0, None),
+            AttackFeasibilityRating::VeryLow
+        );
+        assert_eq!(
+            rate_financial_feasibility(100.0, Some(40.0)),
+            AttackFeasibilityRating::High
+        );
+        assert_eq!(
+            rate_financial_feasibility(100.0, Some(80.0)),
+            AttackFeasibilityRating::Medium
+        );
+        assert_eq!(
+            rate_financial_feasibility(100.0, Some(150.0)),
+            AttackFeasibilityRating::Low
+        );
+        assert_eq!(
+            rate_financial_feasibility(100.0, Some(500.0)),
+            AttackFeasibilityRating::VeryLow
+        );
+        assert_eq!(
+            rate_financial_feasibility(10.0, Some(0.0)),
+            AttackFeasibilityRating::High
+        );
     }
 
     #[test]

@@ -100,7 +100,13 @@ impl KeywordDatabase {
             ));
         }
         // Emission defeat on the after-treatment controller (local via OBD tool).
-        for tag in ["dpfdelete", "egrdelete", "egroff", "egrremoval", "dieselpower"] {
+        for tag in [
+            "dpfdelete",
+            "egrdelete",
+            "egroff",
+            "egrremoval",
+            "dieselpower",
+        ] {
             db.insert(KeywordProfile::manual(
                 tag,
                 "emission-defeat",
@@ -198,11 +204,7 @@ impl KeywordDatabase {
     /// Distinct scenario identifiers present in the database.
     #[must_use]
     pub fn scenarios(&self) -> Vec<String> {
-        let mut out: Vec<String> = self
-            .entries
-            .values()
-            .map(|p| p.scenario.clone())
-            .collect();
+        let mut out: Vec<String> = self.entries.values().map(|p| p.scenario.clone()).collect();
         out.sort();
         out.dedup();
         out
@@ -292,7 +294,12 @@ mod tests {
         db.insert(KeywordProfile::learned_from("b", &seed));
         assert_eq!(db.len(), 2);
         assert_eq!(db.learned_count(), 1);
-        db.insert(KeywordProfile::manual("a", "s2", AttackVector::Physical, AttackOrigin::Insider));
+        db.insert(KeywordProfile::manual(
+            "a",
+            "s2",
+            AttackVector::Physical,
+            AttackOrigin::Insider,
+        ));
         assert_eq!(db.len(), 2, "re-insert replaces");
         assert_eq!(db.profile("a").unwrap().scenario, "s2");
     }

@@ -56,7 +56,7 @@ pub fn learn_keywords(
     let mut learned = Vec::new();
     let seeds: Vec<KeywordProfile> = db.iter().cloned().collect();
     for seed in &seeds {
-        let related = matrix.related_terms(&[seed.keyword.clone()], min_support);
+        let related = matrix.related_terms(std::slice::from_ref(&seed.keyword), min_support);
         for (candidate, _support) in related {
             if db.contains(&candidate) || TAG_STOPLIST.contains(&candidate.as_str()) {
                 continue;

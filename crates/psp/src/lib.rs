@@ -22,6 +22,10 @@
 //! engine so a whole item analysis can be re-run "statically vs dynamically", and
 //! [`report`] bundles everything into one serialisable artefact.
 //!
+//! All corpus scoring flows through [`engine::ScoringEngine`], which indexes
+//! the corpus once, precomputes per-post text signals in parallel, and answers
+//! every keyword/window query from the index instead of rescanning posts.
+//!
 //! # Example
 //!
 //! ```
@@ -45,6 +49,7 @@
 pub mod classify;
 pub mod config;
 pub mod dynamic_tara;
+pub mod engine;
 pub mod error;
 pub mod financial;
 pub mod keyword_db;
@@ -58,6 +63,7 @@ pub mod workflow;
 
 pub use classify::AttackOrigin;
 pub use config::{PspConfig, SaiWeights};
+pub use engine::ScoringEngine;
 pub use error::PspError;
 pub use financial::{FinancialAssessment, FinancialInputs};
 pub use keyword_db::{KeywordDatabase, KeywordProfile};

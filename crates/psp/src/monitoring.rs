@@ -8,8 +8,8 @@
 //! inversion of Figure 9 observed as it happens rather than in hindsight).
 
 use crate::config::PspConfig;
+use crate::engine::ScoringEngine;
 use crate::keyword_db::KeywordDatabase;
-use crate::sai::SaiList;
 use crate::weights::WeightGenerator;
 use iso21434::feasibility::attack_vector::AttackVectorTable;
 use serde::{Deserialize, Serialize};
@@ -59,13 +59,28 @@ impl MonitoringSeries {
     ) -> Self {
         let window_years = window_years.max(1);
         let generator = WeightGenerator::new();
-        let mut observations = Vec::new();
+
+        // One engine for the whole series: the corpus is indexed and the
+        // text-mining signals are computed once, then every window is answered
+        // from the index through the batch multi-query API.
+        let engine = ScoringEngine::new(corpus);
+        let mut window_bounds = Vec::new();
+        let mut configs = Vec::new();
         let mut start = from_year;
         while start <= to_year {
             let end = (start + window_years - 1).min(to_year);
-            let window = DateWindow::years(start, end);
-            let config = base_config.clone().with_window(window);
-            let sai = SaiList::compute(corpus, db, &config);
+            window_bounds.push((start, end));
+            configs.push(
+                base_config
+                    .clone()
+                    .with_window(DateWindow::years(start, end)),
+            );
+            start += 1;
+        }
+        let sai_lists = engine.sai_lists(db, &configs);
+
+        let mut observations = Vec::new();
+        for ((start, end), sai) in window_bounds.into_iter().zip(sai_lists) {
             let entries = sai.scenario_entries(scenario);
             let posts = entries.iter().map(|e| e.posts).sum();
             let shares = sai.vector_shares(scenario);
@@ -85,7 +100,6 @@ impl MonitoringSeries {
                 dominant,
                 table: generator.insider_table(&sai, scenario),
             });
-            start += 1;
         }
         Self {
             scenario: scenario.to_string(),

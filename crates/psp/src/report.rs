@@ -175,7 +175,10 @@ mod tests {
         assert_eq!(back.outcome.insider_tables, report.outcome.insider_tables);
         assert_eq!(back.outcome.database, report.outcome.database);
         assert_eq!(back.financial.len(), report.financial.len());
-        assert_eq!(back.financial[0].vehicle_sales, report.financial[0].vehicle_sales);
+        assert_eq!(
+            back.financial[0].vehicle_sales,
+            report.financial[0].vehicle_sales
+        );
         assert_eq!(back.financial[0].rating, report.financial[0].rating);
         assert_eq!(
             back.tara_comparison.as_ref().map(|c| c.deltas.clone()),

@@ -11,7 +11,6 @@ use crate::config::PspConfig;
 use crate::keyword_db::KeywordDatabase;
 use serde::{Deserialize, Serialize};
 use socialsim::corpus::Corpus;
-use socialsim::query::Query;
 use socialsim::Post;
 use textmine::pipeline::TextPipeline;
 use vehicle::attack_surface::AttackVector;
@@ -52,21 +51,32 @@ pub struct SaiList {
 
 impl SaiList {
     /// Computes the SAI list for a corpus, keyword database and configuration.
+    ///
+    /// This is the one-shot convenience entry point: it builds a throwaway
+    /// [`ScoringEngine`](crate::engine::ScoringEngine) for the corpus and runs
+    /// one indexed pass.  Callers issuing repeated computations against the
+    /// same corpus (workflows, window sweeps, monitoring) should build the
+    /// engine once and call [`ScoringEngine::sai_list`](crate::engine::ScoringEngine::sai_list)
+    /// directly.
     #[must_use]
     pub fn compute(corpus: &Corpus, db: &KeywordDatabase, config: &PspConfig) -> Self {
+        crate::engine::ScoringEngine::new(corpus).sai_list(db, config)
+    }
+
+    /// The naive O(keywords × posts) reference implementation: a linear corpus
+    /// scan plus a full text-pipeline run per keyword profile.  Kept as the
+    /// behavioural oracle for the engine (property tests assert the indexed
+    /// path returns identical results) and as the baseline of the
+    /// `engine_scaling` bench.
+    #[must_use]
+    pub fn compute_naive(corpus: &Corpus, db: &KeywordDatabase, config: &PspConfig) -> Self {
         let pipeline = TextPipeline::new();
         let weights = config.sai_weights;
         let mut entries = Vec::new();
 
         for profile in db.iter() {
-            let mut query = Query::new()
-                .with_hashtag(profile.keyword.as_str())
-                .with_keyword(profile.keyword.as_str())
-                .in_region(config.region)
-                .about(config.application);
-            if let Some(window) = config.window {
-                query = query.within(window);
-            }
+            // Same query construction as the indexed path, by construction.
+            let query = crate::engine::ScoringEngine::profile_query(profile, config);
             let hits: Vec<&Post> = corpus
                 .search(&query)
                 .into_iter()
@@ -109,6 +119,16 @@ impl SaiList {
             });
         }
 
+        Self::from_entries(entries)
+    }
+
+    /// Finalises a list from raw (unnormalised) entries: estimates each entry's
+    /// attack probability as its share of the total SAI mass and sorts by
+    /// descending SAI (keyword as tie-break).  Entries must be given in
+    /// keyword-database order so the probability normalisation folds the same
+    /// float sum regardless of which path produced them.
+    #[must_use]
+    pub(crate) fn from_entries(mut entries: Vec<SaiEntry>) -> Self {
         let total: f64 = entries.iter().map(|e| e.sai).sum();
         if total > 0.0 {
             for entry in &mut entries {
@@ -237,7 +257,11 @@ mod tests {
 
     fn excavator_sai() -> SaiList {
         let corpus = scenario::excavator_europe(42);
-        SaiList::compute(&corpus, &KeywordDatabase::excavator_seed(), &PspConfig::excavator_europe())
+        SaiList::compute(
+            &corpus,
+            &KeywordDatabase::excavator_seed(),
+            &PspConfig::excavator_europe(),
+        )
     }
 
     #[test]
@@ -337,6 +361,9 @@ mod tests {
             &KeywordDatabase::excavator_seed(),
             &PspConfig::excavator_europe(),
         );
-        assert!(sai.entries().iter().all(|e| e.sai == 0.0 && e.probability == 0.0));
+        assert!(sai
+            .entries()
+            .iter()
+            .all(|e| e.sai == 0.0 && e.probability == 0.0));
     }
 }

@@ -6,8 +6,8 @@
 //! are more likely to opt for a local attack via OBD."
 
 use crate::config::PspConfig;
+use crate::engine::ScoringEngine;
 use crate::keyword_db::KeywordDatabase;
-use crate::sai::SaiList;
 use crate::weights::WeightGenerator;
 use iso21434::feasibility::attack_vector::AttackVectorTable;
 use serde::{Deserialize, Serialize};
@@ -74,11 +74,16 @@ pub fn compare_windows(
 ) -> WindowComparison {
     let generator = WeightGenerator::new();
 
+    // Both windows are answered by one engine: the corpus is indexed once and
+    // the two runs are issued as a batch against it.
     let baseline_config = base_config.clone();
-    let baseline_sai = SaiList::compute(corpus, db, &baseline_config);
-
     let recent_config = base_config.clone().with_window(recent_window);
-    let recent_sai = SaiList::compute(corpus, db, &recent_config);
+    let engine = ScoringEngine::new(corpus);
+    let mut lists = engine
+        .sai_lists(db, &[baseline_config.clone(), recent_config])
+        .into_iter();
+    let baseline_sai = lists.next().expect("baseline window scored");
+    let recent_sai = lists.next().expect("recent window scored");
 
     WindowComparison {
         scenario: scenario.to_string(),
@@ -140,7 +145,10 @@ mod tests {
             "emission-defeat",
             DateWindow::years(2021, 2023),
         );
-        assert!(!cmp.trend_inverted(), "emission defeat stays Local in both windows");
+        assert!(
+            !cmp.trend_inverted(),
+            "emission defeat stays Local in both windows"
+        );
     }
 
     #[test]
@@ -156,6 +164,9 @@ mod tests {
     fn serde_round_trip() {
         let cmp = comparison();
         let json = serde_json::to_string(&cmp).unwrap();
-        assert_eq!(cmp, serde_json::from_str::<WindowComparison>(&json).unwrap());
+        assert_eq!(
+            cmp,
+            serde_json::from_str::<WindowComparison>(&json).unwrap()
+        );
     }
 }

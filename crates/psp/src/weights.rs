@@ -166,7 +166,10 @@ mod tests {
     fn figure_8b_physical_tops_the_all_time_insider_table() {
         let generator = WeightGenerator::new();
         let table = generator.insider_table(&all_time_sai(), "ecm-reprogramming");
-        assert_eq!(table.rating(AttackVector::Physical), AttackFeasibilityRating::High);
+        assert_eq!(
+            table.rating(AttackVector::Physical),
+            AttackFeasibilityRating::High
+        );
         assert_eq!(table.ranking()[0], AttackVector::Physical);
         assert!(!table.same_ratings_as(&AttackVectorTable::standard()));
     }
@@ -175,7 +178,10 @@ mod tests {
     fn figure_9c_local_tops_the_recent_window_table() {
         let generator = WeightGenerator::new();
         let table = generator.insider_table(&recent_sai(), "ecm-reprogramming");
-        assert_eq!(table.rating(AttackVector::Local), AttackFeasibilityRating::High);
+        assert_eq!(
+            table.rating(AttackVector::Local),
+            AttackFeasibilityRating::High
+        );
         assert_eq!(table.ranking()[0], AttackVector::Local);
     }
 
@@ -195,9 +201,18 @@ mod tests {
         // All emission-defeat evidence is Local, so the proportional mapping keeps
         // the other vectors at Very Low while the rank-based mapping still hands
         // out Medium and Low by rank.
-        assert_eq!(prop.rating(AttackVector::Local), AttackFeasibilityRating::High);
-        assert_eq!(prop.rating(AttackVector::Physical), AttackFeasibilityRating::VeryLow);
-        assert_eq!(rank.rating(AttackVector::Local), AttackFeasibilityRating::High);
+        assert_eq!(
+            prop.rating(AttackVector::Local),
+            AttackFeasibilityRating::High
+        );
+        assert_eq!(
+            prop.rating(AttackVector::Physical),
+            AttackFeasibilityRating::VeryLow
+        );
+        assert_eq!(
+            rank.rating(AttackVector::Local),
+            AttackFeasibilityRating::High
+        );
         assert_ne!(
             rank.rating(AttackVector::Network),
             prop.rating(AttackVector::Network)
@@ -213,7 +228,11 @@ mod tests {
             .find(|(v, _)| *v == AttackVector::Physical)
             .unwrap()
             .1;
-        let local = factors.iter().find(|(v, _)| *v == AttackVector::Local).unwrap().1;
+        let local = factors
+            .iter()
+            .find(|(v, _)| *v == AttackVector::Local)
+            .unwrap()
+            .1;
         assert!(physical > local, "all-time physical share must dominate");
     }
 

@@ -15,6 +15,7 @@
 
 use crate::classify::AttackOrigin;
 use crate::config::PspConfig;
+use crate::engine::ScoringEngine;
 use crate::keyword_db::KeywordDatabase;
 use crate::learning::{learn_keywords, LearningOutcome};
 use crate::sai::SaiList;
@@ -94,8 +95,20 @@ impl PspWorkflow {
     }
 
     /// Runs the workflow on a corpus.
+    ///
+    /// Builds a [`ScoringEngine`] for the corpus and delegates to
+    /// [`run_with_engine`](Self::run_with_engine); callers that run several
+    /// workflows against the same corpus should build the engine once
+    /// themselves.
     #[must_use]
     pub fn run(&self, corpus: &Corpus) -> PspOutcome {
+        self.run_with_engine(&ScoringEngine::new(corpus))
+    }
+
+    /// Runs the workflow against a prebuilt scoring engine (and its corpus).
+    #[must_use]
+    pub fn run_with_engine(&self, engine: &ScoringEngine<'_>) -> PspOutcome {
+        let corpus = engine.corpus();
         let mut database = self.database.clone();
 
         // Block 5: keyword auto-learning (before scoring, so newly learned tags
@@ -103,11 +116,14 @@ impl PspWorkflow {
         let learning = if self.config.keyword_learning {
             learn_keywords(&mut database, corpus, self.config.learning_min_support)
         } else {
-            LearningOutcome { learned: Vec::new() }
+            LearningOutcome {
+                learned: Vec::new(),
+            }
         };
 
-        // Blocks 2, 6, 7: SAI computation with probability estimation.
-        let sai = SaiList::compute(corpus, &database, &self.config);
+        // Blocks 2, 6, 7: SAI computation with probability estimation, one
+        // indexed pass fanned out over keyword profiles.
+        let sai = engine.sai_list(&database, &self.config);
 
         // Blocks 8–12: insider/outsider split and weight-table generation.
         let generator = WeightGenerator::with_mapping(self.mapping);
@@ -156,7 +172,10 @@ mod tests {
         let scenarios = outcome.insider_scenarios();
         assert!(scenarios.contains(&"ecm-reprogramming"));
         assert!(scenarios.contains(&"emission-defeat"));
-        assert!(!scenarios.contains(&"vehicle-theft"), "outsider scenarios are not tuned");
+        assert!(
+            !scenarios.contains(&"vehicle-theft"),
+            "outsider scenarios are not tuned"
+        );
     }
 
     #[test]
@@ -171,14 +190,20 @@ mod tests {
     fn figure_8b_and_9b_all_time_run() {
         let outcome = run_passenger(None);
         let table = outcome.insider_table("ecm-reprogramming").unwrap();
-        assert_eq!(table.rating(AttackVector::Physical), AttackFeasibilityRating::High);
+        assert_eq!(
+            table.rating(AttackVector::Physical),
+            AttackFeasibilityRating::High
+        );
     }
 
     #[test]
     fn figure_9c_recent_window_run() {
         let outcome = run_passenger(Some(DateWindow::years(2021, 2023)));
         let table = outcome.insider_table("ecm-reprogramming").unwrap();
-        assert_eq!(table.rating(AttackVector::Local), AttackFeasibilityRating::High);
+        assert_eq!(
+            table.rating(AttackVector::Local),
+            AttackFeasibilityRating::High
+        );
     }
 
     #[test]

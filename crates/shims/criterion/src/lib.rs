@@ -1,0 +1,266 @@
+//! Offline shim of `criterion`.
+//!
+//! Implements the API subset the bench harness uses — `Criterion`,
+//! `benchmark_group` with `sample_size`/`measurement_time`, `bench_function`,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros — with
+//! a simple wall-clock sampler.  Each bench is warmed up once, calibrated to a
+//! per-sample iteration count, sampled `sample_size` times (capped for bounded
+//! runtimes), and reported as a mean/median/min nanoseconds-per-iteration
+//! table.  A machine-readable summary is written to
+//! `target/criterion-shim/<bench>.json` (honouring `CARGO_TARGET_DIR`).
+
+use std::time::{Duration, Instant};
+
+/// Upper bound on the wall-clock budget a single bench function may consume.
+const PER_BENCH_BUDGET: Duration = Duration::from_secs(3);
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark id (`group/name` or bare name).
+    pub name: String,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Fastest sample, nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+/// The measurement driver passed to bench closures.
+pub struct Bencher<'a> {
+    sample_size: usize,
+    budget: Duration,
+    result: &'a mut Option<(f64, f64, f64, u64, usize)>,
+}
+
+impl Bencher<'_> {
+    /// Measures a closure: warm-up, calibration, then timed samples.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up and calibration: find an iteration count that runs ≥ ~5 ms.
+        let mut iters: u64 = 1;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(5) || iters >= 1 << 20 {
+                break elapsed.as_nanos() as f64 / iters as f64;
+            }
+            iters = iters.saturating_mul(4);
+        };
+        // Budgeted sample count.
+        let sample_cost = per_iter * iters as f64;
+        let affordable = (self.budget.as_nanos() as f64 / sample_cost.max(1.0)) as usize;
+        let samples = self.sample_size.min(affordable.max(1)).max(1);
+
+        let mut per_iter_samples = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            per_iter_samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        per_iter_samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let mean = per_iter_samples.iter().sum::<f64>() / per_iter_samples.len() as f64;
+        let median = per_iter_samples[per_iter_samples.len() / 2];
+        let min = per_iter_samples[0];
+        *self.result = Some((mean, median, min, iters, samples));
+    }
+}
+
+/// The top-level bench context.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+
+    /// Benches a function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.run_bench(name.to_string(), 10, Duration::from_secs(3), f);
+        self
+    }
+
+    fn run_bench<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        name: String,
+        sample_size: usize,
+        measurement_time: Duration,
+        mut f: F,
+    ) {
+        let mut result = None;
+        let mut bencher = Bencher {
+            sample_size,
+            budget: measurement_time.min(PER_BENCH_BUDGET),
+            result: &mut result,
+        };
+        f(&mut bencher);
+        if let Some((mean_ns, median_ns, min_ns, iters_per_sample, samples)) = result {
+            let entry = BenchResult {
+                name,
+                mean_ns,
+                median_ns,
+                min_ns,
+                iters_per_sample,
+                samples,
+            };
+            println!(
+                "bench {:<48} mean {:>12.1} ns  median {:>12.1} ns  ({} samples x {} iters)",
+                entry.name, entry.mean_ns, entry.median_ns, entry.samples, entry.iters_per_sample
+            );
+            self.results.push(entry);
+        }
+    }
+
+    /// All results measured so far.
+    #[must_use]
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Prints a summary and writes the JSON report; called by `criterion_main!`.
+    pub fn final_summary(&self) {
+        if self.results.is_empty() {
+            return;
+        }
+        println!("\n{} benchmarks measured", self.results.len());
+        let bench_name = std::env::args()
+            .next()
+            .and_then(|argv0| {
+                std::path::Path::new(&argv0)
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+            })
+            .map(|stem| {
+                // Strip the `-<hash>` suffix cargo appends to bench executables.
+                match stem.rfind('-') {
+                    Some(pos) if stem[pos + 1..].chars().all(|c| c.is_ascii_hexdigit()) => {
+                        stem[..pos].to_string()
+                    }
+                    _ => stem,
+                }
+            })
+            .unwrap_or_else(|| "bench".to_string());
+        let dir = std::env::var("CARGO_TARGET_DIR")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|_| std::path::PathBuf::from("target"))
+            .join("criterion-shim");
+        if std::fs::create_dir_all(&dir).is_ok() {
+            let mut json = String::from("{\n  \"benchmarks\": [\n");
+            for (i, r) in self.results.iter().enumerate() {
+                if i > 0 {
+                    json.push_str(",\n");
+                }
+                json.push_str(&format!(
+                    "    {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \
+                     \"min_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}",
+                    r.name, r.mean_ns, r.median_ns, r.min_ns, r.samples, r.iters_per_sample
+                ));
+            }
+            json.push_str("\n  ]\n}\n");
+            let path = dir.join(format!("{bench_name}.json"));
+            if std::fs::write(&path, json).is_ok() {
+                println!("wrote {}", path.display());
+            }
+        }
+    }
+}
+
+/// A benchmark group with shared sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement budget (capped by the shim for bounded runtimes).
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Benches one function within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, name: &str, f: F) -> &mut Self {
+        let id = format!("{}/{}", self.name, name);
+        let (sample_size, measurement_time) = (self.sample_size, self.measurement_time);
+        self.criterion
+            .run_bench(id, sample_size, measurement_time, f);
+        self
+    }
+
+    /// Closes the group (no-op in the shim; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a bench group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop_sum", |b| b.iter(|| (0..100_u64).sum::<u64>()));
+        assert_eq!(c.results().len(), 1);
+        assert!(c.results()[0].mean_ns > 0.0);
+    }
+
+    #[test]
+    fn groups_prefix_names_and_apply_config() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(50));
+        group.bench_function("inner", |b| b.iter(|| 1 + 1));
+        group.finish();
+        assert_eq!(c.results()[0].name, "g/inner");
+        assert!(c.results()[0].samples <= 5);
+    }
+}

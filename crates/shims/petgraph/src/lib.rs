@@ -1,0 +1,300 @@
+//! Offline shim of `petgraph`.
+//!
+//! An adjacency-list graph with the petgraph API subset this workspace uses:
+//! `DiGraph` / `UnGraph`, node/edge addition, weight indexing, neighbour and
+//! edge iteration, and edge endpoints.
+
+/// Graph types (mirrors `petgraph::graph`).
+pub mod graph {
+    use std::marker::PhantomData;
+    use std::ops::Index;
+
+    /// Marker for directed graphs.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Directed;
+
+    /// Marker for undirected graphs.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Undirected;
+
+    /// Edge directedness marker trait.
+    pub trait EdgeType {
+        /// Whether edges are directed.
+        fn is_directed() -> bool;
+    }
+
+    impl EdgeType for Directed {
+        fn is_directed() -> bool {
+            true
+        }
+    }
+
+    impl EdgeType for Undirected {
+        fn is_directed() -> bool {
+            false
+        }
+    }
+
+    /// A node identifier.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+    pub struct NodeIndex(u32);
+
+    impl NodeIndex {
+        /// Creates an index from a raw position.
+        #[must_use]
+        pub fn new(index: usize) -> Self {
+            Self(index as u32)
+        }
+
+        /// The raw position.
+        #[must_use]
+        pub fn index(self) -> usize {
+            self.0 as usize
+        }
+    }
+
+    /// An edge identifier.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+    pub struct EdgeIndex(u32);
+
+    impl EdgeIndex {
+        /// The raw position.
+        #[must_use]
+        pub fn index(self) -> usize {
+            self.0 as usize
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    struct Edge<E> {
+        source: NodeIndex,
+        target: NodeIndex,
+        weight: E,
+    }
+
+    /// An adjacency-list graph.
+    #[derive(Debug, Clone)]
+    pub struct Graph<N, E, Ty = Directed> {
+        nodes: Vec<N>,
+        edges: Vec<Edge<E>>,
+        ty: PhantomData<Ty>,
+    }
+
+    /// A directed graph.
+    pub type DiGraph<N, E> = Graph<N, E, Directed>;
+
+    /// An undirected graph.
+    pub type UnGraph<N, E> = Graph<N, E, Undirected>;
+
+    impl<N, E> Graph<N, E, Directed> {
+        /// Creates an empty directed graph.
+        #[must_use]
+        pub fn new() -> Self {
+            Self::with_parts()
+        }
+    }
+
+    impl<N, E> Default for Graph<N, E, Directed> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<N, E> Graph<N, E, Undirected> {
+        /// Creates an empty undirected graph.
+        #[must_use]
+        pub fn new_undirected() -> Self {
+            Self::with_parts()
+        }
+    }
+
+    impl<N, E> Default for Graph<N, E, Undirected> {
+        fn default() -> Self {
+            Self::new_undirected()
+        }
+    }
+
+    /// A borrowed edge, as yielded by [`Graph::edges`].
+    #[derive(Debug)]
+    pub struct EdgeReference<'a, E> {
+        id: EdgeIndex,
+        source: NodeIndex,
+        target: NodeIndex,
+        weight: &'a E,
+    }
+
+    impl<'a, E> EdgeReference<'a, E> {
+        /// The edge id.
+        #[must_use]
+        pub fn id(&self) -> EdgeIndex {
+            self.id
+        }
+
+        /// The source endpoint (as stored).
+        #[must_use]
+        pub fn source(&self) -> NodeIndex {
+            self.source
+        }
+
+        /// The target endpoint (as stored).
+        #[must_use]
+        pub fn target(&self) -> NodeIndex {
+            self.target
+        }
+
+        /// The edge weight.
+        #[must_use]
+        pub fn weight(&self) -> &'a E {
+            self.weight
+        }
+    }
+
+    impl<N, E, Ty: EdgeType> Graph<N, E, Ty> {
+        fn with_parts() -> Self {
+            Self {
+                nodes: Vec::new(),
+                edges: Vec::new(),
+                ty: PhantomData,
+            }
+        }
+
+        /// Adds a node, returning its index.
+        pub fn add_node(&mut self, weight: N) -> NodeIndex {
+            self.nodes.push(weight);
+            NodeIndex::new(self.nodes.len() - 1)
+        }
+
+        /// Adds an edge, returning its index.
+        pub fn add_edge(&mut self, a: NodeIndex, b: NodeIndex, weight: E) -> EdgeIndex {
+            self.edges.push(Edge {
+                source: a,
+                target: b,
+                weight,
+            });
+            EdgeIndex((self.edges.len() - 1) as u32)
+        }
+
+        /// Number of nodes.
+        #[must_use]
+        pub fn node_count(&self) -> usize {
+            self.nodes.len()
+        }
+
+        /// Number of edges.
+        #[must_use]
+        pub fn edge_count(&self) -> usize {
+            self.edges.len()
+        }
+
+        /// Iterates over node weights in insertion order.
+        pub fn node_weights(&self) -> impl Iterator<Item = &N> {
+            self.nodes.iter()
+        }
+
+        /// Iterates over node indices.
+        pub fn node_indices(&self) -> impl Iterator<Item = NodeIndex> {
+            (0..self.nodes.len()).map(NodeIndex::new)
+        }
+
+        /// Iterates over edge indices.
+        pub fn edge_indices(&self) -> impl Iterator<Item = EdgeIndex> {
+            (0..self.edges.len()).map(|i| EdgeIndex(i as u32))
+        }
+
+        /// The endpoints of an edge.
+        #[must_use]
+        pub fn edge_endpoints(&self, e: EdgeIndex) -> Option<(NodeIndex, NodeIndex)> {
+            self.edges
+                .get(e.index())
+                .map(|edge| (edge.source, edge.target))
+        }
+
+        /// Edges incident to a node: outgoing for directed graphs, all incident
+        /// edges for undirected graphs.
+        pub fn edges(&self, node: NodeIndex) -> impl Iterator<Item = EdgeReference<'_, E>> {
+            let directed = Ty::is_directed();
+            self.edges.iter().enumerate().filter_map(move |(i, edge)| {
+                let incident = edge.source == node || (!directed && edge.target == node);
+                if incident {
+                    Some(EdgeReference {
+                        id: EdgeIndex(i as u32),
+                        source: edge.source,
+                        target: edge.target,
+                        weight: &edge.weight,
+                    })
+                } else {
+                    None
+                }
+            })
+        }
+
+        /// Neighbouring nodes: successors for directed graphs, all adjacent nodes
+        /// for undirected graphs.
+        pub fn neighbors(&self, node: NodeIndex) -> impl Iterator<Item = NodeIndex> + '_ {
+            let directed = Ty::is_directed();
+            self.edges.iter().filter_map(move |edge| {
+                if edge.source == node {
+                    Some(edge.target)
+                } else if !directed && edge.target == node {
+                    Some(edge.source)
+                } else {
+                    None
+                }
+            })
+        }
+    }
+
+    impl<N, E, Ty: EdgeType> Index<NodeIndex> for Graph<N, E, Ty> {
+        type Output = N;
+        fn index(&self, index: NodeIndex) -> &N {
+            &self.nodes[index.index()]
+        }
+    }
+
+    impl<N, E, Ty: EdgeType> Index<EdgeIndex> for Graph<N, E, Ty> {
+        type Output = E;
+        fn index(&self, index: EdgeIndex) -> &E {
+            &self.edges[index.index()].weight
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::graph::{DiGraph, UnGraph};
+
+    #[test]
+    fn directed_neighbors_are_successors_only() {
+        let mut g = DiGraph::<&str, u32>::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        g.add_edge(a, b, 1);
+        assert_eq!(g.neighbors(a).count(), 1);
+        assert_eq!(g.neighbors(b).count(), 0);
+        assert_eq!(g[a], "a");
+    }
+
+    #[test]
+    fn undirected_neighbors_are_symmetric() {
+        let mut g = UnGraph::<&str, ()>::new_undirected();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        g.add_edge(a, b, ());
+        g.add_edge(b, c, ());
+        assert_eq!(g.neighbors(b).count(), 2);
+        assert_eq!(g.neighbors(a).collect::<Vec<_>>(), vec![b]);
+        assert_eq!(g.edges(b).count(), 2);
+    }
+
+    #[test]
+    fn edge_endpoints_and_weights() {
+        let mut g = DiGraph::<u8, &str>::new();
+        let a = g.add_node(1);
+        let b = g.add_node(2);
+        let e = g.add_edge(a, b, "w");
+        assert_eq!(g.edge_endpoints(e), Some((a, b)));
+        assert_eq!(g[e], "w");
+        assert_eq!(g.edges(a).next().unwrap().weight(), &"w");
+    }
+}

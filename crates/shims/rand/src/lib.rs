@@ -1,0 +1,161 @@
+//! Offline shim of `rand`.
+//!
+//! Provides the subset of the rand 0.8 API this workspace uses —
+//! `StdRng::seed_from_u64`, `Rng::gen_range` over integer/float ranges and
+//! `Rng::gen_bool` — backed by a SplitMix64 generator.  Sequences differ from
+//! upstream rand, but every consumer in this workspace only relies on
+//! determinism per seed, not on specific sequences.
+
+use std::ops::{Range, RangeInclusive};
+
+/// The core generator interface (u64 output).
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A half-open or inclusive range that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Samples one value from the range.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// Uniform `u64` in `[0, bound)` (modulo; bias is negligible for simulation use).
+fn uniform_u64(rng: &mut dyn RngCore, bound: u64) -> u64 {
+    assert!(bound > 0, "empty sample range");
+    rng.next_u64() % bound
+}
+
+/// Uniform `f64` in `[0, 1)` from the top 53 bits.
+fn unit_f64(rng: &mut dyn RngCore) -> f64 {
+    (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+macro_rules! sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "empty sample range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + uniform_u64(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                let (start, end) = self.into_inner();
+                assert!(start <= end, "empty sample range");
+                let span = (end as i128 - start as i128 + 1) as u64;
+                (start as i128 + uniform_u64(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+sample_range_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut dyn RngCore) -> f64 {
+        assert!(self.start < self.end, "empty sample range");
+        self.start + (self.end - self.start) * unit_f64(rng)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample(self, rng: &mut dyn RngCore) -> f64 {
+        let (start, end) = self.into_inner();
+        assert!(start <= end, "empty sample range");
+        start + (end - start) * unit_f64(rng)
+    }
+}
+
+/// The user-facing sampling interface.
+pub trait Rng: RngCore + Sized {
+    /// A uniform sample from a range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// A Bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        unit_f64(self) < p
+    }
+}
+
+impl<T: RngCore + Sized> Rng for T {}
+
+/// Standard generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A deterministic SplitMix64 generator standing in for rand's `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1000), b.gen_range(0..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let m = rng.gen_range(1..=12);
+            assert!((1..=12).contains(&m));
+            let f = rng.gen_range(0.85..1.15);
+            assert!((0.85..1.15).contains(&f));
+            let u = rng.gen_range(0_usize..8);
+            assert!(u < 8);
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability_roughly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.35)).count();
+        assert!((3000..4000).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..10).map(|_| a.gen_range(0..u64::MAX)).collect();
+        let vb: Vec<u64> = (0..10).map(|_| b.gen_range(0..u64::MAX)).collect();
+        assert_ne!(va, vb);
+    }
+}

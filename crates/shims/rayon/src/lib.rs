@@ -1,0 +1,133 @@
+//! Offline shim of `rayon`.
+//!
+//! Provides the `par_iter().map(..).collect()` shape this workspace uses,
+//! backed by `std::thread::scope` with one chunk per available core.  Results
+//! preserve input order (chunks are processed and re-assembled in order), so
+//! swapping this shim for real rayon is behaviour-compatible for this API
+//! subset.
+
+use std::num::NonZeroUsize;
+
+/// The prelude, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// Number of worker threads to fan out over.
+fn thread_count(items: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    cores.min(items).max(1)
+}
+
+/// Order-preserving parallel map over a slice.
+fn parallel_map<'a, T, R, F>(items: &'a [T], f: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    let threads = thread_count(items.len());
+    // Small inputs are not worth the thread spawn overhead.
+    if threads <= 1 || items.len() < 2 {
+        return items.iter().map(f).collect();
+    }
+    let chunk_size = items.len().div_ceil(threads);
+    let mut chunk_results: Vec<Vec<R>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_size)
+            .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for handle in handles {
+            chunk_results.push(handle.join().expect("rayon shim worker panicked"));
+        }
+    });
+    chunk_results.into_iter().flatten().collect()
+}
+
+/// Conversion into a borrowing parallel iterator (`.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The element type yielded by the parallel iterator.
+    type Item: Sync + 'a;
+
+    /// Returns a parallel iterator over borrowed elements.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A lazy parallel iterator over `&T`.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps each element in parallel (lazily; runs on `collect`).
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// The result of [`ParIter::map`].
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, F, R> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Executes the map across threads and collects the results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        parallel_map(self.items, &self.f).into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled.len(), input.len());
+        for (i, v) in doubled.iter().enumerate() {
+            assert_eq!(*v, (i as u64) * 2);
+        }
+    }
+
+    #[test]
+    fn works_on_slices_and_empty_inputs() {
+        let empty: Vec<i32> = Vec::new();
+        let out: Vec<i32> = empty.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+        let slice: &[i32] = &[1, 2, 3];
+        let out: Vec<i32> = slice.par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+}

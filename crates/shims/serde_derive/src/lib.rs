@@ -1,0 +1,452 @@
+//! Offline shim of `serde_derive`.
+//!
+//! The build environment has no registry access, so this crate re-implements the
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros against the local
+//! `serde` shim's simplified data model (`serde::Value`).  It parses the item
+//! token stream by hand (no `syn`/`quote`) and supports the shapes this
+//! workspace actually uses: non-generic named structs (with `#[serde(skip)]`
+//! fields), tuple structs, unit structs, and enums with unit, tuple and struct
+//! variants (externally tagged, like real serde).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn is_punct(tok: &TokenTree, ch: char) -> bool {
+    matches!(tok, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+fn is_ident(tok: &TokenTree, word: &str) -> bool {
+    matches!(tok, TokenTree::Ident(id) if id.to_string() == word)
+}
+
+/// Advances past a type (or discriminant expression) until a `,` at angle-bracket
+/// depth zero, returning the index just past the comma (or the end).
+fn skip_past_comma(toks: &[TokenTree], mut i: usize) -> usize {
+    let mut depth: i32 = 0;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Whether an attribute group marks the field as `#[serde(skip)]`.
+fn attr_is_serde_skip(group: &proc_macro::Group) -> bool {
+    let body = group.stream().to_string();
+    let compact: String = body.chars().filter(|c| !c.is_whitespace()).collect();
+    compact.starts_with("serde(") && compact.contains("skip")
+}
+
+/// Skips leading attributes, reporting whether any was `#[serde(skip)]`.
+fn eat_attrs(toks: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut skip = false;
+    while i + 1 < toks.len() && is_punct(&toks[i], '#') {
+        if let TokenTree::Group(g) = &toks[i + 1] {
+            if attr_is_serde_skip(g) {
+                skip = true;
+            }
+        }
+        i += 2;
+    }
+    (i, skip)
+}
+
+/// Skips a visibility modifier (`pub`, `pub(crate)`, …).
+fn eat_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    if i < toks.len() && is_ident(&toks[i], "pub") {
+        i += 1;
+        if i < toks.len() {
+            if let TokenTree::Group(g) = &toks[i] {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let (j, skip) = eat_attrs(&toks, i);
+        i = eat_vis(&toks, j);
+        if i >= toks.len() {
+            break;
+        }
+        let name = toks[i].to_string();
+        i += 1; // field name
+        i += 1; // ':'
+        i = skip_past_comma(&toks, i);
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut arity = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        let (j, _) = eat_attrs(&toks, i);
+        i = eat_vis(&toks, j);
+        if i >= toks.len() {
+            break;
+        }
+        i = skip_past_comma(&toks, i);
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let (j, _) = eat_attrs(&toks, i);
+        i = j;
+        if i >= toks.len() {
+            break;
+        }
+        let name = toks[i].to_string();
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                i += 1;
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        i = skip_past_comma(&toks, i);
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    while i < toks.len() && !is_ident(&toks[i], "struct") && !is_ident(&toks[i], "enum") {
+        if is_punct(&toks[i], '#') {
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    let is_struct = is_ident(&toks[i], "struct");
+    i += 1;
+    let name = toks[i].to_string();
+    i += 1;
+    if i < toks.len() && is_punct(&toks[i], '<') {
+        panic!("serde_derive shim: generic type `{name}` is not supported");
+    }
+    if is_struct {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            _ => Item::UnitStruct { name },
+        }
+    } else {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            _ => panic!("serde_derive shim: malformed enum `{name}`"),
+        }
+    }
+}
+
+fn seq_ser(arity: usize, prefix: &str) -> String {
+    let items: Vec<String> = (0..arity)
+        .map(|k| format!("::serde::Serialize::to_value({prefix}{k})"))
+        .collect();
+    format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+}
+
+/// `#[derive(Serialize)]` against the local serde shim.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::NamedStruct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "map.push((::serde::Value::Str(\"{n}\".to_string()), \
+                     ::serde::Serialize::to_value(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut map: Vec<(::serde::Value, ::serde::Value)> = Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Map(map)\n}}\n}}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let expr = if *arity == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                    .collect();
+                format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ {expr} }}\n}}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n}}"
+        ),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binders: Vec<String> = (0..*arity).map(|k| format!("f{k}")).collect();
+                        let payload = if *arity == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            seq_ser(*arity, "f")
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => ::serde::Value::Map(vec![(\
+                             ::serde::Value::Str(\"{vn}\".to_string()), {payload})]),\n",
+                            binds = binders.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binders: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut pushes = String::new();
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            pushes.push_str(&format!(
+                                "inner.push((::serde::Value::Str(\"{n}\".to_string()), \
+                                 ::serde::Serialize::to_value({n})));\n",
+                                n = f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n\
+                             let mut inner: Vec<(::serde::Value, ::serde::Value)> = Vec::new();\n\
+                             {pushes}\
+                             ::serde::Value::Map(vec![(::serde::Value::Str(\"{vn}\".to_string()), \
+                             ::serde::Value::Map(inner))])\n}}\n",
+                            binds = binders.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}}}\n}}\n}}"
+            )
+        }
+    };
+    body.parse()
+        .expect("serde_derive shim: generated invalid Serialize impl")
+}
+
+fn named_fields_de(struct_path: &str, fields: &[Field], map_expr: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        if f.skip {
+            inits.push_str(&format!(
+                "{}: ::std::default::Default::default(),\n",
+                f.name
+            ));
+        } else {
+            inits.push_str(&format!(
+                "{n}: ::serde::__private::get_field({map_expr}, \"{n}\", \"{struct_path}\")?,\n",
+                n = f.name
+            ));
+        }
+    }
+    inits
+}
+
+/// `#[derive(Deserialize)]` against the local serde shim.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::NamedStruct { name, fields } => {
+            let inits = named_fields_de(name, fields, "map");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 let map = v.as_map().ok_or_else(|| ::serde::Error::custom(\
+                 \"expected map for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})\n}}\n}}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            if *arity == 1 {
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))\n}}\n}}"
+                )
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|k| format!("::serde::Deserialize::from_value(&seq[{k}])?"))
+                    .collect();
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     let seq = v.as_seq().ok_or_else(|| ::serde::Error::custom(\
+                     \"expected sequence for {name}\"))?;\n\
+                     if seq.len() != {arity} {{ return ::std::result::Result::Err(\
+                     ::serde::Error::custom(\"wrong tuple arity for {name}\")); }}\n\
+                     ::std::result::Result::Ok({name}({items}))\n}}\n}}",
+                    items = items.join(", ")
+                )
+            }
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(_v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+             ::std::result::Result::Ok({name})\n}}\n}}"
+        ),
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        if *arity == 1 {
+                            data_arms.push_str(&format!(
+                                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                                 ::serde::Deserialize::from_value(payload)?)),\n"
+                            ));
+                        } else {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|k| format!("::serde::Deserialize::from_value(&seq[{k}])?"))
+                                .collect();
+                            data_arms.push_str(&format!(
+                                "\"{vn}\" => {{\n\
+                                 let seq = payload.as_seq().ok_or_else(|| ::serde::Error::custom(\
+                                 \"expected sequence for {name}::{vn}\"))?;\n\
+                                 if seq.len() != {arity} {{ return ::std::result::Result::Err(\
+                                 ::serde::Error::custom(\"wrong tuple arity for {name}::{vn}\")); }}\n\
+                                 ::std::result::Result::Ok({name}::{vn}({items}))\n}}\n",
+                                items = items.join(", ")
+                            ));
+                        }
+                    }
+                    VariantKind::Struct(fields) => {
+                        let path = format!("{name}::{vn}");
+                        let inits = named_fields_de(&path, fields, "inner");
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let inner = payload.as_map().ok_or_else(|| ::serde::Error::custom(\
+                             \"expected map for {name}::{vn}\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{\n{inits}}})\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::custom(&format!(\
+                 \"unknown {name} variant `{{other}}`\"))),\n\
+                 }},\n\
+                 ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                 let (key, payload) = &entries[0];\n\
+                 let tag = key.as_str().ok_or_else(|| ::serde::Error::custom(\
+                 \"expected string variant tag for {name}\"))?;\n\
+                 match tag {{\n\
+                 {data_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::custom(&format!(\
+                 \"unknown {name} variant `{{other}}`\"))),\n\
+                 }}\n}},\n\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(\
+                 \"expected string or single-entry map for {name}\")),\n\
+                 }}\n}}\n}}"
+            )
+        }
+    };
+    body.parse()
+        .expect("serde_derive shim: generated invalid Deserialize impl")
+}

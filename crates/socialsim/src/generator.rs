@@ -112,7 +112,11 @@ impl CorpusGenerator {
 
         let followers = rng.gen_range(20..20_000);
         let age_months = rng.gen_range(6..120);
-        let author = User::new(format!("user_{}", rng.gen_range(1000..999_999)), followers, age_months);
+        let author = User::new(
+            format!("user_{}", rng.gen_range(1000..999_999)),
+            followers,
+            age_months,
+        );
 
         Post::new(
             id,
@@ -202,11 +206,11 @@ mod tests {
     #[test]
     fn priced_topics_mention_a_price() {
         let corpus = CorpusGenerator::new(11).generate(&small_model());
-        let priced_posts = corpus
-            .iter()
-            .filter(|p| p.text().contains("EUR"))
-            .count();
-        assert!(priced_posts > 0, "at least the for-sale template must appear");
+        let priced_posts = corpus.iter().filter(|p| p.text().contains("EUR")).count();
+        assert!(
+            priced_posts > 0,
+            "at least the for-sale template must appear"
+        );
     }
 
     #[test]

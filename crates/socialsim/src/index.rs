@@ -1,0 +1,445 @@
+//! The inverted corpus index and its batch query API.
+//!
+//! [`Corpus::search`] answers a [`Query`] with a linear scan over every post —
+//! fine for one query, ruinous for the PSP hot path, which re-queries the same
+//! corpus once per attack keyword (and once per analysis window in monitoring
+//! runs).  [`CorpusIndex`] is built once per corpus and answers the same
+//! queries from inverted structures:
+//!
+//! * a *mention vocabulary* — every lowercase whitespace token of each post's
+//!   text plus each of its normalised hashtags, mapped to the posts containing
+//!   it.  Because a keyword match (`Post::mentions`) is a case-insensitive
+//!   substring test and keywords never contain whitespace, a post mentions a
+//!   keyword exactly when one of its vocabulary terms contains the keyword as a
+//!   substring, so scanning the (small) vocabulary replaces scanning the
+//!   (large) corpus;
+//! * an exact hashtag posting list for [`Query::hashtags`] constraints;
+//! * per-[`Region`] and per-[`TargetApplication`] bitsets and a per-post date
+//!   array for the conjunctive metadata filters.
+//!
+//! Results are always produced in ascending post order (= insertion order), so
+//! indexed queries return exactly what the naive scan returns, in the same
+//! order — a property the `psp-suite` property tests pin down.
+
+use crate::corpus::Corpus;
+use crate::hashtag::Hashtag;
+use crate::post::{Post, Region, TargetApplication};
+use crate::query::Query;
+use crate::time::SimDate;
+use std::collections::HashMap;
+
+/// A fixed-capacity bitset over post ids.
+#[derive(Debug, Clone, Default)]
+struct IdBitSet {
+    bits: Vec<u64>,
+}
+
+impl IdBitSet {
+    fn with_capacity(posts: usize) -> Self {
+        Self {
+            bits: vec![0; posts.div_ceil(64)],
+        }
+    }
+
+    fn insert(&mut self, id: u32) {
+        self.bits[id as usize / 64] |= 1 << (id % 64);
+    }
+
+    fn contains(&self, id: u32) -> bool {
+        self.bits
+            .get(id as usize / 64)
+            .is_some_and(|word| word & (1 << (id % 64)) != 0)
+    }
+}
+
+/// An inverted index over a [`Corpus`] snapshot.
+///
+/// The index holds post *ids* (positions in [`Corpus::posts`]), not post data,
+/// so it stays valid as long as the corpus it was built from is not mutated.
+/// Build it once, then answer any number of queries against it.
+#[derive(Debug, Clone, Default)]
+pub struct CorpusIndex {
+    /// Mention term → ascending ids of posts whose text/hashtags contain it.
+    vocab: HashMap<String, Vec<u32>>,
+    /// Exact hashtag → ascending ids of posts carrying it.
+    by_hashtag: HashMap<Hashtag, Vec<u32>>,
+    /// One membership bitset per region present in the corpus.
+    by_region: HashMap<Region, IdBitSet>,
+    /// One membership bitset per target application present in the corpus.
+    by_application: HashMap<TargetApplication, IdBitSet>,
+    /// Posting date per post id, for window filtering.
+    dates: Vec<SimDate>,
+}
+
+impl CorpusIndex {
+    /// Builds the index in one pass over the corpus.
+    #[must_use]
+    pub fn build(corpus: &Corpus) -> Self {
+        let posts = corpus.posts();
+        let mut index = Self {
+            vocab: HashMap::new(),
+            by_hashtag: HashMap::new(),
+            by_region: HashMap::new(),
+            by_application: HashMap::new(),
+            dates: Vec::with_capacity(posts.len()),
+        };
+        let capacity = posts.len();
+        for (id, post) in posts.iter().enumerate() {
+            let id = id as u32;
+            index.dates.push(post.date());
+            index
+                .by_region
+                .entry(post.region())
+                .or_insert_with(|| IdBitSet::with_capacity(capacity))
+                .insert(id);
+            index
+                .by_application
+                .entry(post.application())
+                .or_insert_with(|| IdBitSet::with_capacity(capacity))
+                .insert(id);
+            for tag in post.hashtags() {
+                // Allocate the owned key only when the tag is new to the index.
+                match index.by_hashtag.get_mut(tag) {
+                    Some(ids) => ids.push(id),
+                    None => {
+                        index.by_hashtag.insert(tag.clone(), vec![id]);
+                    }
+                }
+            }
+            // The mention vocabulary: lowercase text tokens plus hashtag strings,
+            // deduplicated per post so each posting list stays strictly ascending.
+            let lowered = post.text().to_lowercase();
+            let mut terms: Vec<&str> = Vec::with_capacity(16);
+            for token in lowered.split_whitespace() {
+                if !terms.contains(&token) {
+                    terms.push(token);
+                }
+            }
+            for tag in post.hashtags() {
+                if !terms.contains(&tag.as_str()) {
+                    terms.push(tag.as_str());
+                }
+            }
+            for term in &terms {
+                match index.vocab.get_mut(*term) {
+                    Some(ids) => ids.push(id),
+                    None => {
+                        index.vocab.insert((*term).to_string(), vec![id]);
+                    }
+                }
+            }
+        }
+        index
+    }
+
+    /// Number of posts covered by the index.
+    #[must_use]
+    pub fn post_count(&self) -> usize {
+        self.dates.len()
+    }
+
+    /// Number of distinct mention terms in the vocabulary.
+    #[must_use]
+    pub fn vocabulary_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Ids of posts that mention `keyword`, ascending — the indexed equivalent
+    /// of filtering with [`Post::mentions`].
+    #[must_use]
+    pub fn mentioning(&self, corpus: &Corpus, keyword: &str) -> Vec<u32> {
+        let mut ids = Vec::new();
+        self.collect_mentions(corpus, keyword, &mut ids);
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    fn collect_mentions(&self, corpus: &Corpus, keyword: &str, out: &mut Vec<u32>) {
+        let needle = keyword.to_lowercase();
+        if needle.is_empty() {
+            return;
+        }
+        if needle.chars().any(char::is_whitespace) {
+            // A whitespace-bearing keyword can span token boundaries; the
+            // vocabulary cannot answer it, so fall back to the exact scan.
+            for (id, post) in corpus.posts().iter().enumerate() {
+                if post.mentions(keyword) {
+                    out.push(id as u32);
+                }
+            }
+            return;
+        }
+        for (term, ids) in &self.vocab {
+            if term.contains(&needle) {
+                out.extend_from_slice(ids);
+            }
+        }
+    }
+
+    /// Ids of posts carrying the exact hashtag, ascending.
+    #[must_use]
+    pub fn with_hashtag(&self, tag: &Hashtag) -> &[u32] {
+        self.by_hashtag.get(tag).map_or(&[], Vec::as_slice)
+    }
+
+    /// Whether post `id` satisfies the query's region / application / window
+    /// constraints (the content condition is not checked).
+    #[must_use]
+    pub fn matches_metadata(&self, id: u32, query: &Query) -> bool {
+        if let Some(region) = query.region() {
+            if !self
+                .by_region
+                .get(&region)
+                .is_some_and(|set| set.contains(id))
+            {
+                return false;
+            }
+        }
+        if let Some(application) = query.application() {
+            if !self
+                .by_application
+                .get(&application)
+                .is_some_and(|set| set.contains(id))
+            {
+                return false;
+            }
+        }
+        if let Some(window) = query.window() {
+            if !window.contains(self.dates[id as usize]) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Ids of posts satisfying the query's *content* condition (keywords OR
+    /// hashtags), ascending; every post when the query has no content
+    /// constraints.  Content candidates are independent of the region /
+    /// application / window constraints, so batch callers sweeping many
+    /// windows can resolve them once per keyword set and re-apply
+    /// [`matches_metadata`](Self::matches_metadata) per window.
+    #[must_use]
+    pub fn content_candidates(&self, corpus: &Corpus, query: &Query) -> Vec<u32> {
+        if query.keywords().is_empty() && query.hashtags().is_empty() {
+            return (0..self.dates.len() as u32).collect();
+        }
+        // Keyword and hashtag constraints are disjunctive with each other
+        // (see `Query::matches`), so the candidate set is the union.
+        let mut ids = Vec::new();
+        for keyword in query.keywords() {
+            self.collect_mentions(corpus, keyword, &mut ids);
+        }
+        for tag in query.hashtags() {
+            ids.extend_from_slice(self.with_hashtag(tag));
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Ids of posts matching the query, ascending.  Produces exactly the posts
+    /// the naive [`Corpus::search`] scan returns, in the same order.
+    #[must_use]
+    pub fn query(&self, corpus: &Corpus, query: &Query) -> Vec<u32> {
+        self.content_candidates(corpus, query)
+            .into_iter()
+            .filter(|id| self.matches_metadata(*id, query))
+            .collect()
+    }
+
+    /// Answers a batch of queries against the same index in one call — a
+    /// convenience for callers holding a prepared query set.  (The PSP scoring
+    /// engine uses the finer-grained [`content_candidates`](Self::content_candidates)
+    /// / [`matches_metadata`](Self::matches_metadata) split instead, so it can
+    /// reuse one candidate set across many windows.)
+    #[must_use]
+    pub fn query_many(&self, corpus: &Corpus, queries: &[Query]) -> Vec<Vec<u32>> {
+        queries.iter().map(|q| self.query(corpus, q)).collect()
+    }
+
+    /// Posts matching the query, borrowed from the corpus in ascending order.
+    #[must_use]
+    pub fn matching_posts<'a>(&self, corpus: &'a Corpus, query: &Query) -> Vec<&'a Post> {
+        self.query(corpus, query)
+            .into_iter()
+            .map(|id| &corpus.posts()[id as usize])
+            .collect()
+    }
+}
+
+impl Corpus {
+    /// Builds a [`CorpusIndex`] over the current posts.  The index is a
+    /// snapshot: rebuild it after mutating the corpus.
+    #[must_use]
+    pub fn build_index(&self) -> CorpusIndex {
+        CorpusIndex::build(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engagement::Engagement;
+    use crate::scenario;
+    use crate::time::DateWindow;
+    use crate::user::User;
+
+    fn post(id: u64, text: &str, year: i32, region: Region, app: TargetApplication) -> Post {
+        Post::new(
+            id,
+            User::new("u", 50, 12),
+            text,
+            vec![],
+            SimDate::new(year, 6, 15),
+            region,
+            app,
+            Engagement::new(100, 5, 1, 1),
+        )
+    }
+
+    fn sample() -> Corpus {
+        Corpus::from_posts(vec![
+            post(
+                1,
+                "got my #dpfdelete done",
+                2019,
+                Region::Europe,
+                TargetApplication::Excavator,
+            ),
+            post(
+                2,
+                "#dpfdelete kit 360 EUR",
+                2021,
+                Region::Europe,
+                TargetApplication::Excavator,
+            ),
+            post(
+                3,
+                "#egrdelete how-to",
+                2020,
+                Region::NorthAmerica,
+                TargetApplication::Excavator,
+            ),
+            post(
+                4,
+                "stock machine is fine",
+                2022,
+                Region::Europe,
+                TargetApplication::PassengerCar,
+            ),
+        ])
+    }
+
+    fn ids(posts: &[&Post]) -> Vec<u64> {
+        posts.iter().map(|p| p.id()).collect()
+    }
+
+    #[test]
+    fn indexed_query_matches_naive_scan() {
+        let corpus = sample();
+        let index = corpus.build_index();
+        let queries = [
+            Query::new(),
+            Query::new().with_keyword("dpf"),
+            Query::new()
+                .with_keyword("dpfdelete")
+                .with_hashtag("#egrdelete"),
+            Query::new().in_region(Region::Europe),
+            Query::new()
+                .with_keyword("kit")
+                .about(TargetApplication::Excavator),
+            Query::new().within(DateWindow::years(2020, 2021)),
+            Query::new().with_keyword("zzz-no-such"),
+        ];
+        for query in &queries {
+            let naive = ids(&corpus.search(query));
+            let indexed = ids(&index.matching_posts(&corpus, query));
+            assert_eq!(naive, indexed, "query {query:?}");
+        }
+    }
+
+    #[test]
+    fn batch_api_answers_all_queries() {
+        let corpus = sample();
+        let index = corpus.build_index();
+        let queries = vec![
+            Query::new().with_keyword("dpf"),
+            Query::new().with_keyword("egr"),
+        ];
+        let results = index.query_many(&corpus, &queries);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].len(), 2);
+        assert_eq!(results[1].len(), 1);
+    }
+
+    #[test]
+    fn substring_keywords_hit_tokens_and_hashtags() {
+        let corpus = sample();
+        let index = corpus.build_index();
+        // "dpf" is a substring of the token/hashtag "dpfdelete".
+        assert_eq!(index.mentioning(&corpus, "dpf"), vec![0, 1]);
+        // Case-insensitive like Post::mentions.
+        assert_eq!(index.mentioning(&corpus, "DPF"), vec![0, 1]);
+        assert!(index.mentioning(&corpus, "").is_empty());
+    }
+
+    #[test]
+    fn whitespace_keywords_fall_back_to_the_scan() {
+        let corpus = sample();
+        let index = corpus.build_index();
+        let naive: Vec<u32> = corpus
+            .posts()
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.mentions("machine is"))
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert_eq!(index.mentioning(&corpus, "machine is"), naive);
+        assert_eq!(naive, vec![3]);
+    }
+
+    #[test]
+    fn metadata_bitsets_filter_correctly() {
+        let corpus = sample();
+        let index = corpus.build_index();
+        let europe = index.query(&corpus, &Query::new().in_region(Region::Europe));
+        assert_eq!(europe, vec![0, 1, 3]);
+        let excavator = index.query(
+            &corpus,
+            &Query::new()
+                .about(TargetApplication::Excavator)
+                .in_region(Region::Europe),
+        );
+        assert_eq!(excavator, vec![0, 1]);
+        let windowed = index.query(&corpus, &Query::new().within(DateWindow::years(2021, 2022)));
+        assert_eq!(windowed, vec![1, 3]);
+    }
+
+    #[test]
+    fn agrees_with_naive_scan_on_a_generated_scene() {
+        let corpus = scenario::passenger_car_europe(42);
+        let index = corpus.build_index();
+        for keyword in ["chiptuning", "benchflash", "dpf", "relay", "nope"] {
+            let query = Query::new()
+                .with_keyword(keyword)
+                .with_hashtag(keyword)
+                .in_region(Region::Europe)
+                .about(TargetApplication::PassengerCar);
+            assert_eq!(
+                ids(&corpus.search(&query)),
+                ids(&index.matching_posts(&corpus, &query)),
+                "keyword {keyword}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_corpus_index_is_empty() {
+        let corpus = Corpus::new();
+        let index = corpus.build_index();
+        assert_eq!(index.post_count(), 0);
+        assert_eq!(index.vocabulary_size(), 0);
+        assert!(index.query(&corpus, &Query::new()).is_empty());
+    }
+}

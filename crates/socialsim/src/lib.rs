@@ -15,6 +15,9 @@
 //! * [`generator`] — a seedable corpus generator driven by trend profiles,
 //! * [`corpus`] + [`query`] — an indexed corpus with a search API shaped like a
 //!   social-media search endpoint (keywords, hashtags, region, time window),
+//! * [`index`] — an inverted [`CorpusIndex`] (mention vocabulary, hashtag
+//!   posting lists, region/application bitsets) with a batch multi-query API
+//!   that answers the same queries without rescanning the corpus,
 //! * [`poisoning`] — bot-campaign injection used by the poisoning-defence
 //!   experiments,
 //! * [`scenario`] — ready-made corpora: the passenger-car tuning scene and the
@@ -38,6 +41,7 @@ pub mod corpus;
 pub mod engagement;
 pub mod generator;
 pub mod hashtag;
+pub mod index;
 pub mod poisoning;
 pub mod post;
 pub mod query;
@@ -49,6 +53,7 @@ pub mod user;
 pub use corpus::Corpus;
 pub use engagement::Engagement;
 pub use hashtag::Hashtag;
+pub use index::CorpusIndex;
 pub use post::{Post, Region, TargetApplication};
 pub use query::Query;
 pub use time::SimDate;

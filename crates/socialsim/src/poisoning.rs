@@ -181,7 +181,12 @@ mod tests {
         let added = BotCampaign::new("egrdelete", 25, 2022).inject(&mut corpus, 1);
         assert_eq!(added, 25);
         assert_eq!(corpus.len(), before + 25);
-        assert_eq!(corpus.search(&Query::new().with_hashtag("#egrdelete")).len(), 25);
+        assert_eq!(
+            corpus
+                .search(&Query::new().with_hashtag("#egrdelete"))
+                .len(),
+            25
+        );
     }
 
     #[test]
@@ -202,7 +207,11 @@ mod tests {
         BotCampaign::new("dpfdelete", 60, 2022).inject(&mut corpus, 3);
         let (filtered, outcome) = filter_by_credibility(&corpus, 0.25);
         assert!(outcome.recall() > 0.9, "recall {}", outcome.recall());
-        assert!(outcome.precision() > 0.7, "precision {}", outcome.precision());
+        assert!(
+            outcome.precision() > 0.7,
+            "precision {}",
+            outcome.precision()
+        );
         assert!(filtered.len() >= organic / 2);
     }
 

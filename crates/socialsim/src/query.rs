@@ -110,10 +110,10 @@ impl Query {
                 return false;
             }
         }
-        let keyword_hit = self.keywords.is_empty()
-            || self.keywords.iter().any(|k| post.mentions(k));
-        let hashtag_hit = self.hashtags.is_empty()
-            || self.hashtags.iter().any(|h| post.has_hashtag(h));
+        let keyword_hit =
+            self.keywords.is_empty() || self.keywords.iter().any(|k| post.mentions(k));
+        let hashtag_hit =
+            self.hashtags.is_empty() || self.hashtags.iter().any(|h| post.has_hashtag(h));
         // If both keyword and hashtag constraints are present, either may satisfy
         // the content condition (that is how search terms behave on the platform).
         if self.keywords.is_empty() && self.hashtags.is_empty() {
@@ -151,14 +151,29 @@ mod tests {
     #[test]
     fn empty_query_matches_everything() {
         let q = Query::new();
-        assert!(q.matches(&post("anything", 2020, Region::Europe, TargetApplication::Excavator)));
+        assert!(q.matches(&post(
+            "anything",
+            2020,
+            Region::Europe,
+            TargetApplication::Excavator
+        )));
     }
 
     #[test]
     fn keyword_filtering() {
         let q = Query::new().with_keyword("dpf");
-        assert!(q.matches(&post("my #dpfdelete story", 2021, Region::Europe, TargetApplication::Excavator)));
-        assert!(!q.matches(&post("nice tractor", 2021, Region::Europe, TargetApplication::Excavator)));
+        assert!(q.matches(&post(
+            "my #dpfdelete story",
+            2021,
+            Region::Europe,
+            TargetApplication::Excavator
+        )));
+        assert!(!q.matches(&post(
+            "nice tractor",
+            2021,
+            Region::Europe,
+            TargetApplication::Excavator
+        )));
     }
 
     #[test]
@@ -166,24 +181,66 @@ mod tests {
         let q = Query::new()
             .in_region(Region::Europe)
             .about(TargetApplication::Excavator);
-        assert!(q.matches(&post("x", 2021, Region::Europe, TargetApplication::Excavator)));
-        assert!(!q.matches(&post("x", 2021, Region::NorthAmerica, TargetApplication::Excavator)));
-        assert!(!q.matches(&post("x", 2021, Region::Europe, TargetApplication::PassengerCar)));
+        assert!(q.matches(&post(
+            "x",
+            2021,
+            Region::Europe,
+            TargetApplication::Excavator
+        )));
+        assert!(!q.matches(&post(
+            "x",
+            2021,
+            Region::NorthAmerica,
+            TargetApplication::Excavator
+        )));
+        assert!(!q.matches(&post(
+            "x",
+            2021,
+            Region::Europe,
+            TargetApplication::PassengerCar
+        )));
     }
 
     #[test]
     fn window_filters_by_date() {
         let q = Query::new().within(DateWindow::years(2021, 2023));
-        assert!(q.matches(&post("x", 2022, Region::Europe, TargetApplication::Excavator)));
-        assert!(!q.matches(&post("x", 2019, Region::Europe, TargetApplication::Excavator)));
+        assert!(q.matches(&post(
+            "x",
+            2022,
+            Region::Europe,
+            TargetApplication::Excavator
+        )));
+        assert!(!q.matches(&post(
+            "x",
+            2019,
+            Region::Europe,
+            TargetApplication::Excavator
+        )));
     }
 
     #[test]
     fn hashtag_or_keyword_satisfies_content_condition() {
-        let q = Query::new().with_keyword("adblue").with_hashtag("#dpfdelete");
-        assert!(q.matches(&post("check my #dpfdelete", 2021, Region::Europe, TargetApplication::Excavator)));
-        assert!(q.matches(&post("adblue emulator installed", 2021, Region::Europe, TargetApplication::Excavator)));
-        assert!(!q.matches(&post("stock machine", 2021, Region::Europe, TargetApplication::Excavator)));
+        let q = Query::new()
+            .with_keyword("adblue")
+            .with_hashtag("#dpfdelete");
+        assert!(q.matches(&post(
+            "check my #dpfdelete",
+            2021,
+            Region::Europe,
+            TargetApplication::Excavator
+        )));
+        assert!(q.matches(&post(
+            "adblue emulator installed",
+            2021,
+            Region::Europe,
+            TargetApplication::Excavator
+        )));
+        assert!(!q.matches(&post(
+            "stock machine",
+            2021,
+            Region::Europe,
+            TargetApplication::Excavator
+        )));
     }
 
     #[test]

@@ -205,9 +205,7 @@ mod tests {
         let bench_all = corpus
             .search(&all_time.clone().with_hashtag("#benchflash"))
             .len();
-        let obd_all = corpus
-            .search(&all_time.with_hashtag("#chiptuning"))
-            .len();
+        let obd_all = corpus.search(&all_time.with_hashtag("#chiptuning")).len();
         let bench_recent = corpus
             .search(&recent.clone().with_hashtag("#benchflash"))
             .len();

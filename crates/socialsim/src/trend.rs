@@ -224,7 +224,10 @@ mod tests {
 
     #[test]
     fn active_years_are_sorted_and_nonzero() {
-        let t = TopicTrend::new("x").volume(2021, 5).volume(2019, 0).volume(2020, 7);
+        let t = TopicTrend::new("x")
+            .volume(2021, 5)
+            .volume(2019, 0)
+            .volume(2020, 7);
         assert_eq!(t.active_years(), vec![2020, 2021]);
     }
 

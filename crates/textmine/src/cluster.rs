@@ -110,7 +110,11 @@ pub fn kmeans_1d(values: &[f64], k: usize, max_iterations: usize) -> Vec<Cluster
         })
         .filter(|c| !c.is_empty())
         .collect();
-    clusters.sort_by(|a, b| a.center.partial_cmp(&b.center).unwrap_or(std::cmp::Ordering::Equal));
+    clusters.sort_by(|a, b| {
+        a.center
+            .partial_cmp(&b.center)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     clusters
 }
 
@@ -118,13 +122,13 @@ pub fn kmeans_1d(values: &[f64], k: usize, max_iterations: usize) -> Vec<Cluster
 /// higher centre — the "dominant price point" of a listing scene.
 #[must_use]
 pub fn dominant_cluster(clusters: &[Cluster]) -> Option<&Cluster> {
-    clusters
-        .iter()
-        .max_by(|a, b| {
-            a.len()
-                .cmp(&b.len())
-                .then(a.center.partial_cmp(&b.center).unwrap_or(std::cmp::Ordering::Equal))
-        })
+    clusters.iter().max_by(|a, b| {
+        a.len().cmp(&b.len()).then(
+            a.center
+                .partial_cmp(&b.center)
+                .unwrap_or(std::cmp::Ordering::Equal),
+        )
+    })
 }
 
 #[cfg(test)]

@@ -64,7 +64,9 @@ mod tests {
     fn numbers_and_short_tokens_excluded() {
         let docs = ["360 eur kit ok", "40 hp up"];
         let keywords = extract_keywords(docs, 10);
-        assert!(keywords.iter().all(|(t, _)| t != "360" && t != "40" && t != "ok" && t != "up"));
+        assert!(keywords
+            .iter()
+            .all(|(t, _)| t != "360" && t != "40" && t != "ok" && t != "up"));
     }
 
     #[test]

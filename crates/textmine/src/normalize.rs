@@ -44,7 +44,10 @@ mod tests {
 
     #[test]
     fn keeps_hashtags_and_mentions() {
-        assert_eq!(normalize("#DPFDelete by @TunerShop"), "#dpfdelete by @tunershop");
+        assert_eq!(
+            normalize("#DPFDelete by @TunerShop"),
+            "#dpfdelete by @tunershop"
+        );
     }
 
     #[test]

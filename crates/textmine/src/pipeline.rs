@@ -69,7 +69,8 @@ mod tests {
     #[test]
     fn full_analysis_of_a_sale_post() {
         let pipeline = TextPipeline::new();
-        let a = pipeline.analyze("#DPFDelete kit for sale, 360 EUR shipped, install guide included");
+        let a =
+            pipeline.analyze("#DPFDelete kit for sale, 360 EUR shipped, install guide included");
         assert!(a.hashtags.contains(&"dpfdelete".to_string()));
         assert_eq!(a.prices, vec![360.0]);
         assert!(a.intent.score > 0.0);

@@ -31,7 +31,10 @@ pub fn extract_prices(text: &str) -> Vec<f64> {
         .collect();
     let tokens: Vec<String> = cleaned
         .split_whitespace()
-        .map(|t| t.trim_matches(|c: char| c == ',' || c == '.' || c == '!' || c == '?' || c == ':').to_string())
+        .map(|t| {
+            t.trim_matches(|c: char| c == ',' || c == '.' || c == '!' || c == '?' || c == ':')
+                .to_string()
+        })
         .filter(|t| !t.is_empty())
         .collect();
 
@@ -85,11 +88,18 @@ fn parse_number(token: &str) -> Option<f64> {
     // Collapse thousands separators like "1.299.00" -> treat the last dot as decimal.
     let parts: Vec<&str> = normalized.split('.').collect();
     let candidate = if parts.len() > 2 {
-        format!("{}.{}", parts[..parts.len() - 1].concat(), parts[parts.len() - 1])
+        format!(
+            "{}.{}",
+            parts[..parts.len() - 1].concat(),
+            parts[parts.len() - 1]
+        )
     } else {
         normalized
     };
-    candidate.parse::<f64>().ok().filter(|v| *v > 0.0 && *v < 1_000_000.0)
+    candidate
+        .parse::<f64>()
+        .ok()
+        .filter(|v| *v > 0.0 && *v < 1_000_000.0)
 }
 
 #[cfg(test)]
@@ -133,7 +143,10 @@ mod tests {
 
     #[test]
     fn median_is_robust() {
-        assert_eq!(representative_price(&[360.0, 380.0, 1.0, 9999.0, 350.0]), Some(360.0));
+        assert_eq!(
+            representative_price(&[360.0, 380.0, 1.0, 9999.0, 350.0]),
+            Some(360.0)
+        );
         assert_eq!(representative_price(&[100.0, 200.0]), Some(150.0));
         assert_eq!(representative_price(&[]), None);
     }

@@ -11,15 +11,44 @@ use serde::{Deserialize, Serialize};
 
 /// Words signalling that the author performed, wants or sells the attack.
 const ENGAGEMENT_WORDS: [&str; 22] = [
-    "delete", "deleted", "removal", "removed", "off", "disable", "disabled", "bypass",
-    "install", "installed", "kit", "sale", "shipped", "dm", "guide", "howto", "done",
-    "tune", "tuned", "remap", "emulator", "unlock",
+    "delete",
+    "deleted",
+    "removal",
+    "removed",
+    "off",
+    "disable",
+    "disabled",
+    "bypass",
+    "install",
+    "installed",
+    "kit",
+    "sale",
+    "shipped",
+    "dm",
+    "guide",
+    "howto",
+    "done",
+    "tune",
+    "tuned",
+    "remap",
+    "emulator",
+    "unlock",
 ];
 
 /// Words signalling deterrence, warnings or enforcement (reduce the intent score).
 const DETERRENT_WORDS: [&str; 12] = [
-    "illegal", "fine", "fined", "ban", "banned", "warranty", "refused", "recall",
-    "warning", "enforcement", "prosecuted", "inspection",
+    "illegal",
+    "fine",
+    "fined",
+    "ban",
+    "banned",
+    "warranty",
+    "refused",
+    "recall",
+    "warning",
+    "enforcement",
+    "prosecuted",
+    "inspection",
 ];
 
 /// Words signalling a commercial offer (price talk boosts market relevance).
@@ -109,7 +138,8 @@ mod tests {
     fn sale_post_scores_higher_than_news_post() {
         let lex = IntentLexicon::new();
         let sale = lex.score("DPF delete kit for sale, 360 EUR shipped, install guide included");
-        let news = lex.score("Authorities warn that defeat devices are illegal and owners get fined");
+        let news =
+            lex.score("Authorities warn that defeat devices are illegal and owners get fined");
         assert!(sale.score > news.score);
         assert!(sale.engagement_hits >= 2);
         assert!(news.deterrent_hits >= 2);

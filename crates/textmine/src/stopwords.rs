@@ -3,11 +3,10 @@
 /// Common English stop words plus social-media filler.
 pub const STOPWORDS: [&str; 64] = [
     "a", "an", "the", "and", "or", "but", "if", "then", "else", "for", "of", "on", "in", "at",
-    "to", "from", "by", "with", "without", "about", "as", "is", "are", "was", "were", "be",
-    "been", "being", "am", "do", "does", "did", "have", "has", "had", "will", "would", "can",
-    "could", "should", "shall", "may", "might", "must", "this", "that", "these", "those", "it",
-    "its", "my", "your", "his", "her", "our", "their", "me", "you", "he", "she", "we", "they",
-    "just", "now",
+    "to", "from", "by", "with", "without", "about", "as", "is", "are", "was", "were", "be", "been",
+    "being", "am", "do", "does", "did", "have", "has", "had", "will", "would", "can", "could",
+    "should", "shall", "may", "might", "must", "this", "that", "these", "those", "it", "its", "my",
+    "your", "his", "her", "our", "their", "me", "you", "he", "she", "we", "they", "just", "now",
 ];
 
 /// Whether a token is a stop word.

@@ -87,7 +87,11 @@ impl TfIdf {
             .keys()
             .map(|t| (t.clone(), self.tfidf(doc_index, t)))
             .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
         scored.truncate(top_n);
         scored
     }
@@ -107,7 +111,11 @@ impl TfIdf {
             }
         }
         let mut out: Vec<_> = best.into_iter().collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
         out.truncate(top_n);
         out
     }

@@ -37,12 +37,18 @@ mod tests {
 
     #[test]
     fn splits_on_whitespace_and_punctuation() {
-        assert_eq!(tokenize("quick, easy install!"), vec!["quick", "easy", "install"]);
+        assert_eq!(
+            tokenize("quick, easy install!"),
+            vec!["quick", "easy", "install"]
+        );
     }
 
     #[test]
     fn keeps_numbers() {
-        assert_eq!(tokenize("stage 1 adds 40 hp"), vec!["stage", "1", "adds", "40", "hp"]);
+        assert_eq!(
+            tokenize("stage 1 adds 40 hp"),
+            vec!["stage", "1", "adds", "40", "hp"]
+        );
     }
 
     #[test]
@@ -54,7 +60,7 @@ mod tests {
     }
 
     #[test]
-    fn bare_hash_is_dropped(){
+    fn bare_hash_is_dropped() {
         assert!(tokenize("# lonely hash").iter().all(|t| t != "#"));
     }
 

@@ -270,7 +270,10 @@ mod tests {
 
     #[test]
     fn debug_port_is_physical() {
-        assert_eq!(ExternalInterface::DebugPort.vector(), AttackVector::Physical);
+        assert_eq!(
+            ExternalInterface::DebugPort.vector(),
+            AttackVector::Physical
+        );
         assert_eq!(ExternalInterface::DebugPort.range(), AttackRange::Physical);
     }
 

@@ -110,11 +110,7 @@ impl Bus {
     /// let bus = Bus::new("PT-CAN", BusKind::CanHighSpeed, FunctionalDomain::Powertrain);
     /// assert_eq!(bus.name(), "PT-CAN");
     /// ```
-    pub fn new(
-        name: impl Into<String>,
-        kind: BusKind,
-        domain: FunctionalDomain,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, kind: BusKind, domain: FunctionalDomain) -> Self {
         Self {
             name: name.into(),
             kind,
@@ -180,14 +176,22 @@ mod tests {
 
     #[test]
     fn powertrain_can_is_injection_prone() {
-        let bus = Bus::new("PT-CAN", BusKind::CanHighSpeed, FunctionalDomain::Powertrain);
+        let bus = Bus::new(
+            "PT-CAN",
+            BusKind::CanHighSpeed,
+            FunctionalDomain::Powertrain,
+        );
         assert!(bus.is_injection_prone());
         assert_eq!(bus.domain(), FunctionalDomain::Powertrain);
     }
 
     #[test]
     fn ethernet_backbone_is_not_injection_prone() {
-        let bus = Bus::new("BACKBONE", BusKind::Ethernet, FunctionalDomain::Communication);
+        let bus = Bus::new(
+            "BACKBONE",
+            BusKind::Ethernet,
+            FunctionalDomain::Communication,
+        );
         assert!(!bus.is_injection_prone());
     }
 
@@ -207,8 +211,7 @@ mod tests {
 
     #[test]
     fn all_kinds_have_distinct_labels() {
-        let labels: std::collections::HashSet<_> =
-            BusKind::ALL.iter().map(|k| k.label()).collect();
+        let labels: std::collections::HashSet<_> = BusKind::ALL.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), BusKind::ALL.len());
     }
 }

@@ -127,7 +127,10 @@ mod tests {
     #[test]
     fn labels_match_paper_figure_4() {
         assert_eq!(FunctionalDomain::Powertrain.to_string(), "PowerTrain");
-        assert_eq!(FunctionalDomain::Diagnostics.to_string(), "On Board Diagnostic");
+        assert_eq!(
+            FunctionalDomain::Diagnostics.to_string(),
+            "On Board Diagnostic"
+        );
         assert_eq!(FunctionalDomain::Communication.to_string(), "Communication");
     }
 

@@ -89,7 +89,9 @@ impl EcuClassification {
     /// (possibly including the local OBD vector).
     #[must_use]
     pub fn physical_only(&self) -> bool {
-        self.exposures.iter().all(|e| e.range == AttackRange::Physical)
+        self.exposures
+            .iter()
+            .all(|e| e.range == AttackRange::Physical)
     }
 }
 
@@ -194,10 +196,7 @@ impl ReachabilityAnalysis {
 /// entry ECU can inject on its whole segment); continuing through any further ECU
 /// onto another segment is only possible if that ECU is a gateway and costs one
 /// gateway hop.
-fn bfs_from_interface(
-    topology: &VehicleTopology,
-    start: NodeIndex,
-) -> Vec<(String, usize, bool)> {
+fn bfs_from_interface(topology: &VehicleTopology, start: NodeIndex) -> Vec<(String, usize, bool)> {
     let graph = topology.graph();
     let mut best: HashMap<NodeIndex, usize> = HashMap::new();
     let mut entry: Vec<NodeIndex> = Vec::new();
@@ -218,7 +217,7 @@ fn bfs_from_interface(
         };
         let is_entry = entry.contains(&node);
         // Only the entry ECU and gateways forward traffic onto their segments.
-        if !is_entry && !(ecu.is_gateway() || ecu.buses().len() >= 2) {
+        if !is_entry && !ecu.is_gateway() && ecu.buses().len() < 2 {
             continue;
         }
         // Crossing through a non-entry (gateway) ECU costs one hop.
@@ -264,8 +263,16 @@ mod tests {
 
     fn topology() -> VehicleTopology {
         VehicleTopology::builder("test-car")
-            .bus(Bus::new("PT-CAN", BusKind::CanHighSpeed, FunctionalDomain::Powertrain))
-            .bus(Bus::new("INFO-CAN", BusKind::CanFd, FunctionalDomain::Infotainment))
+            .bus(Bus::new(
+                "PT-CAN",
+                BusKind::CanHighSpeed,
+                FunctionalDomain::Powertrain,
+            ))
+            .bus(Bus::new(
+                "INFO-CAN",
+                BusKind::CanFd,
+                FunctionalDomain::Infotainment,
+            ))
             .ecu(
                 Ecu::builder("TCU")
                     .domain(FunctionalDomain::Communication)
@@ -344,7 +351,10 @@ mod tests {
             .iter()
             .filter(|e| e.vector == AttackVector::Local)
             .collect();
-        assert!(!local.is_empty(), "OBD port shares the PT-CAN segment with the ECM");
+        assert!(
+            !local.is_empty(),
+            "OBD port shares the PT-CAN segment with the ECM"
+        );
         assert_eq!(local[0].gateway_hops, 0);
     }
 
@@ -376,8 +386,17 @@ mod tests {
     #[test]
     fn physical_only_for_isolated_ecu() {
         let topo = VehicleTopology::builder("isolated")
-            .bus(Bus::new("LOCAL-CAN", BusKind::CanHighSpeed, FunctionalDomain::Powertrain))
-            .ecu(Ecu::builder("ECM").on_bus("LOCAL-CAN").domain(FunctionalDomain::Powertrain).build())
+            .bus(Bus::new(
+                "LOCAL-CAN",
+                BusKind::CanHighSpeed,
+                FunctionalDomain::Powertrain,
+            ))
+            .ecu(
+                Ecu::builder("ECM")
+                    .on_bus("LOCAL-CAN")
+                    .domain(FunctionalDomain::Powertrain)
+                    .build(),
+            )
             .build()
             .unwrap();
         let analysis = ReachabilityAnalysis::analyze(&topo);

@@ -21,12 +21,32 @@ use crate::topology::VehicleTopology;
 pub fn passenger_car() -> VehicleTopology {
     VehicleTopology::builder("passenger-car")
         // Network segments.
-        .bus(Bus::new("PT-CAN", BusKind::CanHighSpeed, FunctionalDomain::Powertrain))
-        .bus(Bus::new("CHASSIS-CAN", BusKind::CanFd, FunctionalDomain::Chassis))
-        .bus(Bus::new("BODY-CAN", BusKind::CanLowSpeed, FunctionalDomain::Body))
+        .bus(Bus::new(
+            "PT-CAN",
+            BusKind::CanHighSpeed,
+            FunctionalDomain::Powertrain,
+        ))
+        .bus(Bus::new(
+            "CHASSIS-CAN",
+            BusKind::CanFd,
+            FunctionalDomain::Chassis,
+        ))
+        .bus(Bus::new(
+            "BODY-CAN",
+            BusKind::CanLowSpeed,
+            FunctionalDomain::Body,
+        ))
         .bus(Bus::new("BODY-LIN", BusKind::Lin, FunctionalDomain::Body))
-        .bus(Bus::new("INFO-CAN", BusKind::CanFd, FunctionalDomain::Infotainment))
-        .bus(Bus::new("DIAG-CAN", BusKind::CanHighSpeed, FunctionalDomain::Diagnostics))
+        .bus(Bus::new(
+            "INFO-CAN",
+            BusKind::CanFd,
+            FunctionalDomain::Infotainment,
+        ))
+        .bus(Bus::new(
+            "DIAG-CAN",
+            BusKind::CanHighSpeed,
+            FunctionalDomain::Diagnostics,
+        ))
         // Central gateway.
         .ecu(
             Ecu::builder("GATEWAY")
@@ -175,9 +195,21 @@ pub fn passenger_car() -> VehicleTopology {
 #[must_use]
 pub fn excavator() -> VehicleTopology {
     VehicleTopology::builder("excavator")
-        .bus(Bus::new("ENG-CAN", BusKind::CanHighSpeed, FunctionalDomain::Powertrain))
-        .bus(Bus::new("IMPL-CAN", BusKind::CanHighSpeed, FunctionalDomain::Chassis))
-        .bus(Bus::new("CAB-CAN", BusKind::CanLowSpeed, FunctionalDomain::Body))
+        .bus(Bus::new(
+            "ENG-CAN",
+            BusKind::CanHighSpeed,
+            FunctionalDomain::Powertrain,
+        ))
+        .bus(Bus::new(
+            "IMPL-CAN",
+            BusKind::CanHighSpeed,
+            FunctionalDomain::Chassis,
+        ))
+        .bus(Bus::new(
+            "CAB-CAN",
+            BusKind::CanLowSpeed,
+            FunctionalDomain::Body,
+        ))
         .ecu(
             Ecu::builder("ECM")
                 .full_name("Engine Control Module")
@@ -230,9 +262,21 @@ pub fn excavator() -> VehicleTopology {
 #[must_use]
 pub fn light_truck() -> VehicleTopology {
     VehicleTopology::builder("light-truck")
-        .bus(Bus::new("PT-CAN", BusKind::CanHighSpeed, FunctionalDomain::Powertrain))
-        .bus(Bus::new("BODY-CAN", BusKind::CanLowSpeed, FunctionalDomain::Body))
-        .bus(Bus::new("DIAG-CAN", BusKind::CanHighSpeed, FunctionalDomain::Diagnostics))
+        .bus(Bus::new(
+            "PT-CAN",
+            BusKind::CanHighSpeed,
+            FunctionalDomain::Powertrain,
+        ))
+        .bus(Bus::new(
+            "BODY-CAN",
+            BusKind::CanLowSpeed,
+            FunctionalDomain::Body,
+        ))
+        .bus(Bus::new(
+            "DIAG-CAN",
+            BusKind::CanHighSpeed,
+            FunctionalDomain::Diagnostics,
+        ))
         .ecu(
             Ecu::builder("GATEWAY")
                 .full_name("Central Gateway")
@@ -310,7 +354,9 @@ mod tests {
         for name in ["ECM", "TCM", "DEFC"] {
             let c = analysis.classification_of(name).unwrap();
             assert!(
-                c.direct_ranges().iter().all(|r| *r == AttackRange::Physical),
+                c.direct_ranges()
+                    .iter()
+                    .all(|r| *r == AttackRange::Physical),
                 "{name} must only be directly exposed to physical access"
             );
         }

@@ -91,10 +91,13 @@ impl VehicleTopology {
     pub fn interfaces(&self) -> impl Iterator<Item = (ExternalInterface, &Ecu)> + '_ {
         self.graph.node_indices().filter_map(move |idx| {
             if let NodeKind::Interface(iface) = &self.graph[idx] {
-                let ecu = self.graph.neighbors(idx).find_map(|n| match &self.graph[n] {
-                    NodeKind::Ecu(e) => Some(e),
-                    _ => None,
-                })?;
+                let ecu = self
+                    .graph
+                    .neighbors(idx)
+                    .find_map(|n| match &self.graph[n] {
+                        NodeKind::Ecu(e) => Some(e),
+                        _ => None,
+                    })?;
                 Some((*iface, ecu))
             } else {
                 None
@@ -105,19 +108,23 @@ impl VehicleTopology {
     /// Looks up an ECU by name.
     #[must_use]
     pub fn ecu(&self, name: &str) -> Option<&Ecu> {
-        self.by_name.get(name).and_then(|idx| match &self.graph[*idx] {
-            NodeKind::Ecu(e) => Some(e),
-            _ => None,
-        })
+        self.by_name
+            .get(name)
+            .and_then(|idx| match &self.graph[*idx] {
+                NodeKind::Ecu(e) => Some(e),
+                _ => None,
+            })
     }
 
     /// Looks up a bus by name.
     #[must_use]
     pub fn bus(&self, name: &str) -> Option<&Bus> {
-        self.by_name.get(name).and_then(|idx| match &self.graph[*idx] {
-            NodeKind::Bus(b) => Some(b),
-            _ => None,
-        })
+        self.by_name
+            .get(name)
+            .and_then(|idx| match &self.graph[*idx] {
+                NodeKind::Bus(b) => Some(b),
+                _ => None,
+            })
     }
 
     /// Returns the node index of a named node, if present.
@@ -222,11 +229,13 @@ impl VehicleTopologyBuilder {
         for ecu in &self.ecus {
             let ecu_idx = by_name[ecu.name()];
             for bus_name in ecu.buses() {
-                let bus_idx = by_name.get(bus_name).copied().ok_or_else(|| {
-                    VehicleError::UnknownNode {
-                        name: bus_name.clone(),
-                    }
-                })?;
+                let bus_idx =
+                    by_name
+                        .get(bus_name)
+                        .copied()
+                        .ok_or_else(|| VehicleError::UnknownNode {
+                            name: bus_name.clone(),
+                        })?;
                 graph.add_edge(ecu_idx, bus_idx, ());
             }
             for iface in ecu.interfaces() {
@@ -251,8 +260,16 @@ mod tests {
 
     fn tiny_topology() -> VehicleTopology {
         VehicleTopology::builder("tiny")
-            .bus(Bus::new("PT-CAN", BusKind::CanHighSpeed, FunctionalDomain::Powertrain))
-            .bus(Bus::new("BACKBONE", BusKind::Ethernet, FunctionalDomain::Communication))
+            .bus(Bus::new(
+                "PT-CAN",
+                BusKind::CanHighSpeed,
+                FunctionalDomain::Powertrain,
+            ))
+            .bus(Bus::new(
+                "BACKBONE",
+                BusKind::Ethernet,
+                FunctionalDomain::Communication,
+            ))
             .ecu(
                 Ecu::builder("ECM")
                     .domain(FunctionalDomain::Powertrain)
@@ -290,7 +307,11 @@ mod tests {
     #[test]
     fn ecus_on_bus_finds_attachments() {
         let topo = tiny_topology();
-        let names: Vec<_> = topo.ecus_on_bus("PT-CAN").iter().map(|e| e.name().to_string()).collect();
+        let names: Vec<_> = topo
+            .ecus_on_bus("PT-CAN")
+            .iter()
+            .map(|e| e.name().to_string())
+            .collect();
         assert!(names.contains(&"ECM".to_string()));
         assert!(names.contains(&"GW".to_string()));
         assert!(!names.contains(&"TCU".to_string()));
@@ -299,7 +320,11 @@ mod tests {
     #[test]
     fn gateways_detected() {
         let topo = tiny_topology();
-        let gws: Vec<_> = topo.gateways().iter().map(|e| e.name().to_string()).collect();
+        let gws: Vec<_> = topo
+            .gateways()
+            .iter()
+            .map(|e| e.name().to_string())
+            .collect();
         assert_eq!(gws, vec!["GW".to_string()]);
     }
 
@@ -336,7 +361,12 @@ mod tests {
             .ecu(Ecu::builder("ECM").on_bus("MISSING").build())
             .build()
             .unwrap_err();
-        assert_eq!(err, VehicleError::UnknownNode { name: "MISSING".into() });
+        assert_eq!(
+            err,
+            VehicleError::UnknownNode {
+                name: "MISSING".into()
+            }
+        );
     }
 
     #[test]

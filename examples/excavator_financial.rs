@@ -36,13 +36,38 @@ fn main() {
     .expect("calibrated example assesses");
 
     println!("\nFinancial model for DPF tampering (paper Section III):");
-    println!("  previous-year sales (VS)     = {}", assessment.vehicle_sales);
-    println!("  potential-attacker share PEA = {:.1}%", assessment.pea * 100.0);
-    println!("  potential attackers PAE      = {:.0}   (paper: {:.0})", assessment.pae, datasets::PAPER_PAE);
-    println!("  mined price PPIA             = {:.0} EUR (paper: {:.0} EUR)", assessment.ppia, datasets::PAPER_PPIA_EUR);
-    println!("  market value MV (Eq. 6)      = {:.0} EUR/yr (paper: {:.0})", assessment.market_value, datasets::PAPER_MV_EUR);
-    println!("  investment bound FC (Eq. 7)  = {:.0} EUR (paper: {:.0})", assessment.investment_bound, datasets::PAPER_FC_EUR);
-    println!("  forward fixed cost (Eq. 4)   = {:.0} EUR", assessment.forward_fixed_cost);
+    println!(
+        "  previous-year sales (VS)     = {}",
+        assessment.vehicle_sales
+    );
+    println!(
+        "  potential-attacker share PEA = {:.1}%",
+        assessment.pea * 100.0
+    );
+    println!(
+        "  potential attackers PAE      = {:.0}   (paper: {:.0})",
+        assessment.pae,
+        datasets::PAPER_PAE
+    );
+    println!(
+        "  mined price PPIA             = {:.0} EUR (paper: {:.0} EUR)",
+        assessment.ppia,
+        datasets::PAPER_PPIA_EUR
+    );
+    println!(
+        "  market value MV (Eq. 6)      = {:.0} EUR/yr (paper: {:.0})",
+        assessment.market_value,
+        datasets::PAPER_MV_EUR
+    );
+    println!(
+        "  investment bound FC (Eq. 7)  = {:.0} EUR (paper: {:.0})",
+        assessment.investment_bound,
+        datasets::PAPER_FC_EUR
+    );
+    println!(
+        "  forward fixed cost (Eq. 4)   = {:.0} EUR",
+        assessment.forward_fixed_cost
+    );
     println!(
         "  break-even volume (Eq. 3)    = {}",
         assessment
@@ -61,7 +86,10 @@ fn main() {
         datasets::PAPER_COMPETITORS,
     );
     let max_units = assessment.pae * 2.0;
-    println!("  {:>8} {:>14} {:>14} {:>10}", "units", "revenue EUR", "cost EUR", "zone");
+    println!(
+        "  {:>8} {:>14} {:>14} {:>10}",
+        "units", "revenue EUR", "cost EUR", "zone"
+    );
     for point in analysis.curve(max_units, 9) {
         println!(
             "  {:>8.0} {:>14.0} {:>14.0} {:>10}",

@@ -75,7 +75,5 @@ fn main() {
         .insider_table("ecm-reprogramming")
         .expect("table")
         .ranking()[0];
-    println!(
-        "\ntop-ranked vector: poisoned run = {misled_top}, defended run = {defended_top}"
-    );
+    println!("\ntop-ranked vector: poisoned run = {misled_top}, defended run = {defended_top}");
 }

@@ -22,7 +22,9 @@ fn main() {
     // The vehicle context: which attack ranges can even reach the ECM?
     let car = passenger_car();
     let reachability = ReachabilityAnalysis::analyze(&car);
-    let ecm = reachability.classification_of("ECM").expect("ECM in reference car");
+    let ecm = reachability
+        .classification_of("ECM")
+        .expect("ECM in reference car");
     println!("ECM exposure in the reference passenger car:");
     for exposure in ecm.exposures() {
         println!(
@@ -39,16 +41,18 @@ fn main() {
 
     for (label, window) in [
         ("full history (Figure 9-B)", None),
-        ("2021 onwards (Figure 9-C)", Some(DateWindow::years(2021, 2023))),
+        (
+            "2021 onwards (Figure 9-C)",
+            Some(DateWindow::years(2021, 2023)),
+        ),
     ] {
         let mut config = PspConfig::passenger_car_europe();
         if let Some(w) = window {
             config = config.with_window(w);
         }
         let outcome = PspWorkflow::new(config, KeywordDatabase::passenger_car_seed()).run(&corpus);
-        let comparison =
-            DynamicTaraComparison::evaluate(&tara, &outcome, "ecm-reprogramming")
-                .expect("reference TARA evaluates");
+        let comparison = DynamicTaraComparison::evaluate(&tara, &outcome, "ecm-reprogramming")
+            .expect("reference TARA evaluates");
 
         println!("\n=== {label} ===");
         println!(

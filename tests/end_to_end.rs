@@ -3,6 +3,7 @@
 
 use psp_suite::iso21434::feasibility::attack_vector::{AttackVectorModel, AttackVectorTable};
 use psp_suite::iso21434::feasibility::AttackFeasibilityRating;
+use psp_suite::market::datasets;
 use psp_suite::psp::config::PspConfig;
 use psp_suite::psp::dynamic_tara::{ecm_reference_tara, DynamicTaraComparison};
 use psp_suite::psp::financial::{FinancialAssessment, FinancialInputs};
@@ -10,7 +11,6 @@ use psp_suite::psp::keyword_db::KeywordDatabase;
 use psp_suite::psp::report::PspReport;
 use psp_suite::psp::sai::SaiList;
 use psp_suite::psp::workflow::PspWorkflow;
-use psp_suite::market::datasets;
 use psp_suite::socialsim::scenario;
 use psp_suite::socialsim::time::DateWindow;
 use psp_suite::vehicle::attack_surface::AttackVector;
@@ -25,8 +25,7 @@ fn full_pipeline_passenger_car_static_vs_dynamic() {
     .run(&corpus);
 
     let tara = ecm_reference_tara("ECM");
-    let comparison =
-        DynamicTaraComparison::evaluate(&tara, &outcome, "ecm-reprogramming").unwrap();
+    let comparison = DynamicTaraComparison::evaluate(&tara, &outcome, "ecm-reprogramming").unwrap();
 
     // Static model under-rates the reprogramming threat; the dynamic model raises
     // both its feasibility and its risk.
@@ -122,9 +121,8 @@ fn tuned_model_can_be_used_directly_with_the_tara_engine() {
         KeywordDatabase::passenger_car_seed(),
     )
     .run(&corpus);
-    let model = AttackVectorModel::with_table(
-        outcome.insider_table("ecm-reprogramming").unwrap().clone(),
-    );
+    let model =
+        AttackVectorModel::with_table(outcome.insider_table("ecm-reprogramming").unwrap().clone());
     let report = ecm_reference_tara("ECM").evaluate(&model).unwrap();
     assert_eq!(report.assessments().len(), 3);
     assert!(report.model_name().contains("PSP insider table"));

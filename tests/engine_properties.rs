@@ -1,0 +1,227 @@
+//! Property-based tests for the indexed scoring path: on randomized corpora,
+//! the `CorpusIndex` answers every query exactly like the naive
+//! `Query::matches` scan, and the `ScoringEngine` produces SAI lists identical
+//! to the naive reference — probabilities summing to 1 whenever any evidence
+//! exists.
+
+use proptest::prelude::*;
+use psp_suite::psp::config::PspConfig;
+use psp_suite::psp::engine::ScoringEngine;
+use psp_suite::psp::keyword_db::KeywordDatabase;
+use psp_suite::psp::sai::SaiList;
+use psp_suite::socialsim::corpus::Corpus;
+use psp_suite::socialsim::engagement::Engagement;
+use psp_suite::socialsim::post::{Post, Region, TargetApplication};
+use psp_suite::socialsim::query::Query;
+use psp_suite::socialsim::time::{DateWindow, SimDate};
+use psp_suite::socialsim::user::User;
+
+/// Word pool for synthetic post text: attack tags, their fragments, and noise.
+const WORDS: [&str; 14] = [
+    "#dpfdelete",
+    "dpfdelete",
+    "#egrdelete",
+    "egr",
+    "#chiptuning",
+    "chiptuning",
+    "kit",
+    "sale",
+    "360",
+    "EUR",
+    "excavator",
+    "quarry",
+    "#jobsite",
+    "install",
+];
+
+/// Keywords to query with: exact tags, substrings and misses.
+const QUERY_TERMS: [&str; 8] = [
+    "dpfdelete",
+    "dpf",
+    "egrdelete",
+    "egr",
+    "chiptuning",
+    "chip",
+    "kit",
+    "zzz-none",
+];
+
+fn arb_region() -> impl Strategy<Value = Region> {
+    prop_oneof![
+        Just(Region::Europe),
+        Just(Region::NorthAmerica),
+        Just(Region::AsiaPacific),
+    ]
+}
+
+fn arb_application() -> impl Strategy<Value = TargetApplication> {
+    prop_oneof![
+        Just(TargetApplication::Excavator),
+        Just(TargetApplication::PassengerCar),
+        Just(TargetApplication::Agriculture),
+    ]
+}
+
+fn arb_post() -> impl Strategy<Value = Post> {
+    (
+        prop::collection::vec(0usize..WORDS.len(), 0..7),
+        2015i32..2024,
+        1u8..=12,
+        1u8..=28,
+        arb_region(),
+        arb_application(),
+        0u64..50_000,
+        0u64..500,
+    )
+        .prop_map(
+            |(word_ids, year, month, day, region, application, views, likes)| {
+                let text: Vec<&str> = word_ids.iter().map(|i| WORDS[*i]).collect();
+                Post::new(
+                    0,
+                    User::new("prop_user", views / 100, 24),
+                    text.join(" "),
+                    vec![],
+                    SimDate::new(year, month, day),
+                    region,
+                    application,
+                    Engagement::new(views, likes, likes / 4, likes / 8),
+                )
+            },
+        )
+}
+
+fn arb_corpus() -> impl Strategy<Value = Corpus> {
+    prop::collection::vec(arb_post(), 0..40).prop_map(|posts| {
+        Corpus::from_posts(
+            posts
+                .into_iter()
+                .enumerate()
+                .map(|(id, post)| {
+                    Post::new(
+                        id as u64 + 1,
+                        post.author().clone(),
+                        post.text(),
+                        vec![],
+                        post.date(),
+                        post.region(),
+                        post.application(),
+                        *post.engagement(),
+                    )
+                })
+                .collect::<Vec<_>>(),
+        )
+    })
+}
+
+fn arb_query() -> impl Strategy<Value = Query> {
+    (
+        prop::collection::vec(0usize..QUERY_TERMS.len(), 0..3),
+        prop::collection::vec(0usize..QUERY_TERMS.len(), 0..2),
+        prop_oneof![
+            Just(None),
+            Just(Some(Region::Europe)),
+            Just(Some(Region::AsiaPacific))
+        ],
+        prop_oneof![
+            Just(None),
+            Just(Some(TargetApplication::Excavator)),
+            Just(Some(TargetApplication::PassengerCar)),
+        ],
+        prop_oneof![
+            Just(None),
+            Just(Some((2016i32, 2019i32))),
+            Just(Some((2020i32, 2023i32)))
+        ],
+    )
+        .prop_map(|(keywords, hashtags, region, application, window)| {
+            let mut query = Query::new();
+            for k in keywords {
+                query = query.with_keyword(QUERY_TERMS[k]);
+            }
+            for h in hashtags {
+                query = query.with_hashtag(QUERY_TERMS[h]);
+            }
+            if let Some(region) = region {
+                query = query.in_region(region);
+            }
+            if let Some(application) = application {
+                query = query.about(application);
+            }
+            if let Some((from, to)) = window {
+                query = query.within(DateWindow::years(from, to));
+            }
+            query
+        })
+}
+
+fn naive_ids(corpus: &Corpus, query: &Query) -> Vec<u64> {
+    corpus
+        .posts()
+        .iter()
+        .filter(|p| query.matches(p))
+        .map(Post::id)
+        .collect()
+}
+
+fn indexed_ids(corpus: &Corpus, query: &Query) -> Vec<u64> {
+    corpus
+        .build_index()
+        .matching_posts(corpus, query)
+        .iter()
+        .map(|p| p.id())
+        .collect()
+}
+
+proptest! {
+    /// The inverted index answers every query with exactly the posts the naive
+    /// `Query::matches` scan returns, in the same order.
+    #[test]
+    fn indexed_query_equals_naive_scan(corpus in arb_corpus(), query in arb_query()) {
+        prop_assert_eq!(naive_ids(&corpus, &query), indexed_ids(&corpus, &query));
+    }
+
+    /// The engine's SAI list is identical to the naive reference computation —
+    /// same entries, same order, bit-identical scores and probabilities.
+    #[test]
+    fn engine_sai_equals_naive_reference(corpus in arb_corpus()) {
+        let db = KeywordDatabase::excavator_seed();
+        let config = PspConfig::excavator_europe();
+        let engine = ScoringEngine::new(&corpus);
+        prop_assert_eq!(
+            engine.sai_list(&db, &config),
+            SaiList::compute_naive(&corpus, &db, &config)
+        );
+    }
+
+    /// SAI attack probabilities computed through the engine always sum to 1
+    /// when any evidence exists, and are all zero otherwise.
+    #[test]
+    fn engine_probabilities_sum_to_one(corpus in arb_corpus()) {
+        let db = KeywordDatabase::excavator_seed();
+        let config = PspConfig::excavator_europe();
+        let sai = ScoringEngine::new(&corpus).sai_list(&db, &config);
+        let mass: f64 = sai.entries().iter().map(|e| e.sai).sum();
+        let total: f64 = sai.entries().iter().map(|e| e.probability).sum();
+        if mass > 0.0 {
+            prop_assert!((total - 1.0).abs() < 1e-9, "probabilities sum to {total}");
+        } else {
+            prop_assert_eq!(total, 0.0);
+        }
+    }
+
+    /// Batched multi-window scoring matches per-window scoring on random
+    /// corpora (the monitoring hot path).
+    #[test]
+    fn batched_windows_equal_individual_windows(corpus in arb_corpus(), from in 2015i32..2022) {
+        let db = KeywordDatabase::excavator_seed();
+        let configs: Vec<PspConfig> = (from..from + 3)
+            .map(|y| PspConfig::excavator_europe().with_window(DateWindow::years(y, y + 1)))
+            .collect();
+        let engine = ScoringEngine::new(&corpus);
+        let batch = engine.sai_lists(&db, &configs);
+        prop_assert_eq!(batch.len(), configs.len());
+        for (config, list) in configs.iter().zip(&batch) {
+            prop_assert_eq!(list, &engine.sai_list(&db, config));
+        }
+    }
+}

@@ -26,8 +26,14 @@ use psp_suite::vehicle::standards_graph::{RelationshipStrength, StandardsGraph};
 fn e1_fig1_standards_graph() {
     let graph = StandardsGraph::paper_figure_1();
     assert_eq!(graph.contributor_count(), 21);
-    assert_eq!(graph.contributors_with(RelationshipStrength::Strong).len(), 9);
-    assert_eq!(graph.contributors_with(RelationshipStrength::Medium).len(), 12);
+    assert_eq!(
+        graph.contributors_with(RelationshipStrength::Strong).len(),
+        9
+    );
+    assert_eq!(
+        graph.contributors_with(RelationshipStrength::Medium).len(),
+        12
+    );
     assert!(graph.non_automotive_fraction() > 0.5);
 }
 
@@ -43,8 +49,14 @@ fn e2_fig2_lifecycle_tara_passes() {
 #[test]
 fn e3_fig3_attack_potential_table() {
     assert_eq!(tables::attack_potential_rows().len(), 21);
-    assert_eq!(tables::feasibility_for_potential(0), AttackFeasibilityRating::High);
-    assert_eq!(tables::feasibility_for_potential(25), AttackFeasibilityRating::VeryLow);
+    assert_eq!(
+        tables::feasibility_for_potential(0),
+        AttackFeasibilityRating::High
+    );
+    assert_eq!(
+        tables::feasibility_for_potential(25),
+        AttackFeasibilityRating::VeryLow
+    );
 }
 
 /// E4 — Figure 4: in the reference passenger car the powertrain ECUs are only
@@ -55,7 +67,10 @@ fn e4_fig4_reachability_classification() {
     let analysis = ReachabilityAnalysis::analyze(&passenger_car());
     for ecu in ["ECM", "TCM", "DEFC"] {
         let c = analysis.classification_of(ecu).unwrap();
-        assert!(c.direct_ranges().iter().all(|r| *r == AttackRange::Physical));
+        assert!(c
+            .direct_ranges()
+            .iter()
+            .all(|r| *r == AttackRange::Physical));
     }
     let tcu = analysis.classification_of("TCU").unwrap();
     assert!(tcu.direct_ranges().contains(&AttackRange::LongRange));
@@ -66,10 +81,22 @@ fn e4_fig4_reachability_classification() {
 #[test]
 fn e5_fig5_standard_g9_table() {
     let table = AttackVectorTable::standard();
-    assert_eq!(table.rating(AttackVector::Network), AttackFeasibilityRating::High);
-    assert_eq!(table.rating(AttackVector::Adjacent), AttackFeasibilityRating::Medium);
-    assert_eq!(table.rating(AttackVector::Local), AttackFeasibilityRating::Low);
-    assert_eq!(table.rating(AttackVector::Physical), AttackFeasibilityRating::VeryLow);
+    assert_eq!(
+        table.rating(AttackVector::Network),
+        AttackFeasibilityRating::High
+    );
+    assert_eq!(
+        table.rating(AttackVector::Adjacent),
+        AttackFeasibilityRating::Medium
+    );
+    assert_eq!(
+        table.rating(AttackVector::Local),
+        AttackFeasibilityRating::Low
+    );
+    assert_eq!(
+        table.rating(AttackVector::Physical),
+        AttackFeasibilityRating::VeryLow
+    );
 }
 
 /// E6 — Figure 6: the CAL matrix caps the physical attack vector at CAL2, the
@@ -78,7 +105,10 @@ fn e5_fig5_standard_g9_table() {
 fn e6_fig6_cal_matrix_physical_cap() {
     let matrix = CalMatrix::new();
     assert_eq!(matrix.max_cal_for_vector(AttackVector::Physical), Cal::Cal2);
-    assert_eq!(matrix.cal(ImpactRating::Severe, AttackVector::Network), Some(Cal::Cal4));
+    assert_eq!(
+        matrix.cal(ImpactRating::Severe, AttackVector::Network),
+        Some(Cal::Cal4)
+    );
 }
 
 /// E8 — Figure 8-B: the PSP insider table for ECM reprogramming puts the physical
@@ -91,10 +121,16 @@ fn e8_fig8b_insider_table_all_time() {
         &KeywordDatabase::passenger_car_seed(),
         &PspConfig::passenger_car_europe(),
     );
-    let table = psp_suite::psp::weights::WeightGenerator::new()
-        .insider_table(&sai, "ecm-reprogramming");
-    assert_eq!(table.rating(AttackVector::Physical), AttackFeasibilityRating::High);
-    assert_ne!(table.rating(AttackVector::Network), AttackFeasibilityRating::High);
+    let table =
+        psp_suite::psp::weights::WeightGenerator::new().insider_table(&sai, "ecm-reprogramming");
+    assert_eq!(
+        table.rating(AttackVector::Physical),
+        AttackFeasibilityRating::High
+    );
+    assert_ne!(
+        table.rating(AttackVector::Network),
+        AttackFeasibilityRating::High
+    );
 }
 
 /// E9 — Figure 9-B vs 9-C: restricting the window to 2021+ inverts the dominant
@@ -150,9 +186,19 @@ fn e13_e14_financial_constants() {
 
     assert!((assessment.pae - datasets::PAPER_PAE).abs() < 5.0);
     let mv_err = (assessment.market_value - datasets::PAPER_MV_EUR).abs() / datasets::PAPER_MV_EUR;
-    assert!(mv_err < 0.10, "MV {} vs paper {}", assessment.market_value, datasets::PAPER_MV_EUR);
+    assert!(
+        mv_err < 0.10,
+        "MV {} vs paper {}",
+        assessment.market_value,
+        datasets::PAPER_MV_EUR
+    );
     let fc_err =
         (assessment.investment_bound - datasets::PAPER_FC_EUR).abs() / datasets::PAPER_FC_EUR;
-    assert!(fc_err < 0.15, "FC {} vs paper {}", assessment.investment_bound, datasets::PAPER_FC_EUR);
+    assert!(
+        fc_err < 0.15,
+        "FC {} vs paper {}",
+        assessment.investment_bound,
+        datasets::PAPER_FC_EUR
+    );
     assert!(assessment.profitable);
 }

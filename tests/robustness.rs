@@ -2,6 +2,7 @@
 //! data, degenerate configurations.
 
 use psp_suite::iso21434::feasibility::attack_vector::AttackVectorTable;
+use psp_suite::market::datasets;
 use psp_suite::psp::classify::AttackOrigin;
 use psp_suite::psp::config::{PspConfig, SaiWeights};
 use psp_suite::psp::error::PspError;
@@ -9,7 +10,6 @@ use psp_suite::psp::financial::{FinancialAssessment, FinancialInputs};
 use psp_suite::psp::keyword_db::{KeywordDatabase, KeywordProfile};
 use psp_suite::psp::sai::SaiList;
 use psp_suite::psp::workflow::PspWorkflow;
-use psp_suite::market::datasets;
 use psp_suite::socialsim::corpus::Corpus;
 use psp_suite::socialsim::poisoning::{filter_by_credibility, BotCampaign};
 use psp_suite::socialsim::post::{Region, TargetApplication};
@@ -115,7 +115,13 @@ fn financial_model_rejects_missing_inputs_cleanly() {
         &bad_region,
     )
     .unwrap_err();
-    assert!(matches!(err, PspError::InvalidFinancialInput { parameter: "VS", .. }));
+    assert!(matches!(
+        err,
+        PspError::InvalidFinancialInput {
+            parameter: "VS",
+            ..
+        }
+    ));
 
     let mut bad_category = FinancialInputs::paper_excavator_example();
     bad_category.report_category = "quantum ransomware".to_string();
@@ -127,7 +133,13 @@ fn financial_model_rejects_missing_inputs_cleanly() {
         &bad_category,
     )
     .unwrap_err();
-    assert!(matches!(err, PspError::InvalidFinancialInput { parameter: "PEA", .. }));
+    assert!(matches!(
+        err,
+        PspError::InvalidFinancialInput {
+            parameter: "PEA",
+            ..
+        }
+    ));
 }
 
 #[test]
@@ -147,5 +159,11 @@ fn unpriced_scenarios_cannot_be_financially_assessed() {
         &FinancialInputs::paper_excavator_example(),
     )
     .unwrap_err();
-    assert!(matches!(err, PspError::InvalidFinancialInput { parameter: "PPIA", .. }));
+    assert!(matches!(
+        err,
+        PspError::InvalidFinancialInput {
+            parameter: "PPIA",
+            ..
+        }
+    ));
 }
