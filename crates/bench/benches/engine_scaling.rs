@@ -10,84 +10,27 @@
 //! * `indexed_pass` — `ScoringEngine::sai_list` on a prebuilt engine, the
 //!   amortised serving cost once a corpus snapshot is indexed.
 //!
-//! After measuring, the bench writes `target/engine_scaling_baseline.json`
-//! with nanosecond means and speedup ratios so future PRs can track the perf
-//! trajectory against this baseline.
+//! After measuring, the bench writes a `PerfReport` to
+//! `target/perf/engine_scaling.json`.  The blessed baseline lives in
+//! `crates/bench/baselines/engine_scaling.json`; the CI `perf-smoke` job
+//! re-runs this bench at small sizes (`PSP_BENCH_SIZES=1000,10000`) and fails
+//! on a > 2x regression via `cargo run -p psp-bench --bin perf_check`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use psp::config::PspConfig;
 use psp::engine::ScoringEngine;
 use psp::keyword_db::KeywordDatabase;
 use psp::sai::SaiList;
-use socialsim::corpus::Corpus;
-use socialsim::generator::CorpusGenerator;
-use socialsim::post::{Region, TargetApplication};
-use socialsim::trend::{TopicTrend, TrendModel};
+use psp_bench::perf::{fresh_report_path, mean_ns, sizes_from_env, PerfReport};
+use psp_bench::scaled_excavator_corpus;
 use std::hint::black_box;
 use std::time::Duration;
 
-const SIZES: [usize; 3] = [1_000, 10_000, 100_000];
+/// Default corpus sizes; override with `PSP_BENCH_SIZES=1000,10000`.
+const DEFAULT_SIZES: [usize; 3] = [1_000, 10_000, 100_000];
 
-/// The excavator scene scaled to roughly `total_posts` posts: one topic per
-/// seeded attack keyword plus an equal volume of benign machine chatter (posts
-/// no attack query matches — the realistic shape of a social corpus), spread
-/// uniformly over six years.
-fn scaled_corpus(total_posts: usize) -> Corpus {
-    let attack_topics: [(&str, &str, f64); 10] = [
-        ("dpf-delete", "dpfdelete", 360.0),
-        ("dpf-off", "dpfoff", 340.0),
-        ("egr-delete", "egrdelete", 250.0),
-        ("egr-removal", "egrremoval", 260.0),
-        ("adblue-emulator", "adblueemulator", 180.0),
-        ("scr-off", "scroff", 190.0),
-        ("chip-tuning", "chiptuning", 500.0),
-        ("power-boost", "powerboost", 480.0),
-        ("speed-limiter", "speedlimiteroff", 150.0),
-        ("hour-meter", "hourmeterrollback", 120.0),
-    ];
-    let noise_topics: [&str; 10] = [
-        "jobsite",
-        "quarrylife",
-        "sunsetdig",
-        "bigiron",
-        "trenchday",
-        "steeltracks",
-        "mudseason",
-        "operatorview",
-        "liftplan",
-        "siteprep",
-    ];
-    let years = 6; // 2018..=2023
-    let per_cell =
-        (total_posts / ((attack_topics.len() + noise_topics.len()) * years)).max(1) as u32;
-    let mut model = TrendModel::new(TargetApplication::Excavator, Region::Europe);
-    for (name, tag, price) in attack_topics {
-        model = model.topic(
-            TopicTrend::new(name)
-                .with_hashtag(tag)
-                .volume_range(2018, 2023, per_cell)
-                .engagement(2_000, 60)
-                .advertised_price(price),
-        );
-    }
-    for tag in noise_topics {
-        model = model.topic(
-            TopicTrend::new(tag)
-                .with_hashtag(tag)
-                .volume_range(2018, 2023, per_cell)
-                .engagement(1_500, 40),
-        );
-    }
-    CorpusGenerator::new(42).generate(&model)
-}
-
-fn mean_ns(c: &Criterion, name: &str) -> f64 {
-    c.results()
-        .iter()
-        .find(|r| r.name == name)
-        .map(|r| r.mean_ns)
-        .unwrap_or(f64::NAN)
-}
+/// The corpus size at which the monitoring-style window sweep is measured.
+const SWEEP_SIZE: usize = 100_000;
 
 /// Window start years of the monitoring-style sweep (three-year windows).
 const SWEEP_YEARS: std::ops::RangeInclusive<i32> = 2018..=2023;
@@ -101,9 +44,9 @@ fn sweep_configs() -> Vec<PspConfig> {
         .collect()
 }
 
-fn write_baseline(c: &Criterion) {
-    let mut rows = String::new();
-    for (i, size) in SIZES.iter().enumerate() {
+fn write_report(c: &Criterion, sizes: &[usize]) {
+    let mut report = PerfReport::new("engine_scaling");
+    for size in sizes {
         let naive = mean_ns(c, &format!("engine_scaling/naive/{size}"));
         let one_shot = mean_ns(c, &format!("engine_scaling/one_shot_engine/{size}"));
         let indexed = mean_ns(c, &format!("engine_scaling/indexed_pass/{size}"));
@@ -113,52 +56,45 @@ fn write_baseline(c: &Criterion) {
             "posts {size:>7}: naive {naive:>14.0} ns | one-shot engine {one_shot:>13.0} ns \
              ({speedup_one_shot:.1}x) | indexed pass {indexed:>11.0} ns ({speedup_indexed:.1}x)"
         );
-        if i > 0 {
-            rows.push_str(",\n");
-        }
-        rows.push_str(&format!(
-            "    {{\"posts\": {size}, \"naive_ns\": {naive:.0}, \"one_shot_engine_ns\": {one_shot:.0}, \
-             \"indexed_pass_ns\": {indexed:.0}, \"speedup_one_shot\": {speedup_one_shot:.2}, \
-             \"speedup_indexed_pass\": {speedup_indexed:.2}}}"
-        ));
+        report.push_metric(format!("naive/{size}"), naive);
+        report.push_metric(format!("one_shot_engine/{size}"), one_shot);
+        report.push_metric(format!("indexed_pass/{size}"), indexed);
+        report.push_ratio(format!("speedup_one_shot/{size}"), speedup_one_shot);
+        report.push_ratio(format!("speedup_indexed_pass/{size}"), speedup_indexed);
     }
-    let sweep_naive = mean_ns(c, "engine_scaling/window_sweep_naive/100000");
-    let sweep_engine = mean_ns(c, "engine_scaling/window_sweep_engine/100000");
-    let sweep_speedup = sweep_naive / sweep_engine;
-    println!(
-        "window sweep (100k posts, {} windows incl. engine build): naive {sweep_naive:.0} ns | \
-         engine {sweep_engine:.0} ns ({sweep_speedup:.1}x)",
-        sweep_configs().len()
-    );
-    let indexed_100k = mean_ns(c, "engine_scaling/naive/100000")
-        / mean_ns(c, "engine_scaling/indexed_pass/100000");
-    println!(
-        "acceptance: indexed ScoringEngine vs naive scan at 100k posts = {indexed_100k:.1}x \
-         (target >= 5x)"
-    );
-    let json = format!(
-        "{{\n  \"bench\": \"engine_scaling\",\n  \"keywords\": {},\n  \"sizes\": [\n{rows}\n  ],\n  \
-         \"window_sweep_100k\": {{\"windows\": {}, \"naive_ns\": {sweep_naive:.0}, \
-         \"engine_ns\": {sweep_engine:.0}, \"speedup\": {sweep_speedup:.2}}}\n}}\n",
-        KeywordDatabase::excavator_seed().len(),
-        sweep_configs().len()
-    );
-    let target_dir = std::env::var("CARGO_TARGET_DIR")
-        .map(std::path::PathBuf::from)
-        .unwrap_or_else(|_| std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target"));
-    let path = target_dir.join("engine_scaling_baseline.json");
-    match std::fs::write(&path, json) {
-        Ok(()) => println!("baseline written to {}", path.display()),
-        Err(err) => eprintln!("could not write baseline: {err}"),
+    if sizes.contains(&SWEEP_SIZE) {
+        let sweep_naive = mean_ns(
+            c,
+            &format!("engine_scaling/window_sweep_naive/{SWEEP_SIZE}"),
+        );
+        let sweep_engine = mean_ns(
+            c,
+            &format!("engine_scaling/window_sweep_engine/{SWEEP_SIZE}"),
+        );
+        let sweep_speedup = sweep_naive / sweep_engine;
+        println!(
+            "window sweep ({SWEEP_SIZE} posts, {} windows incl. engine build): naive \
+             {sweep_naive:.0} ns | engine {sweep_engine:.0} ns ({sweep_speedup:.1}x)",
+            sweep_configs().len()
+        );
+        report.push_metric(format!("window_sweep_naive/{SWEEP_SIZE}"), sweep_naive);
+        report.push_metric(format!("window_sweep_engine/{SWEEP_SIZE}"), sweep_engine);
+        report.push_ratio(format!("window_sweep_speedup/{SWEEP_SIZE}"), sweep_speedup);
+    }
+    let path = fresh_report_path("engine_scaling");
+    match report.save(&path) {
+        Ok(()) => println!("perf report written to {}", path.display()),
+        Err(err) => eprintln!("could not write perf report: {err}"),
     }
 }
 
 fn bench(c: &mut Criterion) {
     let db = KeywordDatabase::excavator_seed();
     let config = PspConfig::excavator_europe();
+    let sizes = sizes_from_env(&DEFAULT_SIZES);
 
-    for size in SIZES {
-        let corpus = scaled_corpus(size);
+    for &size in &sizes {
+        let corpus = scaled_excavator_corpus(size, 42);
         let mut group = c.benchmark_group("engine_scaling");
         group
             .sample_size(3)
@@ -175,7 +111,7 @@ fn bench(c: &mut Criterion) {
         });
         // The monitoring-style sweep at the largest size: many windows over one
         // corpus is where indexing amortises even including engine build.
-        if size == 100_000 {
+        if size == SWEEP_SIZE {
             let configs = sweep_configs();
             group.bench_function(&format!("window_sweep_naive/{size}"), |b| {
                 b.iter(|| {
@@ -194,7 +130,7 @@ fn bench(c: &mut Criterion) {
         group.finish();
     }
 
-    write_baseline(c);
+    write_report(c, &sizes);
 }
 
 criterion_group!(benches, bench);

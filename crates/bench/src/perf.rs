@@ -1,0 +1,398 @@
+//! Machine-readable perf reports and the committed-baseline comparison.
+//!
+//! The perf benches (`engine_scaling`, `engine_ingest`) write one
+//! [`PerfReport`] per run to `target/perf/<bench>.json`.  A blessed copy of
+//! each report is committed under `crates/bench/baselines/`, and the CI
+//! `perf-smoke` job re-runs the benches at small sizes and fails the build
+//! when a fresh run regresses more than a factor (default 2x) against the
+//! committed numbers — see [`compare_with`] and the `perf_check` binary.
+//!
+//! Reports carry two kinds of rows:
+//!
+//! * **metrics** — absolute mean nanoseconds per measured path.  These are
+//!   machine-dependent, so a baseline blessed on one machine does not bound a
+//!   run on different hardware — CI skips them (`perf_check --ratios-only`)
+//!   and they are enforced only for same-machine comparisons;
+//! * **ratios** — dimensionless speedups (e.g. append-then-score vs
+//!   rebuild-then-score).  Both sides of a ratio run on the same machine in
+//!   the same process, so ratios transfer across hardware far better than
+//!   absolute timings and are the primary regression signal.  They are not
+//!   perfectly portable: a ratio whose fast side parallelises (rayon) scales
+//!   with core count while the naive side does not, so baselines are blessed
+//!   on a low-core machine — more cores only raise such ratios above the
+//!   enforced floor, never below it.
+//!
+//! Only rows present in *both* the baseline and the fresh report are compared,
+//! which is what lets CI run the benches at reduced sizes against a baseline
+//! recorded at full scale.
+//!
+//! To bless a new baseline after an intentional perf change:
+//!
+//! ```text
+//! cargo bench --bench engine_scaling
+//! cargo bench --bench engine_ingest
+//! cp target/perf/engine_scaling.json crates/bench/baselines/
+//! cp target/perf/engine_ingest.json crates/bench/baselines/
+//! ```
+
+use criterion::Criterion;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The mean nanoseconds the criterion shim measured for one bench id
+/// (`group/name/size`), `NaN` when the row was not measured this run — the
+/// shared results lookup of the perf benches.  (Shim-only API: real criterion
+/// has no `results()`; see the ROADMAP porting note.)
+#[must_use]
+pub fn mean_ns(c: &Criterion, name: &str) -> f64 {
+    c.results()
+        .iter()
+        .find(|r| r.name == name)
+        .map(|r| r.mean_ns)
+        .unwrap_or(f64::NAN)
+}
+
+/// One bench run's machine-readable results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// The bench that produced the report (`engine_scaling`, `engine_ingest`).
+    pub bench: String,
+    /// Absolute timings: `(row name, mean nanoseconds)`.
+    pub metrics: Vec<(String, f64)>,
+    /// Dimensionless speedups: `(row name, ratio)`.  Larger is better.
+    pub ratios: Vec<(String, f64)>,
+}
+
+impl PerfReport {
+    /// An empty report for one bench.
+    #[must_use]
+    pub fn new(bench: &str) -> Self {
+        Self {
+            bench: bench.to_string(),
+            metrics: Vec::new(),
+            ratios: Vec::new(),
+        }
+    }
+
+    /// Records an absolute timing row.  Non-finite values (a bench that did
+    /// not run at this size) are silently skipped so reduced-size runs produce
+    /// valid, smaller reports.
+    pub fn push_metric(&mut self, name: impl Into<String>, mean_ns: f64) {
+        if mean_ns.is_finite() {
+            self.metrics.push((name.into(), mean_ns));
+        }
+    }
+
+    /// Records a speedup row; non-finite ratios are skipped.
+    pub fn push_ratio(&mut self, name: impl Into<String>, ratio: f64) {
+        if ratio.is_finite() {
+            self.ratios.push((name.into(), ratio));
+        }
+    }
+
+    /// The absolute timing row with this name, if present.
+    #[must_use]
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// The speedup row with this name, if present.
+    #[must_use]
+    pub fn ratio(&self, name: &str) -> Option<f64> {
+        self.ratios.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Serialises the report as pretty JSON to `path`, creating parent
+    /// directories as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when serialisation or any filesystem step fails.
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|err| format!("serialise perf report: {err:?}"))?;
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)
+                .map_err(|err| format!("create {}: {err}", parent.display()))?;
+        }
+        std::fs::write(path, json + "\n").map_err(|err| format!("write {}: {err}", path.display()))
+    }
+
+    /// Loads a report from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the file is unreadable or malformed.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|err| format!("read {}: {err}", path.display()))?;
+        serde_json::from_str(&text).map_err(|err| format!("parse {}: {err:?}", path.display()))
+    }
+}
+
+/// Where a bench writes its fresh report: `target/perf/<bench>.json`,
+/// honouring `CARGO_TARGET_DIR`.
+#[must_use]
+pub fn fresh_report_path(bench: &str) -> PathBuf {
+    let target_dir = std::env::var("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target"));
+    target_dir.join("perf").join(format!("{bench}.json"))
+}
+
+/// The committed baseline for a bench: `crates/bench/baselines/<bench>.json`.
+#[must_use]
+pub fn baseline_path(bench: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("baselines")
+        .join(format!("{bench}.json"))
+}
+
+/// Bench sizes from the `PSP_BENCH_SIZES` environment variable (comma-separated
+/// post counts), falling back to `default`.  This is how the CI perf-smoke job
+/// runs the scaling benches at reduced sizes.
+#[must_use]
+pub fn sizes_from_env(default: &[usize]) -> Vec<usize> {
+    parse_sizes(std::env::var("PSP_BENCH_SIZES").ok().as_deref(), default)
+}
+
+/// Parses a `PSP_BENCH_SIZES`-style override (`"1000,10000"`), falling back to
+/// `default` when the value is absent or yields no positive sizes.
+#[must_use]
+pub fn parse_sizes(raw: Option<&str>, default: &[usize]) -> Vec<usize> {
+    let sizes: Vec<usize> = raw
+        .unwrap_or("")
+        .split(',')
+        .filter_map(|part| part.trim().parse().ok())
+        .filter(|n| *n > 0)
+        .collect();
+    if sizes.is_empty() {
+        default.to_vec()
+    } else {
+        sizes
+    }
+}
+
+/// One comparison row that exceeded the allowed regression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// The metric/ratio name.
+    pub name: String,
+    /// The committed baseline value.
+    pub baseline: f64,
+    /// The value measured by the fresh run.
+    pub fresh: f64,
+    /// The threshold the fresh value violated.
+    pub limit: f64,
+    /// Whether the row is a speedup ratio (fresh must stay *above* the limit)
+    /// rather than an absolute timing (fresh must stay *below* it).
+    pub is_ratio: bool,
+}
+
+impl fmt::Display for Regression {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_ratio {
+            write!(
+                f,
+                "{}: speedup {:.2}x fell below {:.2}x (baseline {:.2}x)",
+                self.name, self.fresh, self.limit, self.baseline
+            )
+        } else {
+            write!(
+                f,
+                "{}: {:.0} ns exceeded {:.0} ns (baseline {:.0} ns)",
+                self.name, self.fresh, self.limit, self.baseline
+            )
+        }
+    }
+}
+
+/// The outcome of comparing a fresh report against a committed baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Number of rows present in both reports and therefore checked.
+    pub checked: usize,
+    /// The rows that regressed beyond the allowed factor.
+    pub regressions: Vec<Regression>,
+}
+
+impl Comparison {
+    /// Whether every checked row stayed within the allowed regression.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compares a fresh report against the committed baseline, checking both
+/// absolute metrics and speedup ratios — the right call when both reports
+/// come from the same machine.  See [`compare_with`].
+#[must_use]
+pub fn compare(baseline: &PerfReport, fresh: &PerfReport, max_regression: f64) -> Comparison {
+    compare_with(baseline, fresh, max_regression, true)
+}
+
+/// Compares a fresh report against the committed baseline.
+///
+/// Every row present in **both** reports is checked (rows only in the
+/// baseline — e.g. the 100k sizes CI skips — are ignored):
+///
+/// * absolute metrics regress when `fresh > baseline * max_regression` —
+///   only checked when `include_metrics` is true, because absolute
+///   nanoseconds are machine-dependent and a baseline blessed on one machine
+///   does not bound a fresh run on different hardware;
+/// * speedup ratios regress when `fresh < baseline / max_regression` — both
+///   sides of a ratio run on the same machine in the same process, so these
+///   transfer across hardware (CI passes `include_metrics = false` via
+///   `perf_check --ratios-only`).
+#[must_use]
+pub fn compare_with(
+    baseline: &PerfReport,
+    fresh: &PerfReport,
+    max_regression: f64,
+    include_metrics: bool,
+) -> Comparison {
+    let mut checked = 0;
+    let mut regressions = Vec::new();
+    if include_metrics {
+        for (name, base) in &baseline.metrics {
+            if let Some(measured) = fresh.metric(name) {
+                checked += 1;
+                let limit = base * max_regression;
+                if measured > limit {
+                    regressions.push(Regression {
+                        name: name.clone(),
+                        baseline: *base,
+                        fresh: measured,
+                        limit,
+                        is_ratio: false,
+                    });
+                }
+            }
+        }
+    }
+    for (name, base) in &baseline.ratios {
+        if let Some(measured) = fresh.ratio(name) {
+            checked += 1;
+            let limit = base / max_regression;
+            if measured < limit {
+                regressions.push(Regression {
+                    name: name.clone(),
+                    baseline: *base,
+                    fresh: measured,
+                    limit,
+                    is_ratio: true,
+                });
+            }
+        }
+    }
+    Comparison {
+        checked,
+        regressions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(metrics: &[(&str, f64)], ratios: &[(&str, f64)]) -> PerfReport {
+        let mut r = PerfReport::new("test");
+        for (name, v) in metrics {
+            r.push_metric(*name, *v);
+        }
+        for (name, v) in ratios {
+            r.push_ratio(*name, *v);
+        }
+        r
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let baseline = report(&[("a/100", 1000.0)], &[("speed/100", 10.0)]);
+        let fresh = report(&[("a/100", 1900.0)], &[("speed/100", 5.5)]);
+        let outcome = compare(&baseline, &fresh, 2.0);
+        assert_eq!(outcome.checked, 2);
+        assert!(outcome.passed());
+    }
+
+    #[test]
+    fn metric_regression_is_flagged() {
+        let baseline = report(&[("a/100", 1000.0)], &[]);
+        let fresh = report(&[("a/100", 2100.0)], &[]);
+        let outcome = compare(&baseline, &fresh, 2.0);
+        assert_eq!(outcome.regressions.len(), 1);
+        let regression = &outcome.regressions[0];
+        assert!(!regression.is_ratio);
+        assert_eq!(regression.limit, 2000.0);
+        assert!(regression.to_string().contains("a/100"));
+    }
+
+    #[test]
+    fn ratio_collapse_is_flagged() {
+        let baseline = report(&[], &[("speed/100", 10.0)]);
+        let fresh = report(&[], &[("speed/100", 4.0)]);
+        let outcome = compare(&baseline, &fresh, 2.0);
+        assert_eq!(outcome.regressions.len(), 1);
+        let regression = &outcome.regressions[0];
+        assert!(regression.is_ratio);
+        assert_eq!(regression.limit, 5.0);
+        assert!(regression.to_string().contains("fell below"));
+    }
+
+    #[test]
+    fn rows_missing_from_the_fresh_run_are_skipped() {
+        // The baseline was recorded at full scale; the fresh (CI) run only
+        // covered the small sizes.
+        let baseline = report(
+            &[("a/1000", 10.0), ("a/100000", 9999.0)],
+            &[("speed/100000", 50.0)],
+        );
+        let fresh = report(&[("a/1000", 11.0)], &[]);
+        let outcome = compare(&baseline, &fresh, 2.0);
+        assert_eq!(outcome.checked, 1);
+        assert!(outcome.passed());
+    }
+
+    #[test]
+    fn non_finite_rows_are_never_recorded() {
+        let mut r = PerfReport::new("test");
+        r.push_metric("nan", f64::NAN);
+        r.push_ratio("inf", f64::INFINITY);
+        assert!(r.metrics.is_empty());
+        assert!(r.ratios.is_empty());
+    }
+
+    #[test]
+    fn reports_round_trip_through_json() {
+        let original = report(&[("a/10", 1.5)], &[("s/10", 3.25)]);
+        let json = serde_json::to_string(&original).unwrap();
+        assert_eq!(serde_json::from_str::<PerfReport>(&json).unwrap(), original);
+    }
+
+    #[test]
+    fn size_override_parsing() {
+        assert_eq!(parse_sizes(None, &[10, 20]), vec![10, 20]);
+        assert_eq!(parse_sizes(Some(""), &[10, 20]), vec![10, 20]);
+        assert_eq!(parse_sizes(Some("garbage,-3,0"), &[10, 20]), vec![10, 20]);
+        assert_eq!(
+            parse_sizes(Some(" 1000 ,10000"), &[10, 20]),
+            vec![1000, 10000]
+        );
+    }
+
+    #[test]
+    fn ratios_only_comparison_skips_metric_regressions() {
+        let baseline = report(&[("a/100", 1000.0)], &[("speed/100", 10.0)]);
+        // Metrics regressed 10x (a different machine), ratios held.
+        let fresh = report(&[("a/100", 10_000.0)], &[("speed/100", 9.0)]);
+        let outcome = compare_with(&baseline, &fresh, 2.0, false);
+        assert_eq!(outcome.checked, 1);
+        assert!(outcome.passed());
+        assert!(!compare(&baseline, &fresh, 2.0).passed());
+    }
+}

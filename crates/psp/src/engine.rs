@@ -6,7 +6,20 @@
 //! every keyword — O(keywords × posts) pipeline invocations, which also repeats
 //! per analysis window in monitoring and time-window runs.
 //!
-//! [`ScoringEngine`] amortises all of that:
+//! Two engine shapes amortise all of that over one shared core:
+//!
+//! * [`ScoringEngine`] borrows a corpus snapshot — the right shape for one-off
+//!   workflows and sweeps over a corpus someone else owns;
+//! * [`LiveEngine`] owns its corpus and stays warm under **streaming
+//!   ingestion**: [`LiveEngine::ingest`] appends a batch of posts, extends the
+//!   inverted index in place ([`CorpusIndex::append`]), and grows the signal
+//!   cache by exactly the batch — memoised signals of already-scored posts are
+//!   never recomputed or wiped, because posts are immutable and ids are
+//!   append-only.  This is the corpus-side prerequisite of the paper's
+//!   continuous-monitoring loop (Fig. 9/12): ingest while serving, on one warm
+//!   engine.
+//!
+//! Both shapes share the same amortisations:
 //!
 //! * a [`CorpusIndex`] answers each keyword query from inverted structures
 //!   instead of a scan;
@@ -19,16 +32,18 @@
 //!   ([`ScoringEngine::precompute_signals`] warms the whole cache in parallel
 //!   for throughput-critical serving).
 //!
-//! The engine is *exactly* equivalent to the naive path: candidate ids come
+//! The engines are *exactly* equivalent to the naive path: candidate ids come
 //! back in ascending post order, so every sum is folded in the same order the
-//! linear scan would use, producing bit-identical `SaiList`s (pinned down by
-//! the `psp-suite` property tests).
+//! linear scan would use, producing bit-identical `SaiList`s — and appending
+//! then scoring is bit-identical to rebuilding then scoring (both pinned down
+//! by the `psp-suite` property tests).
 //!
 //! All former callers of `SaiList::compute` route through here:
 //! [`crate::sai::SaiList::compute`] delegates to a one-shot engine, while
 //! [`crate::workflow::PspWorkflow`], [`crate::monitoring::MonitoringSeries`]
 //! and [`crate::timewindow::compare_windows`] build one engine per corpus and
-//! reuse it across keywords and windows.
+//! reuse it across keywords and windows; [`crate::monitoring::LiveMonitor`]
+//! holds a [`LiveEngine`] and interleaves ingestion with re-evaluation.
 
 use crate::config::PspConfig;
 use crate::keyword_db::{KeywordDatabase, KeywordProfile};
@@ -36,9 +51,26 @@ use crate::sai::{SaiEntry, SaiList};
 use rayon::prelude::*;
 use socialsim::corpus::Corpus;
 use socialsim::index::CorpusIndex;
+use socialsim::post::Post;
 use socialsim::query::Query;
 use std::sync::OnceLock;
 use textmine::pipeline::TextPipeline;
+
+/// The query the SAI computation issues for one keyword profile under one
+/// configuration (hashtag OR keyword content, conjunctive scene filters) —
+/// shared by [`EngineCore`] and the public
+/// [`ScoringEngine::profile_query`] entry point.
+fn profile_query(profile: &KeywordProfile, config: &PspConfig) -> Query {
+    let mut query = Query::new()
+        .with_hashtag(profile.keyword.as_str())
+        .with_keyword(profile.keyword.as_str())
+        .in_region(config.region)
+        .about(config.application);
+    if let Some(window) = config.window {
+        query = query.within(window);
+    }
+    query
+}
 
 /// Per-post evidence computed at most once per post, on first use.
 #[derive(Debug, Clone)]
@@ -57,41 +89,52 @@ struct PostSignals {
     interaction_rate: f64,
 }
 
-/// An indexed, parallel SAI scoring engine bound to one corpus snapshot.
-///
-/// Build it once per corpus ([`ScoringEngine::new`]), then compute as many SAI
-/// lists as needed — per keyword database, per configuration, per analysis
-/// window — without ever rescanning posts or re-running the text pipeline.
-#[derive(Debug)]
-pub struct ScoringEngine<'c> {
-    corpus: &'c Corpus,
+/// The corpus-agnostic scoring core shared by [`ScoringEngine`] (borrowed
+/// corpus) and [`LiveEngine`] (owned corpus): the inverted index, the text
+/// pipeline and the memoised per-post signal cache.  Every method takes the
+/// corpus explicitly so the two ownership shapes stay thin wrappers.
+#[derive(Debug, Clone)]
+struct EngineCore {
     index: CorpusIndex,
     pipeline: TextPipeline,
     /// Lazily initialised per-post signals: a post pays for the text-mining
     /// pipeline at most once, and only if some query actually reaches it.
     signals: Vec<OnceLock<PostSignals>>,
+    /// Number of ingest batches absorbed since construction (0 for snapshot
+    /// engines).  Observers use this to detect that re-evaluation is due.
+    generation: u64,
 }
 
-impl<'c> ScoringEngine<'c> {
-    /// Builds the inverted index; per-post text signals are computed lazily on
-    /// first use (see [`precompute_signals`](Self::precompute_signals)).
-    #[must_use]
-    pub fn new(corpus: &'c Corpus) -> Self {
+impl EngineCore {
+    fn new(corpus: &Corpus) -> Self {
         let index = CorpusIndex::build(corpus);
         let mut signals = Vec::new();
         signals.resize_with(corpus.posts().len(), OnceLock::new);
         Self {
-            corpus,
             index,
             pipeline: TextPipeline::new(),
             signals,
+            generation: 0,
+        }
+    }
+
+    /// Absorbs `new_posts` trailing posts of `corpus`: the index is extended in
+    /// place and the signal cache grows by exactly the batch.  Nothing already
+    /// memoised is recomputed or invalidated — posts are immutable and ids are
+    /// append-only, so only the *new* ids ever need (lazy) signal computation.
+    fn append(&mut self, corpus: &Corpus, new_posts: usize) {
+        self.index.append(corpus, new_posts);
+        self.signals
+            .resize_with(corpus.posts().len(), OnceLock::new);
+        if new_posts > 0 {
+            self.generation += 1;
         }
     }
 
     /// The (memoised) signals of one post.
-    fn signal(&self, id: u32) -> &PostSignals {
+    fn signal(&self, corpus: &Corpus, id: u32) -> &PostSignals {
         self.signals[id as usize].get_or_init(|| {
-            let post = &self.corpus.posts()[id as usize];
+            let post = &corpus.posts()[id as usize];
             let analysis = self.pipeline.analyze(post.text());
             PostSignals {
                 views: post.engagement().views,
@@ -105,55 +148,33 @@ impl<'c> ScoringEngine<'c> {
     }
 
     /// Eagerly materialises the signals of every post, fanning out over worker
-    /// threads.  Useful before a throughput-critical serving phase; otherwise
-    /// signals fill in lazily as queries touch posts.
-    pub fn precompute_signals(&self) {
+    /// threads.
+    fn precompute_signals(&self, corpus: &Corpus) {
         let ids: Vec<u32> = (0..self.signals.len() as u32).collect();
         let _: Vec<()> = ids
             .par_iter()
             .map(|id| {
-                self.signal(*id);
+                self.signal(corpus, *id);
             })
             .collect();
     }
 
-    /// The corpus the engine is bound to.
-    #[must_use]
-    pub fn corpus(&self) -> &'c Corpus {
-        self.corpus
-    }
-
-    /// The underlying inverted index.
-    #[must_use]
-    pub fn index(&self) -> &CorpusIndex {
-        &self.index
-    }
-
-    /// The query the SAI computation issues for one keyword profile under one
-    /// configuration (hashtag OR keyword content, conjunctive scene filters).
-    #[must_use]
-    pub fn profile_query(profile: &KeywordProfile, config: &PspConfig) -> Query {
-        let mut query = Query::new()
-            .with_hashtag(profile.keyword.as_str())
-            .with_keyword(profile.keyword.as_str())
-            .in_region(config.region)
-            .about(config.application);
-        if let Some(window) = config.window {
-            query = query.within(window);
-        }
-        query
-    }
-
     /// Scores one keyword profile into an (unnormalised) SAI entry.
-    fn score_profile(&self, profile: &KeywordProfile, config: &PspConfig) -> SaiEntry {
-        let query = Self::profile_query(profile, config);
-        let ids = self.index.query(self.corpus, &query);
-        self.aggregate(profile, config, ids.into_iter())
+    fn score_profile(
+        &self,
+        corpus: &Corpus,
+        profile: &KeywordProfile,
+        config: &PspConfig,
+    ) -> SaiEntry {
+        let query = profile_query(profile, config);
+        let ids = self.index.query(corpus, &query);
+        self.aggregate(corpus, profile, config, ids.into_iter())
     }
 
     /// Folds a set of candidate post ids (ascending) into an SAI entry.
     fn aggregate(
         &self,
+        corpus: &Corpus,
         profile: &KeywordProfile,
         config: &PspConfig,
         ids: impl Iterator<Item = u32>,
@@ -165,7 +186,7 @@ impl<'c> ScoringEngine<'c> {
         let mut intent = 0.0_f64;
         let mut prices = Vec::new();
         for id in ids {
-            let signal = self.signal(id);
+            let signal = self.signal(corpus, id);
             if let Some(threshold) = config.min_author_credibility {
                 // Same rule as the naive path: credible author, or organic
                 // engagement above 1% interaction rate.
@@ -201,26 +222,22 @@ impl<'c> ScoringEngine<'c> {
 
     /// Computes the full SAI list for a keyword database and configuration in
     /// one indexed pass, fanning out over keyword profiles with `rayon`.
-    #[must_use]
-    pub fn sai_list(&self, db: &KeywordDatabase, config: &PspConfig) -> SaiList {
+    fn sai_list(&self, corpus: &Corpus, db: &KeywordDatabase, config: &PspConfig) -> SaiList {
         let profiles: Vec<&KeywordProfile> = db.iter().collect();
         let entries: Vec<SaiEntry> = profiles
             .par_iter()
-            .map(|profile| self.score_profile(profile, config))
+            .map(|profile| self.score_profile(corpus, profile, config))
             .collect();
         SaiList::from_entries(entries)
     }
 
-    /// Computes one SAI list per configuration against the same corpus — the
-    /// batch entry point for window sweeps (monitoring, Figure 9 comparisons).
-    ///
-    /// A keyword's content candidates do not depend on the configuration, so
-    /// they are resolved once per profile and only the cheap metadata filter
-    /// (region / application / window) and aggregation re-run per
-    /// configuration.  Always returns exactly one list per configuration
-    /// (empty lists for an empty database).
-    #[must_use]
-    pub fn sai_lists(&self, db: &KeywordDatabase, configs: &[PspConfig]) -> Vec<SaiList> {
+    /// Computes one SAI list per configuration against the same corpus.
+    fn sai_lists(
+        &self,
+        corpus: &Corpus,
+        db: &KeywordDatabase,
+        configs: &[PspConfig],
+    ) -> Vec<SaiList> {
         let profiles: Vec<&KeywordProfile> = db.iter().collect();
         if configs.is_empty() {
             return Vec::new();
@@ -236,13 +253,14 @@ impl<'c> ScoringEngine<'c> {
         let per_profile: Vec<Vec<SaiEntry>> = profiles
             .par_iter()
             .map(|profile| {
-                let content_query = Self::profile_query(profile, &configs[0]);
-                let candidates = self.index.content_candidates(self.corpus, &content_query);
+                let content_query = profile_query(profile, &configs[0]);
+                let candidates = self.index.content_candidates(corpus, &content_query);
                 configs
                     .iter()
                     .map(|config| {
-                        let query = Self::profile_query(profile, config);
+                        let query = profile_query(profile, config);
                         self.aggregate(
+                            corpus,
                             profile,
                             config,
                             candidates
@@ -266,6 +284,182 @@ impl<'c> ScoringEngine<'c> {
             }
         }
         per_config.into_iter().map(SaiList::from_entries).collect()
+    }
+}
+
+/// An indexed, parallel SAI scoring engine bound to one corpus snapshot.
+///
+/// Build it once per corpus ([`ScoringEngine::new`]), then compute as many SAI
+/// lists as needed — per keyword database, per configuration, per analysis
+/// window — without ever rescanning posts or re-running the text pipeline.
+/// For a corpus that keeps growing while being served, use [`LiveEngine`]
+/// instead.
+#[derive(Debug)]
+pub struct ScoringEngine<'c> {
+    corpus: &'c Corpus,
+    core: EngineCore,
+}
+
+impl<'c> ScoringEngine<'c> {
+    /// Builds the inverted index; per-post text signals are computed lazily on
+    /// first use (see [`precompute_signals`](Self::precompute_signals)).
+    #[must_use]
+    pub fn new(corpus: &'c Corpus) -> Self {
+        Self {
+            corpus,
+            core: EngineCore::new(corpus),
+        }
+    }
+
+    /// Eagerly materialises the signals of every post, fanning out over worker
+    /// threads.  Useful before a throughput-critical serving phase; otherwise
+    /// signals fill in lazily as queries touch posts.
+    pub fn precompute_signals(&self) {
+        self.core.precompute_signals(self.corpus);
+    }
+
+    /// The corpus the engine is bound to.
+    #[must_use]
+    pub fn corpus(&self) -> &'c Corpus {
+        self.corpus
+    }
+
+    /// The underlying inverted index.
+    #[must_use]
+    pub fn index(&self) -> &CorpusIndex {
+        &self.core.index
+    }
+
+    /// The query the SAI computation issues for one keyword profile under one
+    /// configuration (hashtag OR keyword content, conjunctive scene filters).
+    #[must_use]
+    pub fn profile_query(profile: &KeywordProfile, config: &PspConfig) -> Query {
+        profile_query(profile, config)
+    }
+
+    /// Computes the full SAI list for a keyword database and configuration in
+    /// one indexed pass, fanning out over keyword profiles with `rayon`.
+    #[must_use]
+    pub fn sai_list(&self, db: &KeywordDatabase, config: &PspConfig) -> SaiList {
+        self.core.sai_list(self.corpus, db, config)
+    }
+
+    /// Computes one SAI list per configuration against the same corpus — the
+    /// batch entry point for window sweeps (monitoring, Figure 9 comparisons).
+    ///
+    /// A keyword's content candidates do not depend on the configuration, so
+    /// they are resolved once per profile and only the cheap metadata filter
+    /// (region / application / window) and aggregation re-run per
+    /// configuration.  Always returns exactly one list per configuration
+    /// (empty lists for an empty database).
+    #[must_use]
+    pub fn sai_lists(&self, db: &KeywordDatabase, configs: &[PspConfig]) -> Vec<SaiList> {
+        self.core.sai_lists(self.corpus, db, configs)
+    }
+}
+
+/// An indexed SAI scoring engine that **owns** its corpus and stays warm under
+/// streaming ingestion.
+///
+/// Where [`ScoringEngine`] is bound to a frozen snapshot, a `LiveEngine`
+/// interleaves [`ingest`](Self::ingest) with scoring: each batch of posts is
+/// appended to the corpus, the inverted index is extended in place
+/// ([`CorpusIndex::append`], amortised O(batch)), and the memoised signal
+/// cache grows by exactly the batch — signals already paid for are never
+/// recomputed, rebuilt or wiped.  Scoring after an append is bit-identical to
+/// rebuilding a fresh engine over the grown corpus (property-tested), at a
+/// fraction of the cost (see the `engine_ingest` bench).
+///
+/// ```
+/// use psp::config::PspConfig;
+/// use psp::engine::LiveEngine;
+/// use psp::keyword_db::KeywordDatabase;
+/// use socialsim::scenario;
+///
+/// let seed = scenario::excavator_europe(7);
+/// let (db, config) = (KeywordDatabase::excavator_seed(), PspConfig::excavator_europe());
+/// let mut engine = LiveEngine::new(seed);
+/// let before = engine.sai_list(&db, &config);
+/// let appended = engine.ingest(scenario::excavator_europe(8).posts().to_vec());
+/// assert!(appended > 0 && engine.generation() == 1);
+/// let after = engine.sai_list(&db, &config);
+/// assert!(after.top().unwrap().posts >= before.top().unwrap().posts);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LiveEngine {
+    corpus: Corpus,
+    core: EngineCore,
+}
+
+impl LiveEngine {
+    /// Builds a live engine over an initial corpus (which may be empty).
+    #[must_use]
+    pub fn new(corpus: Corpus) -> Self {
+        let core = EngineCore::new(&corpus);
+        Self { corpus, core }
+    }
+
+    /// Ingests a batch of posts: appends them to the corpus, extends the
+    /// inverted index in place and grows the signal cache by exactly the
+    /// batch.  Returns the number of posts appended.
+    ///
+    /// Amortised O(batch) — the posts already indexed are never rescanned, and
+    /// their memoised text signals stay untouched (posts are immutable and ids
+    /// append-only, so nothing previously cached can be affected).  A
+    /// non-empty batch bumps [`generation`](Self::generation) by one.
+    pub fn ingest(&mut self, batch: impl IntoIterator<Item = Post>) -> usize {
+        let before = self.corpus.len();
+        for post in batch {
+            self.corpus.push(post);
+        }
+        let appended = self.corpus.len() - before;
+        self.core.append(&self.corpus, appended);
+        appended
+    }
+
+    /// Number of non-empty ingest batches absorbed since construction.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.core.generation
+    }
+
+    /// The owned corpus, including every ingested post.
+    #[must_use]
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// The underlying inverted index.
+    #[must_use]
+    pub fn index(&self) -> &CorpusIndex {
+        &self.core.index
+    }
+
+    /// Number of posts currently served.
+    #[must_use]
+    pub fn post_count(&self) -> usize {
+        self.corpus.len()
+    }
+
+    /// Eagerly materialises the signals of every post, fanning out over worker
+    /// threads.  Already-memoised posts are skipped (their `OnceLock` is
+    /// filled), so calling this after each ingest warms only the new batch.
+    pub fn precompute_signals(&self) {
+        self.core.precompute_signals(&self.corpus);
+    }
+
+    /// Computes the full SAI list for a keyword database and configuration —
+    /// see [`ScoringEngine::sai_list`].
+    #[must_use]
+    pub fn sai_list(&self, db: &KeywordDatabase, config: &PspConfig) -> SaiList {
+        self.core.sai_list(&self.corpus, db, config)
+    }
+
+    /// Computes one SAI list per configuration — see
+    /// [`ScoringEngine::sai_lists`].
+    #[must_use]
+    pub fn sai_lists(&self, db: &KeywordDatabase, configs: &[PspConfig]) -> Vec<SaiList> {
+        self.core.sai_lists(&self.corpus, db, configs)
     }
 }
 
@@ -344,5 +538,84 @@ mod tests {
         let lists = engine.sai_lists(&KeywordDatabase::new(), &configs);
         assert_eq!(lists.len(), configs.len());
         assert!(lists.iter().all(SaiList::is_empty));
+    }
+
+    #[test]
+    fn live_engine_ingest_matches_a_cold_rebuild_bit_for_bit() {
+        let full = scenario::excavator_europe(7);
+        let posts = full.posts().to_vec();
+        let db = KeywordDatabase::excavator_seed();
+        let config = PspConfig::excavator_europe();
+
+        let mut live = LiveEngine::new(Corpus::new());
+        for chunk in posts.chunks(23) {
+            live.ingest(chunk.to_vec());
+        }
+        assert_eq!(live.post_count(), full.posts().len());
+        // Append-then-score is bit-identical to rebuild-then-score and to the
+        // naive oracle (same corpus order, same fold order).
+        assert_eq!(
+            live.sai_list(&db, &config),
+            ScoringEngine::new(&full).sai_list(&db, &config)
+        );
+        assert_eq!(
+            live.sai_list(&db, &config),
+            SaiList::compute_naive(&full, &db, &config)
+        );
+    }
+
+    #[test]
+    fn live_engine_scores_between_ingests_without_losing_warmth() {
+        let seed = scenario::excavator_europe(7);
+        let extra = scenario::excavator_europe(8).posts().to_vec();
+        let db = KeywordDatabase::excavator_seed();
+        let config = PspConfig::excavator_europe();
+
+        // Score (memoising signals), then ingest, then score again: the second
+        // score must still equal a cold engine over the grown corpus.
+        let mut live = LiveEngine::new(seed.clone());
+        let warm_before = live.sai_list(&db, &config);
+        assert_eq!(
+            warm_before,
+            ScoringEngine::new(&seed).sai_list(&db, &config)
+        );
+        live.ingest(extra.clone());
+
+        let mut grown = seed;
+        grown.extend(extra);
+        assert_eq!(
+            live.sai_list(&db, &config),
+            ScoringEngine::new(&grown).sai_list(&db, &config)
+        );
+    }
+
+    #[test]
+    fn empty_ingest_does_not_bump_the_generation() {
+        let mut live = LiveEngine::new(scenario::excavator_europe(7));
+        assert_eq!(live.generation(), 0);
+        assert_eq!(live.ingest(Vec::new()), 0);
+        assert_eq!(live.generation(), 0);
+        let appended = live.ingest(scenario::excavator_europe(9).posts().to_vec());
+        assert!(appended > 0);
+        assert_eq!(live.generation(), 1);
+    }
+
+    #[test]
+    fn live_engine_windows_match_snapshot_windows_after_ingest() {
+        let seed = scenario::passenger_car_europe(42);
+        let posts = seed.posts().to_vec();
+        let (old, new) = posts.split_at(posts.len() / 2);
+        let db = KeywordDatabase::passenger_car_seed();
+        let configs: Vec<PspConfig> = (2016..2023)
+            .map(|y| PspConfig::passenger_car_europe().with_window(DateWindow::years(y, y + 1)))
+            .collect();
+
+        let mut live = LiveEngine::new(Corpus::from_posts(old.to_vec()));
+        live.ingest(new.to_vec());
+        let snapshot = ScoringEngine::new(live.corpus());
+        assert_eq!(
+            live.sai_lists(&db, &configs),
+            snapshot.sai_lists(&db, &configs)
+        );
     }
 }

@@ -24,7 +24,11 @@
 //!
 //! All corpus scoring flows through [`engine::ScoringEngine`], which indexes
 //! the corpus once, precomputes per-post text signals in parallel, and answers
-//! every keyword/window query from the index instead of rescanning posts.
+//! every keyword/window query from the index instead of rescanning posts.  For
+//! corpora that keep growing while being served, [`engine::LiveEngine`] adds a
+//! streaming ingestion path — appends extend the index and signal cache in
+//! place — and [`monitoring::LiveMonitor`] interleaves ingestion with
+//! sliding-window re-evaluation on that one warm engine.
 //!
 //! # Example
 //!
@@ -63,7 +67,7 @@ pub mod workflow;
 
 pub use classify::AttackOrigin;
 pub use config::{PspConfig, SaiWeights};
-pub use engine::ScoringEngine;
+pub use engine::{LiveEngine, ScoringEngine};
 pub use error::PspError;
 pub use financial::{FinancialAssessment, FinancialInputs};
 pub use keyword_db::{KeywordDatabase, KeywordProfile};

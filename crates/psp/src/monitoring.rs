@@ -6,14 +6,27 @@
 //! of yearly windows, producing a time series of vector shares and tuned tables per
 //! scenario, and detects the year in which the dominant vector flips (the trend
 //! inversion of Figure 9 observed as it happens rather than in hindsight).
+//!
+//! Two evaluation shapes share the same window logic:
+//!
+//! * [`MonitoringSeries::run`] — one-shot: index a corpus snapshot and sweep
+//!   every window over it;
+//! * [`LiveMonitor`] — streaming: hold a [`LiveEngine`], interleave
+//!   [`LiveMonitor::ingest`] with [`LiveMonitor::series`] so new posts are
+//!   absorbed in amortised O(batch) and every re-evaluation reuses the warm
+//!   index and memoised text signals instead of rebuilding them.  The live
+//!   series is bit-identical to a cold [`MonitoringSeries::run`] over the same
+//!   grown corpus.
 
 use crate::config::PspConfig;
-use crate::engine::ScoringEngine;
+use crate::engine::{LiveEngine, ScoringEngine};
 use crate::keyword_db::KeywordDatabase;
+use crate::sai::SaiList;
 use crate::weights::WeightGenerator;
 use iso21434::feasibility::attack_vector::AttackVectorTable;
 use serde::{Deserialize, Serialize};
 use socialsim::corpus::Corpus;
+use socialsim::post::Post;
 use socialsim::time::DateWindow;
 use vehicle::attack_surface::AttackVector;
 
@@ -43,6 +56,65 @@ pub struct MonitoringSeries {
     pub observations: Vec<WindowObservation>,
 }
 
+/// The sliding-window plan shared by the snapshot and live evaluation paths:
+/// `(start, end)` year bounds plus one windowed config per bound.
+fn window_plan(
+    base_config: &PspConfig,
+    from_year: i32,
+    to_year: i32,
+    window_years: i32,
+) -> (Vec<(i32, i32)>, Vec<PspConfig>) {
+    let window_years = window_years.max(1);
+    let mut bounds = Vec::new();
+    let mut configs = Vec::new();
+    let mut start = from_year;
+    while start <= to_year {
+        let end = (start + window_years - 1).min(to_year);
+        bounds.push((start, end));
+        configs.push(
+            base_config
+                .clone()
+                .with_window(DateWindow::years(start, end)),
+        );
+        start += 1;
+    }
+    (bounds, configs)
+}
+
+/// Folds per-window SAI lists into the observation series — the shared tail of
+/// both evaluation paths, so a live re-evaluation is the same computation as a
+/// cold run by construction.
+fn observations_from(
+    bounds: Vec<(i32, i32)>,
+    sai_lists: Vec<SaiList>,
+    scenario: &str,
+) -> Vec<WindowObservation> {
+    let generator = WeightGenerator::new();
+    let mut observations = Vec::new();
+    for ((start, end), sai) in bounds.into_iter().zip(sai_lists) {
+        let entries = sai.scenario_entries(scenario);
+        let posts = entries.iter().map(|e| e.posts).sum();
+        let shares = sai.vector_shares(scenario);
+        let dominant = if posts == 0 {
+            None
+        } else {
+            shares
+                .iter()
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(v, _)| *v)
+        };
+        observations.push(WindowObservation {
+            from_year: start,
+            to_year: end,
+            posts,
+            vector_shares: shares,
+            dominant,
+            table: generator.insider_table(&sai, scenario),
+        });
+    }
+    observations
+}
+
 impl MonitoringSeries {
     /// Runs the PSP analysis for `scenario` over consecutive sliding windows of
     /// `window_years` years, starting each window one year after the previous one,
@@ -57,53 +129,15 @@ impl MonitoringSeries {
         to_year: i32,
         window_years: i32,
     ) -> Self {
-        let window_years = window_years.max(1);
-        let generator = WeightGenerator::new();
-
         // One engine for the whole series: the corpus is indexed and the
         // text-mining signals are computed once, then every window is answered
         // from the index through the batch multi-query API.
         let engine = ScoringEngine::new(corpus);
-        let mut window_bounds = Vec::new();
-        let mut configs = Vec::new();
-        let mut start = from_year;
-        while start <= to_year {
-            let end = (start + window_years - 1).min(to_year);
-            window_bounds.push((start, end));
-            configs.push(
-                base_config
-                    .clone()
-                    .with_window(DateWindow::years(start, end)),
-            );
-            start += 1;
-        }
+        let (bounds, configs) = window_plan(base_config, from_year, to_year, window_years);
         let sai_lists = engine.sai_lists(db, &configs);
-
-        let mut observations = Vec::new();
-        for ((start, end), sai) in window_bounds.into_iter().zip(sai_lists) {
-            let entries = sai.scenario_entries(scenario);
-            let posts = entries.iter().map(|e| e.posts).sum();
-            let shares = sai.vector_shares(scenario);
-            let dominant = if posts == 0 {
-                None
-            } else {
-                shares
-                    .iter()
-                    .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
-                    .map(|(v, _)| *v)
-            };
-            observations.push(WindowObservation {
-                from_year: start,
-                to_year: end,
-                posts,
-                vector_shares: shares,
-                dominant,
-                table: generator.insider_table(&sai, scenario),
-            });
-        }
         Self {
             scenario: scenario.to_string(),
-            observations,
+            observations: observations_from(bounds, sai_lists, scenario),
         }
     }
 
@@ -137,6 +171,83 @@ impl MonitoringSeries {
             .iter()
             .map(|o| (o.from_year, o.dominant))
             .collect()
+    }
+}
+
+/// A continuously running monitor: one warm [`LiveEngine`] that interleaves
+/// post ingestion with sliding-window re-evaluation.
+///
+/// This is the paper's continuous-monitoring workflow (Fig. 9/12) as a serving
+/// loop: as new social-media posts arrive, [`ingest`](Self::ingest) absorbs
+/// them in amortised O(batch) — the inverted index is extended in place and
+/// only the new posts ever pay the text-mining pipeline — and
+/// [`series`](Self::series) re-runs the windowed analysis on the warm engine.
+/// The produced series is bit-identical to a cold [`MonitoringSeries::run`]
+/// over the same grown corpus (property-tested), without the full-rebuild
+/// cost.
+#[derive(Debug, Clone)]
+pub struct LiveMonitor {
+    engine: LiveEngine,
+    db: KeywordDatabase,
+    base_config: PspConfig,
+    scenario: String,
+    window_years: i32,
+}
+
+impl LiveMonitor {
+    /// Creates a monitor over an initial corpus (which may be empty).
+    #[must_use]
+    pub fn new(
+        corpus: Corpus,
+        db: KeywordDatabase,
+        base_config: PspConfig,
+        scenario: &str,
+        window_years: i32,
+    ) -> Self {
+        Self {
+            engine: LiveEngine::new(corpus),
+            db,
+            base_config,
+            scenario: scenario.to_string(),
+            window_years,
+        }
+    }
+
+    /// Ingests a batch of posts into the live engine (amortised O(batch); see
+    /// [`LiveEngine::ingest`]).  Returns the number of posts appended.
+    pub fn ingest(&mut self, batch: impl IntoIterator<Item = Post>) -> usize {
+        self.engine.ingest(batch)
+    }
+
+    /// Re-evaluates the sliding-window series over everything ingested so far,
+    /// on the warm engine.
+    #[must_use]
+    pub fn series(&self, from_year: i32, to_year: i32) -> MonitoringSeries {
+        let (bounds, configs) =
+            window_plan(&self.base_config, from_year, to_year, self.window_years);
+        let sai_lists = self.engine.sai_lists(&self.db, &configs);
+        MonitoringSeries {
+            scenario: self.scenario.clone(),
+            observations: observations_from(bounds, sai_lists, &self.scenario),
+        }
+    }
+
+    /// The underlying live engine (corpus, index, generation counter).
+    #[must_use]
+    pub fn engine(&self) -> &LiveEngine {
+        &self.engine
+    }
+
+    /// Number of posts ingested so far.
+    #[must_use]
+    pub fn post_count(&self) -> usize {
+        self.engine.post_count()
+    }
+
+    /// The scenario being monitored.
+    #[must_use]
+    pub fn scenario(&self) -> &str {
+        &self.scenario
     }
 }
 
@@ -215,5 +326,76 @@ mod tests {
         let s = series(0);
         assert_eq!(s.observations.len(), 9);
         assert!(s.observations.iter().all(|o| o.from_year == o.to_year));
+    }
+
+    #[test]
+    fn live_monitor_series_matches_a_cold_run_after_chunked_ingestion() {
+        let corpus = scenario::passenger_car_europe(42);
+        let posts = corpus.posts().to_vec();
+        let mut monitor = LiveMonitor::new(
+            Corpus::new(),
+            KeywordDatabase::passenger_car_seed(),
+            PspConfig::passenger_car_europe(),
+            "ecm-reprogramming",
+            2,
+        );
+        for chunk in posts.chunks(97) {
+            monitor.ingest(chunk.to_vec());
+        }
+        // Ingest order == original corpus order, so the warm series is
+        // bit-identical to the one-shot run on the same posts.
+        assert_eq!(monitor.series(2015, 2023), series(2));
+    }
+
+    #[test]
+    fn live_monitor_detects_the_inversion_as_posts_stream_in() {
+        let corpus = scenario::passenger_car_europe(42);
+        let mut by_year: std::collections::BTreeMap<i32, Vec<_>> =
+            std::collections::BTreeMap::new();
+        for post in corpus.posts() {
+            by_year
+                .entry(post.date().year())
+                .or_default()
+                .push(post.clone());
+        }
+        let mut monitor = LiveMonitor::new(
+            Corpus::new(),
+            KeywordDatabase::passenger_car_seed(),
+            PspConfig::passenger_car_europe(),
+            "ecm-reprogramming",
+            1,
+        );
+        let mut detected_at_ingest_year = None;
+        for (year, batch) in by_year {
+            monitor.ingest(batch);
+            if detected_at_ingest_year.is_none() {
+                if let Some(inversion) = monitor.series(2015, year).inversion_year() {
+                    detected_at_ingest_year = Some((year, inversion));
+                }
+            }
+        }
+        let (seen_at, inversion) = detected_at_ingest_year.expect("the scene inverts");
+        assert!(
+            (2020..=2022).contains(&inversion),
+            "inversion at {inversion}, detected while ingesting {seen_at}"
+        );
+        // Detection happened the year the evidence arrived, not later.
+        assert!(seen_at >= inversion);
+    }
+
+    #[test]
+    fn live_monitor_on_an_empty_corpus_reports_no_evidence() {
+        let monitor = LiveMonitor::new(
+            Corpus::new(),
+            KeywordDatabase::passenger_car_seed(),
+            PspConfig::passenger_car_europe(),
+            "ecm-reprogramming",
+            1,
+        );
+        let s = monitor.series(2015, 2020);
+        assert_eq!(s.observations.len(), 6);
+        assert!(s.active_observations().is_empty());
+        assert_eq!(monitor.post_count(), 0);
+        assert_eq!(monitor.scenario(), "ecm-reprogramming");
     }
 }

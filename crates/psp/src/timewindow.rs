@@ -72,22 +72,59 @@ pub fn compare_windows(
     scenario: &str,
     recent_window: DateWindow,
 ) -> WindowComparison {
-    let generator = WeightGenerator::new();
-
     // Both windows are answered by one engine: the corpus is indexed once and
     // the two runs are issued as a batch against it.
+    let engine = ScoringEngine::new(corpus);
     let baseline_config = base_config.clone();
     let recent_config = base_config.clone().with_window(recent_window);
-    let engine = ScoringEngine::new(corpus);
-    let mut lists = engine
-        .sai_lists(db, &[baseline_config.clone(), recent_config])
-        .into_iter();
+    comparison_from(
+        scenario,
+        baseline_config.window,
+        recent_window,
+        engine.sai_lists(db, &[baseline_config, recent_config]),
+    )
+}
+
+/// [`compare_windows`] against a warm [`LiveEngine`](crate::engine::LiveEngine)
+/// — the streaming variant:
+/// the corpus the engine has ingested so far is compared across the two
+/// windows without rebuilding any index or recomputing memoised signals.
+/// Produces exactly what [`compare_windows`] over the engine's corpus would.
+#[must_use]
+pub fn compare_windows_live(
+    engine: &crate::engine::LiveEngine,
+    db: &KeywordDatabase,
+    base_config: &PspConfig,
+    scenario: &str,
+    recent_window: DateWindow,
+) -> WindowComparison {
+    let baseline_config = base_config.clone();
+    let recent_config = base_config.clone().with_window(recent_window);
+    comparison_from(
+        scenario,
+        baseline_config.window,
+        recent_window,
+        engine.sai_lists(db, &[baseline_config, recent_config]),
+    )
+}
+
+/// Folds the two windowed SAI lists into the comparison — shared by the
+/// snapshot and live entry points so they are the same computation by
+/// construction.
+fn comparison_from(
+    scenario: &str,
+    baseline_window: Option<DateWindow>,
+    recent_window: DateWindow,
+    lists: Vec<crate::sai::SaiList>,
+) -> WindowComparison {
+    let generator = WeightGenerator::new();
+    let mut lists = lists.into_iter();
     let baseline_sai = lists.next().expect("baseline window scored");
     let recent_sai = lists.next().expect("recent window scored");
 
     WindowComparison {
         scenario: scenario.to_string(),
-        baseline_window: baseline_config.window,
+        baseline_window,
         recent_window,
         baseline_shares: baseline_sai.vector_shares(scenario),
         recent_shares: recent_sai.vector_shares(scenario),
@@ -168,5 +205,24 @@ mod tests {
             cmp,
             serde_json::from_str::<WindowComparison>(&json).unwrap()
         );
+    }
+
+    #[test]
+    fn live_comparison_matches_the_snapshot_comparison() {
+        let corpus = scenario::passenger_car_europe(42);
+        let posts = corpus.posts().to_vec();
+        let mut engine = crate::engine::LiveEngine::new(socialsim::corpus::Corpus::new());
+        for chunk in posts.chunks(113) {
+            engine.ingest(chunk.to_vec());
+        }
+        let live = compare_windows_live(
+            &engine,
+            &KeywordDatabase::passenger_car_seed(),
+            &PspConfig::passenger_car_europe(),
+            "ecm-reprogramming",
+            DateWindow::years(2021, 2023),
+        );
+        assert_eq!(live, comparison());
+        assert!(live.trend_inverted());
     }
 }

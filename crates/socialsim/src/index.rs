@@ -20,6 +20,12 @@
 //! Results are always produced in ascending post order (= insertion order), so
 //! indexed queries return exactly what the naive scan returns, in the same
 //! order — a property the `psp-suite` property tests pin down.
+//!
+//! The index is built once per corpus ([`CorpusIndex::build`]) and then kept
+//! live under streaming ingestion: [`CorpusIndex::append`] extends every
+//! inverted structure in place as posts are appended to the corpus, in
+//! amortised O(new posts), without rescanning or re-answering anything already
+//! indexed.
 
 use crate::corpus::Corpus;
 use crate::hashtag::Hashtag;
@@ -41,8 +47,14 @@ impl IdBitSet {
         }
     }
 
+    /// Sets a bit, growing the backing storage when the id lies beyond the
+    /// capacity the set was created with (append-path inserts do this).
     fn insert(&mut self, id: u32) {
-        self.bits[id as usize / 64] |= 1 << (id % 64);
+        let word = id as usize / 64;
+        if word >= self.bits.len() {
+            self.bits.resize(word + 1, 0);
+        }
+        self.bits[word] |= 1 << (id % 64);
     }
 
     fn contains(&self, id: u32) -> bool {
@@ -55,8 +67,10 @@ impl IdBitSet {
 /// An inverted index over a [`Corpus`] snapshot.
 ///
 /// The index holds post *ids* (positions in [`Corpus::posts`]), not post data,
-/// so it stays valid as long as the corpus it was built from is not mutated.
-/// Build it once, then answer any number of queries against it.
+/// so it stays valid as long as the corpus it was built from is only ever
+/// *appended to*.  Build it once, answer any number of queries against it, and
+/// extend it in place with [`CorpusIndex::append`] as new posts stream in —
+/// appending is amortised O(new posts) and never rescans the existing corpus.
 #[derive(Debug, Clone, Default)]
 pub struct CorpusIndex {
     /// Mention term → ascending ids of posts whose text/hashtags contain it.
@@ -75,34 +89,78 @@ impl CorpusIndex {
     /// Builds the index in one pass over the corpus.
     #[must_use]
     pub fn build(corpus: &Corpus) -> Self {
-        let posts = corpus.posts();
         let mut index = Self {
             vocab: HashMap::new(),
             by_hashtag: HashMap::new(),
             by_region: HashMap::new(),
             by_application: HashMap::new(),
-            dates: Vec::with_capacity(posts.len()),
+            dates: Vec::with_capacity(corpus.posts().len()),
         };
+        index.index_from(corpus, 0);
+        index
+    }
+
+    /// Extends the index in place with the posts appended to `corpus` since the
+    /// index last covered it.
+    ///
+    /// `new_posts` is the number of trailing posts that are new; the corpus must
+    /// be exactly the snapshot this index covers plus those posts (posts are
+    /// append-only and immutable, so every previously indexed structure stays
+    /// valid as-is).
+    ///
+    /// # Contract
+    ///
+    /// * **Bit-exactness** — after `append`, every query answer is identical to
+    ///   what a from-scratch [`CorpusIndex::build`] over the grown corpus would
+    ///   produce: new post ids are larger than every indexed id, so posting
+    ///   lists stay strictly ascending and both paths run the exact same
+    ///   per-post indexing code (`index_from`).  The `psp-suite` property tests
+    ///   pin this down.
+    /// * **Complexity** — amortised `O(new_posts)` (times per-post text length);
+    ///   the previously indexed posts are never rescanned.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `corpus.posts().len() != self.post_count() + new_posts` —
+    /// the corpus diverged from the indexed snapshot (posts were removed,
+    /// reordered, or the count is simply wrong).
+    pub fn append(&mut self, corpus: &Corpus, new_posts: usize) {
+        let indexed = self.post_count();
+        assert_eq!(
+            corpus.posts().len(),
+            indexed + new_posts,
+            "CorpusIndex::append: index covers {indexed} posts and {new_posts} are claimed new, \
+             but the corpus holds {} posts",
+            corpus.posts().len()
+        );
+        self.index_from(corpus, indexed);
+    }
+
+    /// Indexes `corpus.posts()[from..]`, the shared core of [`build`](Self::build)
+    /// and [`append`](Self::append).  Ids are assigned by corpus position, so
+    /// indexing a suffix later is indistinguishable from having indexed it in
+    /// the original pass.
+    fn index_from(&mut self, corpus: &Corpus, from: usize) {
+        let posts = corpus.posts();
         let capacity = posts.len();
-        for (id, post) in posts.iter().enumerate() {
+        self.dates.reserve(capacity - from);
+        for (id, post) in posts.iter().enumerate().skip(from) {
             let id = id as u32;
-            index.dates.push(post.date());
-            index
-                .by_region
+            self.dates.push(post.date());
+            self.by_region
                 .entry(post.region())
                 .or_insert_with(|| IdBitSet::with_capacity(capacity))
                 .insert(id);
-            index
-                .by_application
+            self.by_application
                 .entry(post.application())
                 .or_insert_with(|| IdBitSet::with_capacity(capacity))
                 .insert(id);
             for tag in post.hashtags() {
                 // Allocate the owned key only when the tag is new to the index.
-                match index.by_hashtag.get_mut(tag) {
+                match self.by_hashtag.get_mut(tag) {
                     Some(ids) => ids.push(id),
                     None => {
-                        index.by_hashtag.insert(tag.clone(), vec![id]);
+                        self.by_hashtag.insert(tag.clone(), vec![id]);
                     }
                 }
             }
@@ -121,15 +179,14 @@ impl CorpusIndex {
                 }
             }
             for term in &terms {
-                match index.vocab.get_mut(*term) {
+                match self.vocab.get_mut(*term) {
                     Some(ids) => ids.push(id),
                     None => {
-                        index.vocab.insert((*term).to_string(), vec![id]);
+                        self.vocab.insert((*term).to_string(), vec![id]);
                     }
                 }
             }
         }
-        index
     }
 
     /// Number of posts covered by the index.
@@ -269,8 +326,9 @@ impl CorpusIndex {
 }
 
 impl Corpus {
-    /// Builds a [`CorpusIndex`] over the current posts.  The index is a
-    /// snapshot: rebuild it after mutating the corpus.
+    /// Builds a [`CorpusIndex`] over the current posts.  After appending more
+    /// posts, extend the index in place with [`CorpusIndex::append`] instead of
+    /// rebuilding it.
     #[must_use]
     pub fn build_index(&self) -> CorpusIndex {
         CorpusIndex::build(self)
@@ -441,5 +499,154 @@ mod tests {
         assert_eq!(index.post_count(), 0);
         assert_eq!(index.vocabulary_size(), 0);
         assert!(index.query(&corpus, &Query::new()).is_empty());
+    }
+
+    /// The query set used to compare an appended index against a rebuilt one.
+    fn probe_queries() -> Vec<Query> {
+        vec![
+            Query::new(),
+            Query::new().with_keyword("dpf"),
+            Query::new().with_keyword("immo").with_hashtag("#immooff"),
+            Query::new().in_region(Region::Europe),
+            Query::new().in_region(Region::SouthAmerica),
+            Query::new().about(TargetApplication::Agriculture),
+            Query::new().within(DateWindow::years(2018, 2021)),
+            Query::new()
+                .with_keyword("delete")
+                .in_region(Region::Europe)
+                .within(DateWindow::years(2020, 2023)),
+        ]
+    }
+
+    fn assert_answers_like_rebuild(index: &CorpusIndex, corpus: &Corpus) {
+        let rebuilt = corpus.build_index();
+        for query in probe_queries() {
+            assert_eq!(
+                index.query(corpus, &query),
+                rebuilt.query(corpus, &query),
+                "query {query:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn append_empty_batch_is_a_noop() {
+        let corpus = sample();
+        let mut index = corpus.build_index();
+        index.append(&corpus, 0);
+        assert_eq!(index.post_count(), 4);
+        assert_eq!(
+            index.vocabulary_size(),
+            corpus.build_index().vocabulary_size()
+        );
+        assert_answers_like_rebuild(&index, &corpus);
+    }
+
+    #[test]
+    fn append_extends_existing_posting_lists() {
+        let mut corpus = sample();
+        let mut index = corpus.build_index();
+        corpus.push(post(
+            5,
+            "another #dpfdelete story",
+            2023,
+            Region::Europe,
+            TargetApplication::Excavator,
+        ));
+        index.append(&corpus, 1);
+        assert_eq!(index.post_count(), 5);
+        // The existing hashtag/mention lists picked up the new id.
+        assert_eq!(index.with_hashtag(&Hashtag::new("dpfdelete")), &[0, 1, 4]);
+        assert_eq!(index.mentioning(&corpus, "dpf"), vec![0, 1, 4]);
+        assert_answers_like_rebuild(&index, &corpus);
+    }
+
+    #[test]
+    fn append_introduces_new_terms_regions_and_applications() {
+        let mut corpus = sample();
+        let mut index = corpus.build_index();
+        // Brand-new mention term, hashtag, region and application, all in one batch.
+        corpus.push(post(
+            6,
+            "fresh #immooff bypass",
+            2023,
+            Region::SouthAmerica,
+            TargetApplication::Agriculture,
+        ));
+        corpus.push(post(
+            7,
+            "quarry gossip only",
+            2016,
+            Region::SouthAmerica,
+            TargetApplication::Agriculture,
+        ));
+        index.append(&corpus, 2);
+        assert_eq!(index.mentioning(&corpus, "immooff"), vec![4]);
+        assert_eq!(index.with_hashtag(&Hashtag::new("immooff")), &[4]);
+        assert_eq!(
+            index.query(&corpus, &Query::new().in_region(Region::SouthAmerica)),
+            vec![4, 5]
+        );
+        assert_eq!(
+            index.query(&corpus, &Query::new().about(TargetApplication::Agriculture)),
+            vec![4, 5]
+        );
+        assert_answers_like_rebuild(&index, &corpus);
+    }
+
+    #[test]
+    fn append_handles_dates_out_of_order_across_the_boundary() {
+        let mut corpus = sample();
+        let mut index = corpus.build_index();
+        // The appended posts pre-date the indexed ones: window filtering must
+        // still answer from the per-post date array, not any assumed ordering.
+        corpus.push(post(
+            8,
+            "ancient #dpfdelete thread",
+            2016,
+            Region::Europe,
+            TargetApplication::Excavator,
+        ));
+        index.append(&corpus, 1);
+        assert_eq!(
+            index.query(&corpus, &Query::new().within(DateWindow::years(2015, 2017))),
+            vec![4]
+        );
+        assert_eq!(
+            index.query(&corpus, &Query::new().within(DateWindow::years(2019, 2023))),
+            vec![0, 1, 2, 3]
+        );
+        assert_answers_like_rebuild(&index, &corpus);
+    }
+
+    #[test]
+    fn repeated_small_appends_equal_one_build() {
+        let full = scenario::excavator_europe(11);
+        let posts: Vec<Post> = full.posts().to_vec();
+        let mut corpus = Corpus::new();
+        let mut index = corpus.build_index();
+        for chunk in posts.chunks(7) {
+            for post in chunk {
+                corpus.push(post.clone());
+            }
+            index.append(&corpus, chunk.len());
+        }
+        assert_eq!(index.post_count(), full.posts().len());
+        assert_answers_like_rebuild(&index, &corpus);
+    }
+
+    #[test]
+    #[should_panic(expected = "CorpusIndex::append")]
+    fn append_panics_when_the_claimed_count_is_wrong() {
+        let mut corpus = sample();
+        let mut index = corpus.build_index();
+        corpus.push(post(
+            9,
+            "one more",
+            2022,
+            Region::Europe,
+            TargetApplication::Excavator,
+        ));
+        index.append(&corpus, 2); // one post was appended, not two
     }
 }

@@ -17,7 +17,7 @@
 //! * [`standards_graph`] — the standards-contribution graph of paper Figure 1,
 //! * [`lifecycle`] — the ISO/SAE-21434 development life cycle with TARA
 //!   re-processing points of paper Figure 2,
-//! * [`reference`] — ready-made reference architectures (passenger car, excavator,
+//! * [`mod@reference`] — ready-made reference architectures (passenger car, excavator,
 //!   light truck) used by the examples, tests and benches.
 //!
 //! # Example

@@ -2,11 +2,13 @@
 //! the `CorpusIndex` answers every query exactly like the naive
 //! `Query::matches` scan, and the `ScoringEngine` produces SAI lists identical
 //! to the naive reference — probabilities summing to 1 whenever any evidence
-//! exists.
+//! exists.  The streaming path is pinned the same way: appending posts to an
+//! index (or ingesting them into a `LiveEngine`) in arbitrary chunks is
+//! bit-identical to rebuilding from scratch and to the naive oracle.
 
 use proptest::prelude::*;
 use psp_suite::psp::config::PspConfig;
-use psp_suite::psp::engine::ScoringEngine;
+use psp_suite::psp::engine::{LiveEngine, ScoringEngine};
 use psp_suite::psp::keyword_db::KeywordDatabase;
 use psp_suite::psp::sai::SaiList;
 use psp_suite::socialsim::corpus::Corpus;
@@ -223,5 +225,74 @@ proptest! {
         for (config, list) in configs.iter().zip(&batch) {
             prop_assert_eq!(list, &engine.sai_list(&db, config));
         }
+    }
+
+    /// Building an index over a prefix and appending the rest answers every
+    /// query exactly like an index built over the whole corpus in one pass —
+    /// regardless of where the corpus is split.
+    #[test]
+    fn appended_index_equals_rebuilt_index(
+        corpus in arb_corpus(),
+        split_percent in 0usize..=100,
+        query in arb_query(),
+    ) {
+        let posts = corpus.posts().to_vec();
+        let split = posts.len() * split_percent / 100;
+        let mut grown = Corpus::from_posts(posts[..split].to_vec());
+        let mut index = grown.build_index();
+        for post in &posts[split..] {
+            grown.push(post.clone());
+        }
+        index.append(&grown, posts.len() - split);
+        prop_assert_eq!(index.post_count(), corpus.posts().len());
+        prop_assert_eq!(
+            index.query(&grown, &query),
+            corpus.build_index().query(&corpus, &query)
+        );
+    }
+
+    /// Append-then-score is bit-identical to rebuild-then-score *and* to the
+    /// naive oracle: a `LiveEngine` fed the corpus in arbitrary chunk sizes —
+    /// scoring between ingests so the signal cache is genuinely warm — ends up
+    /// exactly where a cold engine over the full corpus starts.
+    #[test]
+    fn ingest_then_score_equals_rebuild_then_score(
+        corpus in arb_corpus(),
+        chunk in 1usize..9,
+    ) {
+        let db = KeywordDatabase::excavator_seed();
+        let config = PspConfig::excavator_europe();
+        let posts = corpus.posts().to_vec();
+        let mut live = LiveEngine::new(Corpus::new());
+        for batch in posts.chunks(chunk) {
+            live.ingest(batch.to_vec());
+            // Score mid-stream: memoises signals that the final comparison
+            // must not be perturbed by.
+            let _ = live.sai_list(&db, &config);
+        }
+        prop_assert_eq!(live.post_count(), posts.len());
+        let warm = live.sai_list(&db, &config);
+        prop_assert_eq!(&warm, &ScoringEngine::new(&corpus).sai_list(&db, &config));
+        prop_assert_eq!(&warm, &SaiList::compute_naive(&corpus, &db, &config));
+    }
+
+    /// Windowed batch scoring through a live, incrementally fed engine matches
+    /// the cold snapshot engine — the monitoring re-evaluation path stays
+    /// bit-exact under streaming ingestion with out-of-order dates.
+    #[test]
+    fn live_windows_equal_snapshot_windows(corpus in arb_corpus(), from in 2015i32..2022) {
+        let db = KeywordDatabase::excavator_seed();
+        let configs: Vec<PspConfig> = (from..from + 3)
+            .map(|y| PspConfig::excavator_europe().with_window(DateWindow::years(y, y + 1)))
+            .collect();
+        let posts = corpus.posts().to_vec();
+        let mut live = LiveEngine::new(Corpus::new());
+        for batch in posts.chunks(5) {
+            live.ingest(batch.to_vec());
+        }
+        prop_assert_eq!(
+            live.sai_lists(&db, &configs),
+            ScoringEngine::new(&corpus).sai_lists(&db, &configs)
+        );
     }
 }
