@@ -17,7 +17,13 @@
 //!   never recomputed or wiped, because posts are immutable and ids are
 //!   append-only.  This is the corpus-side prerequisite of the paper's
 //!   continuous-monitoring loop (Fig. 9/12): ingest while serving, on one warm
-//!   engine.
+//!   engine;
+//! * [`ShardedEngine`] partitions the corpus into shards by time range or
+//!   region (`socialsim::index::ShardSpec`), runs one engine core per shard in
+//!   parallel, prunes shards whose key cannot match a query's window/region
+//!   filters, and merges the per-shard partial evidence into a `SaiList`
+//!   **bit-identical** to the single-engine result — the fleet-scale shape for
+//!   very large or multi-market corpora.
 //!
 //! Both shapes share the same amortisations:
 //!
@@ -47,7 +53,7 @@
 
 use crate::config::PspConfig;
 use crate::keyword_db::{KeywordDatabase, KeywordProfile};
-use crate::sai::{SaiEntry, SaiList};
+use crate::sai::{SaiEntry, SaiList, SaiPartial};
 use rayon::prelude::*;
 use socialsim::corpus::Corpus;
 use socialsim::index::CorpusIndex;
@@ -55,6 +61,40 @@ use socialsim::post::Post;
 use socialsim::query::Query;
 use std::sync::OnceLock;
 use textmine::pipeline::TextPipeline;
+
+mod sharded;
+
+pub use sharded::ShardedEngine;
+
+/// Anything that can answer SAI computations — implemented by every engine
+/// shape ([`ScoringEngine`], [`LiveEngine`], [`ShardedEngine`]) so the
+/// windowed entry points ([`crate::timewindow::compare_windows_live`],
+/// [`crate::monitoring::LiveMonitor`]) are generic over how the corpus is
+/// held rather than hard-wired to one engine.
+pub trait SaiScorer {
+    /// Computes the full SAI list for a keyword database and configuration.
+    fn sai_list(&self, db: &KeywordDatabase, config: &PspConfig) -> SaiList;
+
+    /// Computes one SAI list per configuration against the same corpus (the
+    /// batch entry point for window sweeps).  Always returns exactly one list
+    /// per configuration.
+    fn sai_lists(&self, db: &KeywordDatabase, configs: &[PspConfig]) -> Vec<SaiList>;
+}
+
+/// A scorer that owns its corpus and absorbs streaming ingestion — the
+/// contract [`crate::monitoring::LiveMonitor`] needs from its engine, met by
+/// both [`LiveEngine`] (one warm index) and [`ShardedEngine`] (shard-aware
+/// routing).
+pub trait StreamingScorer: SaiScorer {
+    /// Ingests a batch of posts, returning how many were appended.
+    fn ingest_batch(&mut self, batch: Vec<Post>) -> usize;
+
+    /// Number of posts currently served.
+    fn post_count(&self) -> usize;
+
+    /// Number of non-empty ingest batches absorbed since construction.
+    fn generation(&self) -> u64;
+}
 
 /// The query the SAI computation issues for one keyword profile under one
 /// configuration (hashtag OR keyword content, conjunctive scene filters) —
@@ -220,6 +260,88 @@ impl EngineCore {
         }
     }
 
+    /// Scores one keyword profile into a mergeable shard partial: candidate
+    /// ids come from this core's own (shard-local) index, and the
+    /// order-sensitive per-post evidence is recorded against *global* post ids
+    /// (via `global_ids`, the shard's local→global mapping) so the merge step
+    /// can re-fold it in corpus order.
+    fn score_profile_partial(
+        &self,
+        corpus: &Corpus,
+        profile: &KeywordProfile,
+        config: &PspConfig,
+        global_ids: &[u32],
+    ) -> SaiPartial {
+        let query = profile_query(profile, config);
+        let ids = self.index.query(corpus, &query);
+        self.aggregate_partial(corpus, config, ids.into_iter(), global_ids)
+    }
+
+    /// Folds a set of candidate local ids (ascending) into a shard partial —
+    /// the partial-scoring counterpart of [`aggregate`](Self::aggregate),
+    /// applying the same credibility filter and visiting posts in the same
+    /// (local == global) relative order.
+    fn aggregate_partial(
+        &self,
+        corpus: &Corpus,
+        config: &PspConfig,
+        ids: impl Iterator<Item = u32>,
+        global_ids: &[u32],
+    ) -> SaiPartial {
+        let mut partial = SaiPartial::default();
+        for id in ids {
+            let signal = self.signal(corpus, id);
+            if let Some(threshold) = config.min_author_credibility {
+                // Same rule as the full aggregation path.
+                if signal.credibility < threshold && signal.interaction_rate <= 0.01 {
+                    continue;
+                }
+            }
+            partial.push_post(
+                global_ids[id as usize],
+                signal.views,
+                signal.interactions,
+                signal.intent,
+                &signal.prices,
+            );
+        }
+        partial
+    }
+
+    /// A profile's *content* candidates (keyword/hashtag matches), ascending.
+    ///
+    /// The content condition does not depend on a configuration's
+    /// region/application/window filters, so batch callers resolve the
+    /// candidates once per profile — against any representative config — and
+    /// re-apply only [`metadata_filtered`](Self::metadata_filtered) per
+    /// configuration.  This is the shared skeleton of both batch entry points
+    /// (`EngineCore::sai_lists` and the sharded
+    /// `ShardedEngine::sai_lists`); keep them on these helpers so the two
+    /// paths cannot drift apart.
+    fn content_candidates_for(
+        &self,
+        corpus: &Corpus,
+        profile: &KeywordProfile,
+        any_config: &PspConfig,
+    ) -> Vec<u32> {
+        let content_query = profile_query(profile, any_config);
+        self.index.content_candidates(corpus, &content_query)
+    }
+
+    /// Filters pre-resolved content candidates down to the ids passing one
+    /// configuration's metadata constraints (region / application / window),
+    /// preserving ascending order — the per-config half of the batch skeleton.
+    fn metadata_filtered<'a>(
+        &'a self,
+        candidates: &'a [u32],
+        query: &'a Query,
+    ) -> impl Iterator<Item = u32> + 'a {
+        candidates
+            .iter()
+            .copied()
+            .filter(|id| self.index.matches_metadata(*id, query))
+    }
+
     /// Computes the full SAI list for a keyword database and configuration in
     /// one indexed pass, fanning out over keyword profiles with `rayon`.
     fn sai_list(&self, corpus: &Corpus, db: &KeywordDatabase, config: &PspConfig) -> SaiList {
@@ -253,8 +375,7 @@ impl EngineCore {
         let per_profile: Vec<Vec<SaiEntry>> = profiles
             .par_iter()
             .map(|profile| {
-                let content_query = profile_query(profile, &configs[0]);
-                let candidates = self.index.content_candidates(corpus, &content_query);
+                let candidates = self.content_candidates_for(corpus, profile, &configs[0]);
                 configs
                     .iter()
                     .map(|config| {
@@ -263,10 +384,7 @@ impl EngineCore {
                             corpus,
                             profile,
                             config,
-                            candidates
-                                .iter()
-                                .copied()
-                                .filter(|id| self.index.matches_metadata(*id, &query)),
+                            self.metadata_filtered(&candidates, &query),
                         )
                     })
                     .collect()
@@ -355,6 +473,16 @@ impl<'c> ScoringEngine<'c> {
     #[must_use]
     pub fn sai_lists(&self, db: &KeywordDatabase, configs: &[PspConfig]) -> Vec<SaiList> {
         self.core.sai_lists(self.corpus, db, configs)
+    }
+}
+
+impl SaiScorer for ScoringEngine<'_> {
+    fn sai_list(&self, db: &KeywordDatabase, config: &PspConfig) -> SaiList {
+        ScoringEngine::sai_list(self, db, config)
+    }
+
+    fn sai_lists(&self, db: &KeywordDatabase, configs: &[PspConfig]) -> Vec<SaiList> {
+        ScoringEngine::sai_lists(self, db, configs)
     }
 }
 
@@ -460,6 +588,30 @@ impl LiveEngine {
     #[must_use]
     pub fn sai_lists(&self, db: &KeywordDatabase, configs: &[PspConfig]) -> Vec<SaiList> {
         self.core.sai_lists(&self.corpus, db, configs)
+    }
+}
+
+impl SaiScorer for LiveEngine {
+    fn sai_list(&self, db: &KeywordDatabase, config: &PspConfig) -> SaiList {
+        LiveEngine::sai_list(self, db, config)
+    }
+
+    fn sai_lists(&self, db: &KeywordDatabase, configs: &[PspConfig]) -> Vec<SaiList> {
+        LiveEngine::sai_lists(self, db, configs)
+    }
+}
+
+impl StreamingScorer for LiveEngine {
+    fn ingest_batch(&mut self, batch: Vec<Post>) -> usize {
+        self.ingest(batch)
+    }
+
+    fn post_count(&self) -> usize {
+        LiveEngine::post_count(self)
+    }
+
+    fn generation(&self) -> u64 {
+        LiveEngine::generation(self)
     }
 }
 

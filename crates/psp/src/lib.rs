@@ -28,7 +28,13 @@
 //! corpora that keep growing while being served, [`engine::LiveEngine`] adds a
 //! streaming ingestion path — appends extend the index and signal cache in
 //! place — and [`monitoring::LiveMonitor`] interleaves ingestion with
-//! sliding-window re-evaluation on that one warm engine.
+//! sliding-window re-evaluation on that one warm engine.  At fleet scale,
+//! [`engine::ShardedEngine`] partitions the corpus by time range or region
+//! (`socialsim::index::ShardSpec`), scores one engine core per shard in
+//! parallel with window/region pruning, and merges per-shard partial evidence
+//! into SAI lists bit-identical to the single-engine path;
+//! [`monitoring::ShardedMonitor`] runs the monitoring loop on that sharded
+//! engine.
 //!
 //! # Example
 //!
@@ -67,7 +73,7 @@ pub mod workflow;
 
 pub use classify::AttackOrigin;
 pub use config::{PspConfig, SaiWeights};
-pub use engine::{LiveEngine, ScoringEngine};
+pub use engine::{LiveEngine, SaiScorer, ScoringEngine, ShardedEngine, StreamingScorer};
 pub use error::PspError;
 pub use financial::{FinancialAssessment, FinancialInputs};
 pub use keyword_db::{KeywordDatabase, KeywordProfile};

@@ -19,13 +19,14 @@
 //!   grown corpus.
 
 use crate::config::PspConfig;
-use crate::engine::{LiveEngine, ScoringEngine};
+use crate::engine::{LiveEngine, ScoringEngine, ShardedEngine, StreamingScorer};
 use crate::keyword_db::KeywordDatabase;
 use crate::sai::SaiList;
 use crate::weights::WeightGenerator;
 use iso21434::feasibility::attack_vector::AttackVectorTable;
 use serde::{Deserialize, Serialize};
 use socialsim::corpus::Corpus;
+use socialsim::index::ShardSpec;
 use socialsim::post::Post;
 use socialsim::time::DateWindow;
 use vehicle::attack_surface::AttackVector;
@@ -39,12 +40,39 @@ pub struct WindowObservation {
     pub to_year: i32,
     /// Number of matching posts across all keywords of the scenario.
     pub posts: usize,
+    /// The scenario's total SAI mass in this window (summed over its entries).
+    pub scenario_sai: f64,
     /// SAI share per attack vector within the scenario.
     pub vector_shares: Vec<(AttackVector, f64)>,
     /// The dominant vector of the window (`None` when the window has no evidence).
     pub dominant: Option<AttackVector>,
     /// The tuned table generated from this window.
     pub table: AttackVectorTable,
+}
+
+/// Which way the scenario's SAI mass moved between two consecutive windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AlertDirection {
+    /// The SAI mass grew beyond the alert threshold — attacker attention is
+    /// rising and a TARA re-evaluation is due.
+    Rising,
+    /// The SAI mass shrank beyond the alert threshold.
+    Falling,
+}
+
+/// An alert raised when the scenario's SAI mass moves sharply between two
+/// consecutive observation windows — the monitoring loop's "re-assess now"
+/// signal, cheaper to act on than diffing whole tables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SaiAlert {
+    /// Start year of the window that triggered the alert (the later window).
+    pub from_year: i32,
+    /// The scenario SAI of the preceding window.
+    pub previous_sai: f64,
+    /// The scenario SAI of the triggering window.
+    pub current_sai: f64,
+    /// Rising or falling.
+    pub direction: AlertDirection,
 }
 
 /// The monitoring time series for one scenario.
@@ -94,6 +122,7 @@ fn observations_from(
     for ((start, end), sai) in bounds.into_iter().zip(sai_lists) {
         let entries = sai.scenario_entries(scenario);
         let posts = entries.iter().map(|e| e.posts).sum();
+        let scenario_sai = entries.iter().map(|e| e.sai).sum();
         let shares = sai.vector_shares(scenario);
         let dominant = if posts == 0 {
             None
@@ -107,6 +136,7 @@ fn observations_from(
             from_year: start,
             to_year: end,
             posts,
+            scenario_sai,
             vector_shares: shares,
             dominant,
             table: generator.insider_table(&sai, scenario),
@@ -172,9 +202,41 @@ impl MonitoringSeries {
             .map(|o| (o.from_year, o.dominant))
             .collect()
     }
+
+    /// Alerts for every pair of consecutive windows whose scenario SAI moved
+    /// by more than `threshold` (relative; clamped to be non-negative).
+    ///
+    /// A window is *rising* when its SAI exceeds the previous window's by more
+    /// than the threshold share — including any growth from an empty previous
+    /// window — and *falling* symmetrically.  Two empty windows never alert.
+    /// `threshold = 0.25` means "changed by more than 25%".
+    #[must_use]
+    pub fn sai_alerts(&self, threshold: f64) -> Vec<SaiAlert> {
+        let threshold = threshold.max(0.0);
+        let mut alerts = Vec::new();
+        for pair in self.observations.windows(2) {
+            let (previous, current) = (&pair[0], &pair[1]);
+            let direction = if current.scenario_sai > previous.scenario_sai * (1.0 + threshold) {
+                Some(AlertDirection::Rising)
+            } else if current.scenario_sai < previous.scenario_sai * (1.0 - threshold) {
+                Some(AlertDirection::Falling)
+            } else {
+                None
+            };
+            if let Some(direction) = direction {
+                alerts.push(SaiAlert {
+                    from_year: current.from_year,
+                    previous_sai: previous.scenario_sai,
+                    current_sai: current.scenario_sai,
+                    direction,
+                });
+            }
+        }
+        alerts
+    }
 }
 
-/// A continuously running monitor: one warm [`LiveEngine`] that interleaves
+/// A continuously running monitor: one warm streaming engine that interleaves
 /// post ingestion with sliding-window re-evaluation.
 ///
 /// This is the paper's continuous-monitoring workflow (Fig. 9/12) as a serving
@@ -185,14 +247,23 @@ impl MonitoringSeries {
 /// The produced series is bit-identical to a cold [`MonitoringSeries::run`]
 /// over the same grown corpus (property-tested), without the full-rebuild
 /// cost.
+///
+/// The monitor is generic over the engine shape: the default is a single
+/// [`LiveEngine`] ([`LiveMonitor::new`]); [`LiveMonitor::sharded`] builds the
+/// fleet-scale variant over a [`ShardedEngine`] (alias [`ShardedMonitor`]),
+/// whose shard-aware ingest and window-pruned sweeps produce the exact same
+/// series bit for bit.
 #[derive(Debug, Clone)]
-pub struct LiveMonitor {
-    engine: LiveEngine,
+pub struct LiveMonitor<E: StreamingScorer = LiveEngine> {
+    engine: E,
     db: KeywordDatabase,
     base_config: PspConfig,
     scenario: String,
     window_years: i32,
 }
+
+/// A [`LiveMonitor`] running one engine per corpus shard.
+pub type ShardedMonitor = LiveMonitor<ShardedEngine>;
 
 impl LiveMonitor {
     /// Creates a monitor over an initial corpus (which may be empty).
@@ -204,8 +275,50 @@ impl LiveMonitor {
         scenario: &str,
         window_years: i32,
     ) -> Self {
+        Self::with_engine(
+            LiveEngine::new(corpus),
+            db,
+            base_config,
+            scenario,
+            window_years,
+        )
+    }
+}
+
+impl ShardedMonitor {
+    /// Creates a monitor whose corpus is partitioned into shards by `spec` —
+    /// one engine core per shard, window-pruned sweeps, bit-identical series.
+    #[must_use]
+    pub fn sharded(
+        corpus: Corpus,
+        spec: ShardSpec,
+        db: KeywordDatabase,
+        base_config: PspConfig,
+        scenario: &str,
+        window_years: i32,
+    ) -> Self {
+        Self::with_engine(
+            ShardedEngine::new(corpus, spec),
+            db,
+            base_config,
+            scenario,
+            window_years,
+        )
+    }
+}
+
+impl<E: StreamingScorer> LiveMonitor<E> {
+    /// Wraps an already-built engine into a monitor.
+    #[must_use]
+    pub fn with_engine(
+        engine: E,
+        db: KeywordDatabase,
+        base_config: PspConfig,
+        scenario: &str,
+        window_years: i32,
+    ) -> Self {
         Self {
-            engine: LiveEngine::new(corpus),
+            engine,
             db,
             base_config,
             scenario: scenario.to_string(),
@@ -213,10 +326,11 @@ impl LiveMonitor {
         }
     }
 
-    /// Ingests a batch of posts into the live engine (amortised O(batch); see
-    /// [`LiveEngine::ingest`]).  Returns the number of posts appended.
+    /// Ingests a batch of posts into the engine (amortised O(batch); see
+    /// [`LiveEngine::ingest`] / [`ShardedEngine::ingest`]).  Returns the
+    /// number of posts appended.
     pub fn ingest(&mut self, batch: impl IntoIterator<Item = Post>) -> usize {
-        self.engine.ingest(batch)
+        self.engine.ingest_batch(batch.into_iter().collect())
     }
 
     /// Re-evaluates the sliding-window series over everything ingested so far,
@@ -232,9 +346,21 @@ impl LiveMonitor {
         }
     }
 
-    /// The underlying live engine (corpus, index, generation counter).
+    /// The SAI movement alerts of the current series — see
+    /// [`MonitoringSeries::sai_alerts`].
+    ///
+    /// Convenience that re-runs the full windowed sweep: when you already
+    /// hold the [`series`](Self::series) for these bounds (or want alerts at
+    /// several thresholds), call [`MonitoringSeries::sai_alerts`] on it
+    /// instead of paying the sweep again.
     #[must_use]
-    pub fn engine(&self) -> &LiveEngine {
+    pub fn alerts(&self, from_year: i32, to_year: i32, threshold: f64) -> Vec<SaiAlert> {
+        self.series(from_year, to_year).sai_alerts(threshold)
+    }
+
+    /// The underlying engine (corpus, index, generation counter).
+    #[must_use]
+    pub fn engine(&self) -> &E {
         &self.engine
     }
 
@@ -254,7 +380,11 @@ impl LiveMonitor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use socialsim::engagement::Engagement;
+    use socialsim::post::{Region, TargetApplication};
     use socialsim::scenario;
+    use socialsim::time::SimDate;
+    use socialsim::user::User;
 
     fn series(window_years: i32) -> MonitoringSeries {
         MonitoringSeries::run(
@@ -381,6 +511,154 @@ mod tests {
         );
         // Detection happened the year the evidence arrived, not later.
         assert!(seen_at >= inversion);
+    }
+
+    /// A Europe/excavator post mentioning the DPF-tampering scenario, for
+    /// handcrafting SAI bursts year by year.
+    fn dpf_post(id: u64, year: i32, text: &str) -> Post {
+        Post::new(
+            id,
+            User::new("alert_user", 200, 36),
+            text,
+            vec![],
+            SimDate::new(year, 6, 15),
+            Region::Europe,
+            TargetApplication::Excavator,
+            Engagement::new(2_000, 60, 12, 6),
+        )
+    }
+
+    /// One quiet year, one burst year, one quiet year — the SAI mass rises
+    /// then falls across consecutive windows.
+    fn burst_corpus() -> Corpus {
+        let mut posts = vec![dpf_post(1, 2018, "thinking about a #dpfdelete")];
+        for i in 0..12 {
+            posts.push(dpf_post(
+                100 + i,
+                2019,
+                "#dpfdelete kit for sale 360 EUR installs fast",
+            ));
+        }
+        posts.push(dpf_post(900, 2020, "kept one #dpfdelete running"));
+        Corpus::from_posts(posts)
+    }
+
+    #[test]
+    fn rising_and_falling_sai_raise_alerts_across_consecutive_windows() {
+        let monitor = LiveMonitor::new(
+            burst_corpus(),
+            KeywordDatabase::excavator_seed(),
+            PspConfig::excavator_europe(),
+            "dpf-tampering",
+            1,
+        );
+        let alerts = monitor.alerts(2018, 2020, 0.5);
+        assert_eq!(alerts.len(), 2, "one rising and one falling: {alerts:?}");
+        assert_eq!(alerts[0].from_year, 2019);
+        assert_eq!(alerts[0].direction, AlertDirection::Rising);
+        assert!(alerts[0].current_sai > alerts[0].previous_sai * 1.5);
+        assert_eq!(alerts[1].from_year, 2020);
+        assert_eq!(alerts[1].direction, AlertDirection::Falling);
+        assert!(alerts[1].current_sai < alerts[1].previous_sai * 0.5);
+    }
+
+    #[test]
+    fn growth_from_an_empty_window_is_a_rising_alert() {
+        let posts: Vec<Post> = (0..5)
+            .map(|i| dpf_post(i, 2020, "#dpfdelete day"))
+            .collect();
+        let monitor = LiveMonitor::new(
+            Corpus::from_posts(posts),
+            KeywordDatabase::excavator_seed(),
+            PspConfig::excavator_europe(),
+            "dpf-tampering",
+            1,
+        );
+        let alerts = monitor.alerts(2019, 2020, 0.25);
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].direction, AlertDirection::Rising);
+        assert_eq!(alerts[0].previous_sai, 0.0);
+        assert!(alerts[0].current_sai > 0.0);
+        // Two consecutive empty windows never alert.
+        assert!(monitor.alerts(2015, 2018, 0.25).is_empty());
+    }
+
+    #[test]
+    fn alerts_respect_the_threshold_and_clamp_negative_ones() {
+        let monitor = LiveMonitor::new(
+            burst_corpus(),
+            KeywordDatabase::excavator_seed(),
+            PspConfig::excavator_europe(),
+            "dpf-tampering",
+            1,
+        );
+        // A huge threshold silences the falling alert (and a rising alert
+        // needs more than a 100x jump).
+        let alerts = monitor.alerts(2018, 2020, 99.0);
+        assert!(alerts.iter().all(|a| a.direction == AlertDirection::Rising));
+        // Negative thresholds clamp to zero: any strict change alerts.
+        let strict = monitor.alerts(2018, 2020, -1.0);
+        assert_eq!(strict.len(), 2);
+    }
+
+    #[test]
+    fn live_alerts_match_cold_series_alerts_after_ingest() {
+        let posts = burst_corpus().posts().to_vec();
+        let mut monitor = LiveMonitor::new(
+            Corpus::new(),
+            KeywordDatabase::excavator_seed(),
+            PspConfig::excavator_europe(),
+            "dpf-tampering",
+            1,
+        );
+        for chunk in posts.chunks(3) {
+            monitor.ingest(chunk.to_vec());
+        }
+        let cold = MonitoringSeries::run(
+            &burst_corpus(),
+            &KeywordDatabase::excavator_seed(),
+            &PspConfig::excavator_europe(),
+            "dpf-tampering",
+            2018,
+            2020,
+            1,
+        );
+        assert_eq!(monitor.alerts(2018, 2020, 0.5), cold.sai_alerts(0.5));
+        assert_eq!(monitor.series(2018, 2020), cold);
+    }
+
+    #[test]
+    fn sharded_monitor_series_is_bit_identical_to_the_live_monitor() {
+        let corpus = scenario::passenger_car_europe(42);
+        let posts = corpus.posts().to_vec();
+        let db = KeywordDatabase::passenger_car_seed();
+        let config = PspConfig::passenger_car_europe();
+        let mut live = LiveMonitor::new(
+            Corpus::new(),
+            db.clone(),
+            config.clone(),
+            "ecm-reprogramming",
+            2,
+        );
+        let mut sharded = LiveMonitor::sharded(
+            Corpus::new(),
+            ShardSpec::yearly(),
+            db,
+            config,
+            "ecm-reprogramming",
+            2,
+        );
+        for chunk in posts.chunks(97) {
+            live.ingest(chunk.to_vec());
+            sharded.ingest(chunk.to_vec());
+        }
+        assert_eq!(live.post_count(), sharded.post_count());
+        assert!(sharded.engine().shard_count() > 1);
+        assert_eq!(sharded.series(2015, 2023), live.series(2015, 2023));
+        assert_eq!(
+            sharded.alerts(2015, 2023, 0.3),
+            live.alerts(2015, 2023, 0.3)
+        );
     }
 
     #[test]

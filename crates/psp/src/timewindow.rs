@@ -85,14 +85,19 @@ pub fn compare_windows(
     )
 }
 
-/// [`compare_windows`] against a warm [`LiveEngine`](crate::engine::LiveEngine)
-/// — the streaming variant:
-/// the corpus the engine has ingested so far is compared across the two
-/// windows without rebuilding any index or recomputing memoised signals.
-/// Produces exactly what [`compare_windows`] over the engine's corpus would.
+/// [`compare_windows`] against a warm engine — the streaming variant: the
+/// corpus the engine has ingested so far is compared across the two windows
+/// without rebuilding any index or recomputing memoised signals.  Produces
+/// exactly what [`compare_windows`] over the engine's corpus would.
+///
+/// Generic over the engine shape: pass a
+/// [`LiveEngine`](crate::engine::LiveEngine) for the single warm index, or a
+/// [`ShardedEngine`](crate::engine::ShardedEngine) to answer both windows from
+/// per-shard indexes (time shards outside either window are pruned) with a
+/// bit-identical result.
 #[must_use]
-pub fn compare_windows_live(
-    engine: &crate::engine::LiveEngine,
+pub fn compare_windows_live<E: crate::engine::SaiScorer>(
+    engine: &E,
     db: &KeywordDatabase,
     base_config: &PspConfig,
     scenario: &str,
@@ -224,5 +229,20 @@ mod tests {
         );
         assert_eq!(live, comparison());
         assert!(live.trend_inverted());
+    }
+
+    #[test]
+    fn sharded_comparison_matches_the_snapshot_comparison() {
+        let corpus = scenario::passenger_car_europe(42);
+        let sharded =
+            crate::engine::ShardedEngine::new(corpus, socialsim::index::ShardSpec::ByTimeYears(2));
+        let live = compare_windows_live(
+            &sharded,
+            &KeywordDatabase::passenger_car_seed(),
+            &PspConfig::passenger_car_europe(),
+            "ecm-reprogramming",
+            DateWindow::years(2021, 2023),
+        );
+        assert_eq!(live, comparison());
     }
 }

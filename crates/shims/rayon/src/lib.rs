@@ -6,6 +6,7 @@
 //! swapping this shim for real rayon is behaviour-compatible for this API
 //! subset.
 
+use std::cell::Cell;
 use std::num::NonZeroUsize;
 
 /// The prelude, mirroring `rayon::prelude`.
@@ -13,12 +14,53 @@ pub mod prelude {
     pub use crate::IntoParallelRefIterator;
 }
 
-/// Number of worker threads to fan out over.
+thread_local! {
+    /// Scoped worker-count override installed by [`with_thread_count`].
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Runs `f` with every `par_iter` issued *from this thread* fanning out over
+/// exactly `threads` workers (still capped by item count; values above the
+/// core count are honoured, like real rayon pools).  Nested `par_iter` calls
+/// made from inside spawned workers fall back to the default policy.
+///
+/// This is a shim-only determinism hook: tests use it to assert that fan-out
+/// results are identical at every thread count (guarding against
+/// order-dependent folds/merges).  Real rayon sizes its global pool via
+/// `RAYON_NUM_THREADS` / `ThreadPoolBuilder` instead, so gate callers behind a
+/// shim-only cfg or feature (the workspace uses the `psp-suite` crate feature
+/// `shim-rayon` for this).
+pub fn with_thread_count<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    /// Restores the previous override even when the closure unwinds (proptest,
+    /// for one, catches panics and keeps running on the same thread).
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|cell| cell.set(self.0));
+        }
+    }
+    let _restore = Restore(THREAD_OVERRIDE.with(|cell| cell.replace(Some(threads.max(1)))));
+    f()
+}
+
+/// Number of worker threads to fan out over: the scoped override if one is
+/// installed, else `RAYON_NUM_THREADS` (the variable real rayon's global pool
+/// honours), else one per available core — always capped by the item count.
 fn thread_count(items: usize) -> usize {
-    let cores = std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1);
-    cores.min(items).max(1)
+    let configured = THREAD_OVERRIDE
+        .with(Cell::get)
+        .or_else(|| {
+            std::env::var("RAYON_NUM_THREADS")
+                .ok()
+                .and_then(|raw| raw.trim().parse().ok())
+                .filter(|n: &usize| *n > 0)
+        })
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+    configured.min(items).max(1)
 }
 
 /// Order-preserving parallel map over a slice.
@@ -129,5 +171,47 @@ mod tests {
         let slice: &[i32] = &[1, 2, 3];
         let out: Vec<i32> = slice.par_iter().map(|x| x + 1).collect();
         assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn results_are_identical_at_every_thread_count() {
+        // The sequential-fallback guarantee: whatever the worker count — one
+        // (the 1-core fallback), a few, or more threads than cores — the
+        // collected results are the same values in the same order.
+        let input: Vec<u64> = (0..997).collect();
+        let reference: Vec<u64> = input.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 7, 64] {
+            let out: Vec<u64> =
+                super::with_thread_count(threads, || input.par_iter().map(|x| x * 3 + 1).collect());
+            assert_eq!(out, reference, "diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn thread_count_override_is_scoped_and_restored() {
+        assert_eq!(super::with_thread_count(5, || super::thread_count(100)), 5);
+        // Override is capped by the item count and floored at 1.
+        assert_eq!(super::with_thread_count(8, || super::thread_count(3)), 3);
+        assert_eq!(super::with_thread_count(0, || super::thread_count(10)), 1);
+        // Nested overrides restore the outer value on exit.
+        let (inner, outer_after) = super::with_thread_count(4, || {
+            let inner = super::with_thread_count(2, || super::thread_count(100));
+            (inner, super::thread_count(100))
+        });
+        assert_eq!(inner, 2);
+        assert_eq!(outer_after, 4);
+    }
+
+    #[test]
+    fn override_is_restored_when_the_closure_panics() {
+        let after = super::with_thread_count(6, || {
+            let unwound = std::panic::catch_unwind(|| {
+                super::with_thread_count(2, || panic!("worker asserts mid-override"))
+            });
+            assert!(unwound.is_err());
+            // The inner override must not leak past the unwind.
+            super::thread_count(100)
+        });
+        assert_eq!(after, 6);
     }
 }

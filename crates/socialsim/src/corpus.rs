@@ -68,6 +68,13 @@ impl Corpus {
         &self.posts
     }
 
+    /// Consumes the corpus, returning the posts in insertion order — the
+    /// no-clone path for repartitioning posts into shard corpora.
+    #[must_use]
+    pub fn into_posts(self) -> Vec<Post> {
+        self.posts
+    }
+
     /// Iterates over the posts.
     pub fn iter(&self) -> impl Iterator<Item = &Post> {
         self.posts.iter()

@@ -8,11 +8,12 @@
 
 use proptest::prelude::*;
 use psp_suite::psp::config::PspConfig;
-use psp_suite::psp::engine::{LiveEngine, ScoringEngine};
+use psp_suite::psp::engine::{LiveEngine, ScoringEngine, ShardedEngine};
 use psp_suite::psp::keyword_db::KeywordDatabase;
 use psp_suite::psp::sai::SaiList;
 use psp_suite::socialsim::corpus::Corpus;
 use psp_suite::socialsim::engagement::Engagement;
+use psp_suite::socialsim::index::ShardSpec;
 use psp_suite::socialsim::post::{Post, Region, TargetApplication};
 use psp_suite::socialsim::query::Query;
 use psp_suite::socialsim::time::{DateWindow, SimDate};
@@ -156,6 +157,14 @@ fn arb_query() -> impl Strategy<Value = Query> {
         })
 }
 
+/// Random shard axes and granularities: 1-4-year time buckets or regions.
+fn arb_spec() -> impl Strategy<Value = ShardSpec> {
+    prop_oneof![
+        (1i32..5).prop_map(ShardSpec::ByTimeYears),
+        Just(ShardSpec::ByRegion),
+    ]
+}
+
 fn naive_ids(corpus: &Corpus, query: &Query) -> Vec<u64> {
     corpus
         .posts()
@@ -274,6 +283,77 @@ proptest! {
         let warm = live.sai_list(&db, &config);
         prop_assert_eq!(&warm, &ScoringEngine::new(&corpus).sai_list(&db, &config));
         prop_assert_eq!(&warm, &SaiList::compute_naive(&corpus, &db, &config));
+    }
+
+    /// The sharded engine — any shard axis, any granularity — produces SAI
+    /// lists bit-identical to the unsharded engine *and* to the naive oracle,
+    /// with and without the poisoning filter and a window: counts merge as
+    /// sums, while the order-sensitive float evidence is re-folded in global
+    /// post order, so not a single bit may drift.
+    #[test]
+    fn sharded_sai_equals_unsharded_and_naive(corpus in arb_corpus(), spec in arb_spec()) {
+        let db = KeywordDatabase::excavator_seed();
+        let sharded = ShardedEngine::new(corpus.clone(), spec);
+        let configs = [
+            PspConfig::excavator_europe(),
+            PspConfig::excavator_europe()
+                .with_window(DateWindow::years(2017, 2021))
+                .with_poisoning_filter(0.25),
+        ];
+        for config in &configs {
+            let merged = sharded.sai_list(&db, config);
+            prop_assert_eq!(&merged, &ScoringEngine::new(&corpus).sai_list(&db, config));
+            prop_assert_eq!(&merged, &SaiList::compute_naive(&corpus, &db, config));
+        }
+    }
+
+    /// Sharding a finished corpus and ingesting the same posts batch by batch
+    /// into a sharded engine converge to the same state: same shard layout,
+    /// same global order, bit-identical scores.
+    #[test]
+    fn shard_then_ingest_equals_ingest_then_shard(
+        corpus in arb_corpus(),
+        split_percent in 0usize..=100,
+        chunk in 1usize..7,
+        spec in arb_spec(),
+    ) {
+        let db = KeywordDatabase::excavator_seed();
+        let config = PspConfig::excavator_europe();
+        let posts = corpus.posts().to_vec();
+        let split = posts.len() * split_percent / 100;
+
+        let mut ingested = ShardedEngine::new(Corpus::from_posts(posts[..split].to_vec()), spec);
+        for batch in posts[split..].chunks(chunk) {
+            ingested.ingest(batch.to_vec());
+        }
+        let resharded = ShardedEngine::new(corpus.clone(), spec);
+
+        prop_assert_eq!(ingested.post_count(), resharded.post_count());
+        prop_assert_eq!(ingested.shard_sizes(), resharded.shard_sizes());
+        prop_assert_eq!(ingested.snapshot_corpus(), corpus);
+        prop_assert_eq!(
+            ingested.sai_list(&db, &config),
+            resharded.sai_list(&db, &config)
+        );
+    }
+
+    /// Sharded windowed batch scoring — where shard pruning kicks in — stays
+    /// bit-identical to the snapshot engine's batch path for every window.
+    #[test]
+    fn sharded_windows_equal_snapshot_windows(
+        corpus in arb_corpus(),
+        from in 2015i32..2022,
+        spec in arb_spec(),
+    ) {
+        let db = KeywordDatabase::excavator_seed();
+        let configs: Vec<PspConfig> = (from..from + 3)
+            .map(|y| PspConfig::excavator_europe().with_window(DateWindow::years(y, y + 1)))
+            .collect();
+        let sharded = ShardedEngine::new(corpus.clone(), spec);
+        prop_assert_eq!(
+            sharded.sai_lists(&db, &configs),
+            ScoringEngine::new(&corpus).sai_lists(&db, &configs)
+        );
     }
 
     /// Windowed batch scoring through a live, incrementally fed engine matches
