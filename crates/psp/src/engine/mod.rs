@@ -62,8 +62,10 @@ use socialsim::query::Query;
 use std::sync::OnceLock;
 use textmine::pipeline::TextPipeline;
 
+mod cache;
 mod sharded;
 
+pub use cache::{SignalCacheError, SignalCacheFile, SIGNAL_CACHE_VERSION};
 pub use sharded::ShardedEngine;
 
 /// Anything that can answer SAI computations — implemented by every engine
@@ -129,6 +131,23 @@ struct PostSignals {
     interaction_rate: f64,
 }
 
+impl PostSignals {
+    /// Combines a post's cheap engagement/credibility fields with its mined
+    /// text evidence — the single construction site shared by fresh mining
+    /// ([`EngineCore::signal`]) and cache install
+    /// ([`EngineCore::install_cached`]), so the two can never drift apart.
+    fn from_post(post: &Post, intent: f64, prices: Vec<f64>) -> Self {
+        Self {
+            views: post.engagement().views,
+            interactions: post.engagement().interactions(),
+            intent,
+            prices,
+            credibility: post.author().credibility(),
+            interaction_rate: post.engagement().interaction_rate(),
+        }
+    }
+}
+
 /// The corpus-agnostic scoring core shared by [`ScoringEngine`] (borrowed
 /// corpus) and [`LiveEngine`] (owned corpus): the inverted index, the text
 /// pipeline and the memoised per-post signal cache.  Every method takes the
@@ -146,13 +165,16 @@ struct EngineCore {
 }
 
 impl EngineCore {
-    fn new(corpus: &Corpus) -> Self {
+    /// Builds a core whose signals are mined by `pipeline` — how custom
+    /// lexica (and the frozen reference pipeline, for baseline measurements)
+    /// flow into an engine.
+    fn with_pipeline(corpus: &Corpus, pipeline: TextPipeline) -> Self {
         let index = CorpusIndex::build(corpus);
         let mut signals = Vec::new();
         signals.resize_with(corpus.posts().len(), OnceLock::new);
         Self {
             index,
-            pipeline: TextPipeline::new(),
+            pipeline,
             signals,
             generation: 0,
         }
@@ -171,20 +193,80 @@ impl EngineCore {
         }
     }
 
-    /// The (memoised) signals of one post.
+    /// The (memoised) signals of one post.  Text mining runs through the
+    /// lean [`TextPipeline::signals`] entry point — the single fused pass,
+    /// with no token or hashtag strings materialised.
     fn signal(&self, corpus: &Corpus, id: u32) -> &PostSignals {
         self.signals[id as usize].get_or_init(|| {
             let post = &corpus.posts()[id as usize];
-            let analysis = self.pipeline.analyze(post.text());
-            PostSignals {
-                views: post.engagement().views,
-                interactions: post.engagement().interactions(),
-                intent: analysis.intent.score,
-                prices: analysis.prices,
-                credibility: post.author().credibility(),
-                interaction_rate: post.engagement().interaction_rate(),
-            }
+            let mined = self.pipeline.signals(post.text());
+            PostSignals::from_post(post, mined.intent.score, mined.prices)
         })
+    }
+
+    /// Installs one post's cached text signals (the cheap engagement /
+    /// credibility fields are recomputed from the post, the mined evidence
+    /// comes from the cache).  Returns whether the slot was actually empty.
+    fn install_cached(&self, corpus: &Corpus, id: u32, intent: f64, prices: &[f64]) -> bool {
+        let post = &corpus.posts()[id as usize];
+        self.signals[id as usize]
+            .set(PostSignals::from_post(post, intent, prices.to_vec()))
+            .is_ok()
+    }
+
+    /// One post's exportable cache row (id, intent, prices).  The signals
+    /// must already be materialised (run `precompute_signals` first).
+    fn cached_row(&self, corpus: &Corpus, id: u32) -> (u64, f64, &[f64]) {
+        let signal = self.signals[id as usize]
+            .get()
+            .expect("signals precomputed before export");
+        (
+            corpus.posts()[id as usize].id(),
+            signal.intent,
+            &signal.prices,
+        )
+    }
+
+    /// Exports the full signal cache in corpus order, materialising any
+    /// signal not yet paid for.
+    fn export_cache(&self, corpus: &Corpus) -> SignalCacheFile {
+        self.precompute_signals(corpus);
+        let mut file = SignalCacheFile::empty(*self.pipeline.lexicon(), corpus.len());
+        for id in 0..corpus.len() as u32 {
+            let (post_id, intent, prices) = self.cached_row(corpus, id);
+            file.push_row(post_id, intent, prices);
+        }
+        file
+    }
+
+    /// Validates a cache against this core's corpus and installs every row —
+    /// the restart path that skips text mining entirely.  Returns the number
+    /// of posts whose signals were installed from the cache (already-memoised
+    /// posts are left untouched; a valid cache holds identical values).
+    fn load_cache(
+        &self,
+        corpus: &Corpus,
+        cache: &SignalCacheFile,
+    ) -> Result<usize, SignalCacheError> {
+        cache.check_shape(corpus.len(), self.pipeline.lexicon())?;
+        for (index, post) in corpus.posts().iter().enumerate() {
+            if cache.post_ids[index] != post.id() {
+                return Err(SignalCacheError::PostIdMismatch {
+                    index,
+                    cached: cache.post_ids[index],
+                    found: post.id(),
+                });
+            }
+        }
+        let offsets = cache.price_offsets();
+        let mut installed = 0_usize;
+        for id in 0..corpus.len() {
+            let prices = &cache.prices[offsets[id]..offsets[id + 1]];
+            if self.install_cached(corpus, id as u32, cache.intents[id], prices) {
+                installed += 1;
+            }
+        }
+        Ok(installed)
     }
 
     /// Eagerly materialises the signals of every post, fanning out over worker
@@ -423,10 +505,42 @@ impl<'c> ScoringEngine<'c> {
     /// first use (see [`precompute_signals`](Self::precompute_signals)).
     #[must_use]
     pub fn new(corpus: &'c Corpus) -> Self {
+        Self::with_pipeline(corpus, TextPipeline::new())
+    }
+
+    /// Builds an engine whose text mining runs through a custom pipeline —
+    /// a custom [`textmine::IntentLexicon`] via
+    /// [`TextPipeline::with_lexicon`], or the frozen multi-pass baseline via
+    /// [`TextPipeline::reference`] (used by the `text_pipeline` bench).
+    #[must_use]
+    pub fn with_pipeline(corpus: &'c Corpus, pipeline: TextPipeline) -> Self {
         Self {
             corpus,
-            core: EngineCore::new(corpus),
+            core: EngineCore::with_pipeline(corpus, pipeline),
         }
+    }
+
+    /// Exports the memoised per-post text signals as a persistable
+    /// [`SignalCacheFile`], materialising any signal not yet paid for.  Save
+    /// it alongside the serialised corpus
+    /// ([`socialsim::corpus::Corpus::save_json`]) and feed it to
+    /// [`load_signal_cache`](Self::load_signal_cache) after a restart to skip
+    /// text mining entirely.
+    #[must_use]
+    pub fn export_signal_cache(&self) -> SignalCacheFile {
+        self.core.export_cache(self.corpus)
+    }
+
+    /// Installs a previously exported signal cache after validating its
+    /// version, lexicon, length and every post id against this engine's
+    /// corpus.  Returns the number of posts warmed from the cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SignalCacheError`] (and installs nothing) when the cache
+    /// does not exactly describe this corpus.
+    pub fn load_signal_cache(&self, cache: &SignalCacheFile) -> Result<usize, SignalCacheError> {
+        self.core.load_cache(self.corpus, cache)
     }
 
     /// Eagerly materialises the signals of every post, fanning out over worker
@@ -523,8 +637,33 @@ impl LiveEngine {
     /// Builds a live engine over an initial corpus (which may be empty).
     #[must_use]
     pub fn new(corpus: Corpus) -> Self {
-        let core = EngineCore::new(&corpus);
+        Self::with_pipeline(corpus, TextPipeline::new())
+    }
+
+    /// Builds a live engine with a custom text pipeline — see
+    /// [`ScoringEngine::with_pipeline`].
+    #[must_use]
+    pub fn with_pipeline(corpus: Corpus, pipeline: TextPipeline) -> Self {
+        let core = EngineCore::with_pipeline(&corpus, pipeline);
         Self { corpus, core }
+    }
+
+    /// Exports the memoised per-post text signals as a persistable
+    /// [`SignalCacheFile`] — see [`ScoringEngine::export_signal_cache`].
+    #[must_use]
+    pub fn export_signal_cache(&self) -> SignalCacheFile {
+        self.core.export_cache(&self.corpus)
+    }
+
+    /// Installs a previously exported signal cache — see
+    /// [`ScoringEngine::load_signal_cache`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SignalCacheError`] (and installs nothing) when the cache
+    /// does not exactly describe this engine's current corpus.
+    pub fn load_signal_cache(&self, cache: &SignalCacheFile) -> Result<usize, SignalCacheError> {
+        self.core.load_cache(&self.corpus, cache)
     }
 
     /// Ingests a batch of posts: appends them to the corpus, extends the

@@ -30,7 +30,9 @@
 //!   extends that shard's index in place, so shard-then-ingest and
 //!   ingest-then-shard converge to the same state.
 
-use super::{profile_query, EngineCore, SaiScorer, StreamingScorer};
+use super::{
+    profile_query, EngineCore, SaiScorer, SignalCacheError, SignalCacheFile, StreamingScorer,
+};
 use crate::config::PspConfig;
 use crate::keyword_db::{KeywordDatabase, KeywordProfile};
 use crate::sai::{SaiList, SaiPartial};
@@ -38,6 +40,7 @@ use rayon::prelude::*;
 use socialsim::corpus::Corpus;
 use socialsim::index::{ShardKey, ShardSpec};
 use socialsim::post::Post;
+use textmine::pipeline::TextPipeline;
 
 /// One shard: a sub-corpus, its own engine core, and the mapping from
 /// shard-local post ids back to global corpus ids.
@@ -52,9 +55,9 @@ struct Shard {
 }
 
 impl Shard {
-    fn empty(key: ShardKey) -> Self {
+    fn empty(key: ShardKey, pipeline: TextPipeline) -> Self {
         let corpus = Corpus::new();
-        let core = EngineCore::new(&corpus);
+        let core = EngineCore::with_pipeline(&corpus, pipeline);
         Self {
             key,
             corpus,
@@ -95,6 +98,9 @@ pub struct ShardedEngine {
     shards: Vec<Shard>,
     total_posts: usize,
     generation: u64,
+    /// The pipeline cloned into every shard core (and every shard created on
+    /// demand by ingest) — kept here so cache validation sees one lexicon.
+    pipeline: TextPipeline,
 }
 
 impl ShardedEngine {
@@ -104,6 +110,13 @@ impl ShardedEngine {
     /// demand.
     #[must_use]
     pub fn new(corpus: Corpus, spec: ShardSpec) -> Self {
+        Self::with_pipeline(corpus, spec, TextPipeline::new())
+    }
+
+    /// Builds a sharded engine with a custom text pipeline (cloned into every
+    /// shard) — see [`super::ScoringEngine::with_pipeline`].
+    #[must_use]
+    pub fn with_pipeline(corpus: Corpus, spec: ShardSpec, pipeline: TextPipeline) -> Self {
         let total_posts = corpus.len();
         let groups = spec.partition(&corpus);
         // Move (never clone) each post into its shard's corpus.
@@ -125,7 +138,7 @@ impl ShardedEngine {
         // Each shard's inverted index is independent — build them in parallel.
         let cores: Vec<EngineCore> = assembled
             .par_iter()
-            .map(|(_, shard_corpus, _)| EngineCore::new(shard_corpus))
+            .map(|(_, shard_corpus, _)| EngineCore::with_pipeline(shard_corpus, pipeline.clone()))
             .collect();
         let shards = assembled
             .into_iter()
@@ -142,6 +155,7 @@ impl ShardedEngine {
             shards,
             total_posts,
             generation: 0,
+            pipeline,
         }
     }
 
@@ -164,7 +178,7 @@ impl ShardedEngine {
             let shard = match self.shards.iter().position(|s| s.key == key) {
                 Some(index) => index,
                 None => {
-                    self.shards.push(Shard::empty(key));
+                    self.shards.push(Shard::empty(key, self.pipeline.clone()));
                     pending.push(0);
                     self.shards.len() - 1
                 }
@@ -250,6 +264,71 @@ impl ShardedEngine {
         for shard in &self.shards {
             shard.core.precompute_signals(&shard.corpus);
         }
+    }
+
+    /// Exports the memoised per-post text signals of **all shards** as one
+    /// [`SignalCacheFile`] in global corpus order — interchangeable with a
+    /// cache exported by the unsharded engines over the same corpus (the
+    /// signals are bit-identical), so one file warms any engine shape.
+    #[must_use]
+    pub fn export_signal_cache(&self) -> SignalCacheFile {
+        self.precompute_signals();
+        let mut rows: Vec<Option<(u64, f64, &[f64])>> = vec![None; self.total_posts];
+        for shard in &self.shards {
+            for local in 0..shard.corpus.len() as u32 {
+                let row = shard.core.cached_row(&shard.corpus, local);
+                rows[shard.global_ids[local as usize] as usize] = Some(row);
+            }
+        }
+        let mut file = SignalCacheFile::empty(*self.pipeline.lexicon(), self.total_posts);
+        for row in rows {
+            let (post_id, intent, prices) =
+                row.expect("shard global ids cover every corpus position");
+            file.push_row(post_id, intent, prices);
+        }
+        file
+    }
+
+    /// Installs a previously exported signal cache, routing every global row
+    /// to the shard holding that post.  Validation covers version, lexicon,
+    /// total length and every post id (against the shard corpora) before a
+    /// single signal is installed.  Returns the number of posts warmed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SignalCacheError`] when the cache does not exactly
+    /// describe this engine's corpus.
+    pub fn load_signal_cache(&self, cache: &SignalCacheFile) -> Result<usize, SignalCacheError> {
+        cache.check_shape(self.total_posts, self.pipeline.lexicon())?;
+        for shard in &self.shards {
+            for (local, post) in shard.corpus.posts().iter().enumerate() {
+                let index = shard.global_ids[local] as usize;
+                if cache.post_ids[index] != post.id() {
+                    return Err(SignalCacheError::PostIdMismatch {
+                        index,
+                        cached: cache.post_ids[index],
+                        found: post.id(),
+                    });
+                }
+            }
+        }
+        let offsets = cache.price_offsets();
+        let mut installed = 0_usize;
+        for shard in &self.shards {
+            for local in 0..shard.corpus.len() {
+                let index = shard.global_ids[local] as usize;
+                let prices = &cache.prices[offsets[index]..offsets[index + 1]];
+                if shard.core.install_cached(
+                    &shard.corpus,
+                    local as u32,
+                    cache.intents[index],
+                    prices,
+                ) {
+                    installed += 1;
+                }
+            }
+        }
+        Ok(installed)
     }
 
     /// One shard's partials for every profile under one configuration; a

@@ -145,6 +145,40 @@ impl Corpus {
             }
         }
     }
+
+    /// Serialises the corpus (posts only — derived indexes are rebuilt on
+    /// load) as JSON to `path`, creating parent directories as needed.  The
+    /// persistence hook for cold-restart workflows: save the corpus next to
+    /// the engine's exported signal cache and reload both to resume scoring
+    /// without re-running text mining.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when serialisation or any filesystem step fails.
+    pub fn save_json(&self, path: &std::path::Path) -> Result<(), String> {
+        let json =
+            serde_json::to_string(self).map_err(|err| format!("serialise corpus: {err:?}"))?;
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)
+                .map_err(|err| format!("create {}: {err}", parent.display()))?;
+        }
+        std::fs::write(path, json).map_err(|err| format!("write {}: {err}", path.display()))
+    }
+
+    /// Loads a corpus serialised by [`save_json`](Self::save_json) and
+    /// rebuilds the hashtag index.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the file is unreadable or malformed.
+    pub fn load_json(path: &std::path::Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|err| format!("read {}: {err}", path.display()))?;
+        let mut corpus: Self = serde_json::from_str(&text)
+            .map_err(|err| format!("parse {}: {err:?}", path.display()))?;
+        corpus.rebuild_index();
+        Ok(corpus)
+    }
 }
 
 impl Extend<Post> for Corpus {
@@ -260,6 +294,29 @@ mod tests {
     #[test]
     fn empty_corpus_has_no_date_range() {
         assert_eq!(Corpus::new().date_range(), None);
+    }
+
+    #[test]
+    fn save_and_load_json_round_trip() {
+        let c = sample_corpus();
+        let path = std::env::temp_dir().join("psp_corpus_round_trip_test.json");
+        c.save_json(&path).unwrap();
+        let back = Corpus::load_json(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, c);
+        // The hashtag index is rebuilt, not just deserialised empty.
+        assert_eq!(back.with_hashtag(&Hashtag::new("dpfdelete")).len(), 2);
+    }
+
+    #[test]
+    fn load_json_reports_missing_and_malformed_files() {
+        let missing = std::env::temp_dir().join("psp_corpus_does_not_exist.json");
+        assert!(Corpus::load_json(&missing).is_err());
+        let bad = std::env::temp_dir().join("psp_corpus_malformed_test.json");
+        std::fs::write(&bad, "not json").unwrap();
+        let result = Corpus::load_json(&bad);
+        std::fs::remove_file(&bad).ok();
+        assert!(result.is_err());
     }
 
     #[test]

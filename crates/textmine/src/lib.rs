@@ -32,6 +32,7 @@ pub mod keywords;
 pub mod normalize;
 pub mod pipeline;
 pub mod price;
+pub mod reference;
 pub mod sentiment;
 pub mod stopwords;
 pub mod tfidf;
@@ -40,7 +41,7 @@ pub mod token;
 pub use cluster::{kmeans_1d, Cluster};
 pub use cooccurrence::CooccurrenceMatrix;
 pub use keywords::extract_keywords;
-pub use pipeline::{DocumentAnalysis, TextPipeline};
+pub use pipeline::{DocumentAnalysis, TextPipeline, TextSignals};
 pub use sentiment::{IntentLexicon, IntentScore};
 pub use tfidf::TfIdf;
 pub use token::tokenize;

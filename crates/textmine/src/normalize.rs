@@ -1,10 +1,60 @@
 //! Text normalisation.
 
+use std::borrow::Cow;
+
 /// Lowercases the text and collapses every non-alphanumeric run into a single
 /// space.  `#` and `@` prefixes survive as part of the following token so that
 /// hashtags and mentions remain recognisable to the tokenizer.
 #[must_use]
 pub fn normalize(text: &str) -> String {
+    normalize_cow(text).into_owned()
+}
+
+/// [`normalize`] without the copy when none is needed: returns
+/// [`Cow::Borrowed`] when the input is already in normal form — lowercase
+/// ASCII alphanumerics (plus `#`/`@` sigils and digit-adjacent `.`/`,`)
+/// separated by single spaces, with no combining marks or other non-ASCII
+/// bytes — and falls back to the allocating pass otherwise.
+///
+/// The borrowed branch is what makes batch analysis over pre-cleaned corpora
+/// allocation-free on the normalisation step.
+#[must_use]
+pub fn normalize_cow(text: &str) -> Cow<'_, str> {
+    if is_normalized(text) {
+        Cow::Borrowed(text)
+    } else {
+        Cow::Owned(normalize_owned(text))
+    }
+}
+
+/// Whether `text` is already its own normal form, i.e. `normalize(text) ==
+/// text`.  Decided on raw bytes — any non-ASCII byte (including combining
+/// marks) disqualifies, as does anything the normalisation pass would
+/// lowercase, drop or collapse.
+#[must_use]
+pub fn is_normalized(text: &str) -> bool {
+    let bytes = text.as_bytes();
+    let mut prev: Option<u8> = None;
+    for &b in bytes {
+        let ok = match b {
+            b'a'..=b'z' | b'0'..=b'9' | b'#' | b'@' => true,
+            // Kept only as a decimal separator directly after a digit.
+            b'.' | b',' => prev.is_some_and(|p| p.is_ascii_digit()),
+            // A single space between tokens; leading spaces are trimmed.
+            b' ' => prev.is_some_and(|p| p != b' '),
+            _ => false,
+        };
+        if !ok {
+            return false;
+        }
+        prev = Some(b);
+    }
+    // A trailing space would be trimmed by the normalisation pass.
+    prev != Some(b' ')
+}
+
+/// The allocating normalisation pass (the slow branch of [`normalize_cow`]).
+fn normalize_owned(text: &str) -> String {
     let mut out = String::with_capacity(text.len());
     let mut last_was_space = true;
     for c in text.chars() {
@@ -69,5 +119,61 @@ mod tests {
     #[test]
     fn unicode_is_lowercased() {
         assert_eq!(normalize("ÖLWECHSEL"), "ölwechsel");
+    }
+
+    #[test]
+    fn clean_ascii_input_is_borrowed() {
+        for text in [
+            "",
+            "dpf delete done",
+            "#dpfdelete kit 360 eur",
+            "price 1.299,50 eur",
+            "@tuner #egroff 2021",
+        ] {
+            match normalize_cow(text) {
+                Cow::Borrowed(s) => assert_eq!(s, text),
+                Cow::Owned(s) => panic!("expected borrow for {text:?}, got owned {s:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn dirty_input_takes_the_owned_branch() {
+        for (text, expected) in [
+            ("DPF delete", "dpf delete"),  // uppercase
+            ("dpf  delete", "dpf delete"), // double space
+            ("dpf delete ", "dpf delete"), // trailing space
+            (" dpf", "dpf"),               // leading space
+            ("dpf.delete", "dpf delete"),  // dot after non-digit
+            ("ölwechsel", "ölwechsel"),    // non-ASCII byte
+            ("e\u{301}gr", "e gr"),        // combining acute accent is a separator
+            ("dpf\tdelete", "dpf delete"), // tab separator
+            ("360,. eur", "360, eur"),     // separator run after digit
+        ] {
+            match normalize_cow(text) {
+                Cow::Owned(s) => assert_eq!(s, expected, "input {text:?}"),
+                Cow::Borrowed(s) => panic!("expected owned for {text:?}, got borrow {s:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn borrowed_and_owned_branches_agree_with_the_full_pass() {
+        for text in [
+            "dpf delete done",
+            "DPF Delete!!!   Done.",
+            "#dpfdelete kit 360 eur",
+            "price: 1.299,50 EUR",
+            "ÖLWECHSEL wegen Ölverlust",
+            "",
+            "   ",
+            "1. 2",
+        ] {
+            assert_eq!(
+                normalize_cow(text).as_ref(),
+                normalize_owned(text),
+                "{text:?}"
+            );
+        }
     }
 }

@@ -4,6 +4,15 @@
 //! "adversary devices or services found online based on their prices".  This module
 //! pulls candidate prices out of post text without a regex dependency: it scans for
 //! numeric tokens adjacent to a currency marker (`EUR`, `euro`, `€`, `$`, `USD`).
+//!
+//! The scan is allocation-lean: tokens are byte spans borrowed from the raw
+//! text (no padded copy, no per-token `String`), currency markers match via
+//! [`str::eq_ignore_ascii_case`] against a static list, and plain numeric
+//! tokens parse without the comma-normalising copy.  The original implementation
+//! survives verbatim in [`crate::reference`] as the behavioural oracle.
+
+/// A byte range into a source string (start, end).
+pub(crate) type Span = (u32, u32);
 
 /// Extracts prices (in the order they appear) from a text.  A number counts as a
 /// price when a currency marker directly precedes or follows it.
@@ -18,33 +27,89 @@
 /// ```
 #[must_use]
 pub fn extract_prices(text: &str) -> Vec<f64> {
-    let cleaned: String = text
-        .chars()
-        .map(|c| {
-            if c == '€' || c == '$' || c == '£' {
-                // Pad currency symbols so "€420" splits into two tokens.
-                format!(" {c} ")
-            } else {
-                c.to_string()
-            }
-        })
-        .collect();
-    let tokens: Vec<String> = cleaned
-        .split_whitespace()
-        .map(|t| {
-            t.trim_matches(|c: char| c == ',' || c == '.' || c == '!' || c == '?' || c == ':')
-                .to_string()
-        })
-        .filter(|t| !t.is_empty())
-        .collect();
+    prices_from_spans(text, &price_token_spans(text))
+}
 
+/// Splits raw text into price-token spans: whitespace-separated runs with the
+/// currency symbols `€`/`$`/`£` split out as their own tokens, trimmed of
+/// `,.!?:` at both ends, empties dropped.  This mirrors (span-for-span) what
+/// padding the symbols with spaces and `split_whitespace` would produce.
+pub(crate) fn price_token_spans(text: &str) -> Vec<Span> {
+    let mut tokenizer = PriceTokenizer::new();
+    let mut spans = Vec::new();
+    for (i, c) in text.char_indices() {
+        tokenizer.feed(text, i, c, &mut spans);
+    }
+    tokenizer.finish(text, &mut spans);
+    spans
+}
+
+/// The price-token splitting state machine, one character at a time — shared
+/// between [`price_token_spans`] and the analyzer's fused scan so the
+/// splitting rules can never drift apart between the two.
+#[derive(Debug, Default)]
+pub(crate) struct PriceTokenizer {
+    /// Byte offset where the current (non-currency) token run began.
+    start: Option<usize>,
+}
+
+impl PriceTokenizer {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the character at byte offset `i`, closing and recording spans
+    /// as token boundaries appear.
+    pub(crate) fn feed(&mut self, text: &str, i: usize, c: char, spans: &mut Vec<Span>) {
+        if c.is_whitespace() {
+            if let Some(s) = self.start.take() {
+                push_price_span(text.as_bytes(), s, i, spans);
+            }
+        } else if matches!(c, '€' | '$' | '£') {
+            if let Some(s) = self.start.take() {
+                push_price_span(text.as_bytes(), s, i, spans);
+            }
+            spans.push((i as u32, (i + c.len_utf8()) as u32));
+        } else if self.start.is_none() {
+            self.start = Some(i);
+        }
+    }
+
+    /// Flushes the trailing token run, if any.
+    pub(crate) fn finish(&mut self, text: &str, spans: &mut Vec<Span>) {
+        if let Some(s) = self.start.take() {
+            push_price_span(text.as_bytes(), s, text.len(), spans);
+        }
+    }
+}
+
+/// Trims `,.!?:` bytes from both ends of `bytes[start..end]` and records the
+/// span when anything is left.  The trimmed bytes are ASCII, so byte-level
+/// trimming cannot split a multi-byte character.
+fn push_price_span(bytes: &[u8], start: usize, end: usize, spans: &mut Vec<Span>) {
+    let (mut s, mut e) = (start, end);
+    while s < e && matches!(bytes[s], b',' | b'.' | b'!' | b'?' | b':') {
+        s += 1;
+    }
+    while e > s && matches!(bytes[e - 1], b',' | b'.' | b'!' | b'?' | b':') {
+        e -= 1;
+    }
+    if s < e {
+        spans.push((s as u32, e as u32));
+    }
+}
+
+/// The currency-adjacency pass over pre-split price tokens: a numeric token
+/// whose direct neighbour is a currency marker is a price.
+pub(crate) fn prices_from_spans(text: &str, spans: &[Span]) -> Vec<f64> {
+    let token = |span: Span| &text[span.0 as usize..span.1 as usize];
     let mut out = Vec::new();
-    for (i, token) in tokens.iter().enumerate() {
-        let Some(value) = parse_number(token) else {
+    for (i, span) in spans.iter().enumerate() {
+        let Some(value) = parse_number(token(*span)) else {
             continue;
         };
-        let prev_is_currency = i > 0 && is_currency(&tokens[i - 1]);
-        let next_is_currency = i + 1 < tokens.len() && is_currency(&tokens[i + 1]);
+        let prev_is_currency = i > 0 && is_currency(token(spans[i - 1]));
+        let next_is_currency = i + 1 < spans.len() && is_currency(token(spans[i + 1]));
         if prev_is_currency || next_is_currency {
             out.push(value);
         }
@@ -72,29 +137,42 @@ pub fn representative_price(prices: &[f64]) -> Option<f64> {
     }
 }
 
+/// Whether a token is a currency marker.  Word markers compare with
+/// `eq_ignore_ascii_case` instead of allocating a lowercased copy — exact for
+/// this list, because no non-ASCII character Unicode-lowercases into the ASCII
+/// letters these markers use (the only such mappings are `K`→`k` and `Å`→`å`).
 fn is_currency(token: &str) -> bool {
-    matches!(
-        token.to_lowercase().as_str(),
-        "eur" | "euro" | "euros" | "€" | "$" | "usd" | "£" | "gbp"
-    )
+    matches!(token, "€" | "$" | "£")
+        || ["eur", "euro", "euros", "usd", "gbp"]
+            .iter()
+            .any(|w| token.eq_ignore_ascii_case(w))
 }
 
 fn parse_number(token: &str) -> Option<f64> {
-    let normalized = token.replace(',', ".");
     // Reject tokens with letters ("40hp").
-    if normalized.chars().any(|c| c.is_alphabetic()) {
+    if token.chars().any(char::is_alphabetic) {
         return None;
     }
-    // Collapse thousands separators like "1.299.00" -> treat the last dot as decimal.
-    let parts: Vec<&str> = normalized.split('.').collect();
-    let candidate = if parts.len() > 2 {
-        format!(
+    let commas = token.bytes().filter(|b| *b == b',').count();
+    let dots = token.bytes().filter(|b| *b == b'.').count();
+    let candidate: std::borrow::Cow<'_, str> = if commas + dots <= 1 {
+        if commas == 1 {
+            // One decimal comma ("359,99") — normalise to a dot.
+            std::borrow::Cow::Owned(token.replace(',', "."))
+        } else {
+            // The common case: plain digits or one dot — parse in place.
+            std::borrow::Cow::Borrowed(token)
+        }
+    } else {
+        // Collapse thousands separators like "1.299.00" -> treat the last dot
+        // (after comma normalisation) as the decimal separator.
+        let normalized = token.replace(',', ".");
+        let parts: Vec<&str> = normalized.split('.').collect();
+        std::borrow::Cow::Owned(format!(
             "{}.{}",
             parts[..parts.len() - 1].concat(),
             parts[parts.len() - 1]
-        )
-    } else {
-        normalized
+        ))
     };
     candidate
         .parse::<f64>()
@@ -155,5 +233,61 @@ mod tests {
     fn euro_word_forms() {
         assert_eq!(extract_prices("price 250 euro obo"), vec![250.0]);
         assert_eq!(extract_prices("price 250 euros obo"), vec![250.0]);
+    }
+
+    #[test]
+    fn currency_matching_is_case_insensitive_without_allocating() {
+        for t in ["EUR", "eur", "EuRo", "USD", "gbp", "€", "$", "£"] {
+            assert!(is_currency(t), "{t}");
+        }
+        for t in ["EU", "eurx", "", "e", "₿"] {
+            assert!(!is_currency(t), "{t}");
+        }
+    }
+
+    #[test]
+    fn token_spans_match_the_padded_split() {
+        // Span-based tokenisation must agree with the original pad-then-split.
+        for text in [
+            "was €420, now 360 EUR or $399",
+            "kit,360 EUR",
+            "!!£50!! ... : only",
+            "a€b",
+            "",
+            "   ",
+            "€€",
+        ] {
+            let via_spans: Vec<&str> = price_token_spans(text)
+                .iter()
+                .map(|s| &text[s.0 as usize..s.1 as usize])
+                .collect();
+            let padded: String = text
+                .chars()
+                .map(|c| {
+                    if c == '€' || c == '$' || c == '£' {
+                        format!(" {c} ")
+                    } else {
+                        c.to_string()
+                    }
+                })
+                .collect();
+            let via_padding: Vec<String> = padded
+                .split_whitespace()
+                .map(|t| {
+                    t.trim_matches(|c: char| {
+                        c == ',' || c == '.' || c == '!' || c == '?' || c == ':'
+                    })
+                    .to_string()
+                })
+                .filter(|t| !t.is_empty())
+                .collect();
+            assert_eq!(via_spans, via_padding, "{text:?}");
+        }
+    }
+
+    #[test]
+    fn mixed_separator_numbers_still_parse() {
+        assert_eq!(extract_prices("1.299,00 EUR firm"), vec![1299.0]);
+        assert_eq!(extract_prices("1.299.00 EUR firm"), vec![1299.0]);
     }
 }

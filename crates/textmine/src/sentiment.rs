@@ -4,57 +4,216 @@
 //! intent or a commercial offer ("kit for sale, plug and play") from neutral news or
 //! warnings ("manufacturer warns against defeat devices").  A small domain lexicon
 //! is enough for the synthetic corpus and keeps the scoring auditable.
+//!
+//! Membership tests run against static **sorted** tables (binary search) and
+//! the "hashtag embeds an engagement word" rule against a small multi-pattern
+//! substring matcher — the per-token costs on the analyzer hot path.  The
+//! original linear-scan implementation survives verbatim in
+//! [`crate::reference`] as the behavioural oracle; `lexicon_tables_are_sorted`
+//! and the `psp-suite` property tests pin the two together.
 
 use crate::stopwords::remove_stopwords;
 use crate::token::tokenize;
 use serde::{Deserialize, Serialize};
 
-/// Words signalling that the author performed, wants or sells the attack.
+/// Words signalling that the author performed, wants or sells the attack
+/// (ascending, for binary search).
 const ENGAGEMENT_WORDS: [&str; 22] = [
+    "bypass",
     "delete",
     "deleted",
-    "removal",
-    "removed",
-    "off",
     "disable",
     "disabled",
-    "bypass",
+    "dm",
+    "done",
+    "emulator",
+    "guide",
+    "howto",
     "install",
     "installed",
     "kit",
+    "off",
+    "remap",
+    "removal",
+    "removed",
     "sale",
     "shipped",
-    "dm",
-    "guide",
-    "howto",
-    "done",
     "tune",
     "tuned",
-    "remap",
-    "emulator",
     "unlock",
 ];
 
-/// Words signalling deterrence, warnings or enforcement (reduce the intent score).
+/// Words signalling deterrence, warnings or enforcement (reduce the intent
+/// score; ascending, for binary search).
 const DETERRENT_WORDS: [&str; 12] = [
-    "illegal",
-    "fine",
-    "fined",
     "ban",
     "banned",
-    "warranty",
-    "refused",
-    "recall",
-    "warning",
     "enforcement",
-    "prosecuted",
+    "fine",
+    "fined",
+    "illegal",
     "inspection",
+    "prosecuted",
+    "recall",
+    "refused",
+    "warning",
+    "warranty",
 ];
 
-/// Words signalling a commercial offer (price talk boosts market relevance).
+/// Words signalling a commercial offer (price talk boosts market relevance;
+/// ascending, for binary search).
 const COMMERCE_WORDS: [&str; 10] = [
-    "eur", "euro", "price", "sale", "shipped", "offer", "deal", "buy", "order", "invoice",
+    "buy", "deal", "eur", "euro", "invoice", "offer", "order", "price", "sale", "shipped",
 ];
+
+/// The engagement words eligible for the embedded-substring rule (length >= 3),
+/// grouped by first byte: `EMBED_BY_FIRST[b - b'a']` lists the patterns
+/// starting with lowercase letter `b`.  [`embeds_engagement_word`] scans a
+/// token once and only probes the patterns whose first byte matches — a
+/// poor-man's Aho–Corasick sized for a 21-pattern lexicon.
+const EMBED_BY_FIRST: [&[&str]; 26] = [
+    &[],                                                   // a
+    &["bypass"],                                           // b
+    &[],                                                   // c
+    &["delete", "deleted", "disable", "disabled", "done"], // d
+    &["emulator"],                                         // e
+    &[],                                                   // f
+    &["guide"],                                            // g
+    &["howto"],                                            // h
+    &["install", "installed"],                             // i
+    &[],                                                   // j
+    &["kit"],                                              // k
+    &[],                                                   // l
+    &[],                                                   // m
+    &[],                                                   // n
+    &["off"],                                              // o
+    &[],                                                   // p
+    &[],                                                   // q
+    &["remap", "removal", "removed"],                      // r
+    &["sale", "shipped"],                                  // s
+    &["tune", "tuned"],                                    // t
+    &["unlock"],                                           // u
+    &[],                                                   // v
+    &[],                                                   // w
+    &[],                                                   // x
+    &[],                                                   // y
+    &[],                                                   // z
+];
+
+/// Whether the (sigil-stripped) token is an engagement word — the per-table
+/// oracle the merged-table test checks [`token_flags`] against.
+#[cfg(test)]
+fn is_engagement_word(bare: &str) -> bool {
+    ENGAGEMENT_WORDS.binary_search(&bare).is_ok()
+}
+
+/// Whether the (sigil-stripped) token is a deterrent word.
+#[cfg(test)]
+fn is_deterrent_word(bare: &str) -> bool {
+    DETERRENT_WORDS.binary_search(&bare).is_ok()
+}
+
+/// Whether the (sigil-stripped) token is a commerce word.
+#[cfg(test)]
+fn is_commerce_word(bare: &str) -> bool {
+    COMMERCE_WORDS.binary_search(&bare).is_ok()
+}
+
+/// [`token_flags`] bit: the token is a stop word.
+pub(crate) const TOKEN_STOP: u8 = 1;
+/// [`token_flags`] bit: the token is an engagement word.
+pub(crate) const TOKEN_ENGAGEMENT: u8 = 2;
+/// [`token_flags`] bit: the token is a deterrent word.
+pub(crate) const TOKEN_DETERRENT: u8 = 4;
+/// [`token_flags`] bit: the token is a commerce word.
+pub(crate) const TOKEN_COMMERCE: u8 = 8;
+
+/// The merged word table: stop words and all three lexica in one sorted
+/// array, so the analyzer hot path answers "stop word? engagement? deterrent?
+/// commerce?" with a **single** binary search per token.  Built once from the
+/// canonical tables (which stay the source of truth).
+fn merged_word_table() -> &'static [(&'static str, u8)] {
+    static TABLE: std::sync::OnceLock<Vec<(&'static str, u8)>> = std::sync::OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table: Vec<(&'static str, u8)> = Vec::with_capacity(
+            crate::stopwords::STOPWORDS.len()
+                + ENGAGEMENT_WORDS.len()
+                + DETERRENT_WORDS.len()
+                + COMMERCE_WORDS.len(),
+        );
+        let mut add =
+            |word: &'static str, flag: u8| match table.iter_mut().find(|(w, _)| *w == word) {
+                Some((_, flags)) => *flags |= flag,
+                None => table.push((word, flag)),
+            };
+        for w in crate::stopwords::STOPWORDS {
+            add(w, TOKEN_STOP);
+        }
+        for w in ENGAGEMENT_WORDS {
+            add(w, TOKEN_ENGAGEMENT);
+        }
+        for w in DETERRENT_WORDS {
+            add(w, TOKEN_DETERRENT);
+        }
+        for w in COMMERCE_WORDS {
+            add(w, TOKEN_COMMERCE);
+        }
+        table.sort_unstable_by_key(|(w, _)| *w);
+        table
+    })
+}
+
+/// The classification bits of one word — 0 when it is neither a stop word nor
+/// in any lexicon.
+#[must_use]
+pub(crate) fn token_flags(word: &str) -> u8 {
+    let table = merged_word_table();
+    match table.binary_search_by(|(w, _)| (*w).cmp(word)) {
+        Ok(i) => table[i].1,
+        Err(_) => 0,
+    }
+}
+
+/// Bit mask over `1 << (letter - b'a')` of the first letters of the embed
+/// patterns — a one-AND prefilter before touching [`EMBED_BY_FIRST`].
+const EMBED_FIRST_LETTERS: u32 = {
+    let mut mask = 0_u32;
+    let mut i = 0;
+    while i < EMBED_BY_FIRST.len() {
+        if !EMBED_BY_FIRST[i].is_empty() {
+            mask |= 1 << i;
+        }
+        i += 1;
+    }
+    mask
+};
+
+/// Whether the token *strictly* embeds an engagement word of length >= 3 —
+/// the "#dpfdelete embeds delete" rule.  A match covering the whole token is
+/// excluded (that is plain membership, counted separately).  Byte-level
+/// matching is exact for these ASCII patterns: in UTF-8 an ASCII byte never
+/// occurs inside a multi-byte sequence, so byte containment equals substring
+/// containment.
+#[must_use]
+pub(crate) fn embeds_engagement_word(bare: &str) -> bool {
+    let bytes = bare.as_bytes();
+    for start in 0..bytes.len() {
+        let b = bytes[start];
+        if !b.is_ascii_lowercase() || EMBED_FIRST_LETTERS & (1 << (b - b'a')) == 0 {
+            continue;
+        }
+        for pattern in EMBED_BY_FIRST[(b - b'a') as usize] {
+            let p = pattern.as_bytes();
+            if bytes.len() - start >= p.len()
+                && &bytes[start..start + p.len()] == p
+                && !(start == 0 && p.len() == bytes.len())
+            {
+                return true;
+            }
+        }
+    }
+    false
+}
 
 /// The intent lexicon with adjustable weights.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -97,6 +256,40 @@ impl IntentLexicon {
         Self::default()
     }
 
+    /// Folds one (stop-word-filtered, sigil-stripped) token into the hit
+    /// counters — the shared per-token step of [`score`](Self::score) and the
+    /// single-pass analyzer.
+    pub(crate) fn count_token(bare: &str, out: &mut IntentScore) {
+        Self::count_flags(token_flags(bare), bare, out);
+    }
+
+    /// [`count_token`](Self::count_token) with the merged-table flags already
+    /// looked up (the analyzer resolves them while deciding stop-word
+    /// filtering, so membership is paid exactly once per token).
+    pub(crate) fn count_flags(flags: u8, bare: &str, out: &mut IntentScore) {
+        if flags & TOKEN_ENGAGEMENT != 0 {
+            out.engagement_hits += 1;
+        }
+        if flags & TOKEN_DETERRENT != 0 {
+            out.deterrent_hits += 1;
+        }
+        if flags & TOKEN_COMMERCE != 0 {
+            out.commerce_hits += 1;
+        }
+        // Hashtags embedding an engagement word ("#dpfdelete") count as well.
+        if bare.len() > 3 && embeds_engagement_word(bare) {
+            out.engagement_hits += 1;
+        }
+    }
+
+    /// Combines the accumulated hit counters into the final weighted score.
+    pub(crate) fn finish(&self, out: &mut IntentScore) {
+        let raw = self.engagement_weight * out.engagement_hits as f64
+            + self.commerce_weight * out.commerce_hits as f64
+            - self.deterrent_weight * out.deterrent_hits as f64;
+        out.score = raw.max(0.0);
+    }
+
     /// Scores a text.
     #[must_use]
     pub fn score(&self, text: &str) -> IntentScore {
@@ -104,28 +297,9 @@ impl IntentLexicon {
         let mut out = IntentScore::default();
         for token in &tokens {
             let bare = token.trim_start_matches(['#', '@']);
-            if ENGAGEMENT_WORDS.contains(&bare) {
-                out.engagement_hits += 1;
-            }
-            if DETERRENT_WORDS.contains(&bare) {
-                out.deterrent_hits += 1;
-            }
-            if COMMERCE_WORDS.contains(&bare) {
-                out.commerce_hits += 1;
-            }
-            // Hashtags embedding an engagement word ("#dpfdelete") count as well.
-            if bare.len() > 3
-                && ENGAGEMENT_WORDS
-                    .iter()
-                    .any(|w| w.len() >= 3 && bare.contains(w) && &bare != w)
-            {
-                out.engagement_hits += 1;
-            }
+            Self::count_token(bare, &mut out);
         }
-        let raw = self.engagement_weight * out.engagement_hits as f64
-            + self.commerce_weight * out.commerce_hits as f64
-            - self.deterrent_weight * out.deterrent_hits as f64;
-        out.score = raw.max(0.0);
+        self.finish(&mut out);
         out
     }
 }
@@ -182,5 +356,106 @@ mod tests {
         let s = IntentLexicon::new().score("best price, buy now, 200 eur offer");
         assert!(s.commerce_hits >= 3);
         assert!(s.score > 0.0);
+    }
+
+    #[test]
+    fn lexicon_tables_are_sorted() {
+        // Strictly ascending — the precondition binary search relies on.
+        for table in [
+            &ENGAGEMENT_WORDS[..],
+            &DETERRENT_WORDS[..],
+            &COMMERCE_WORDS[..],
+        ] {
+            assert!(
+                table.windows(2).all(|w| w[0] < w[1]),
+                "lexicon table not strictly ascending: {table:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn embed_groups_cover_exactly_the_long_engagement_words() {
+        // Every engagement word of length >= 3 appears in its first-letter
+        // group, nothing else does, and each group is correctly bucketed.
+        let mut grouped: Vec<&str> = Vec::new();
+        for (i, group) in EMBED_BY_FIRST.iter().enumerate() {
+            for pattern in *group {
+                assert_eq!(pattern.as_bytes()[0], b'a' + i as u8, "{pattern}");
+                grouped.push(pattern);
+            }
+        }
+        grouped.sort_unstable();
+        let mut expected: Vec<&str> = ENGAGEMENT_WORDS
+            .iter()
+            .copied()
+            .filter(|w| w.len() >= 3)
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(grouped, expected);
+    }
+
+    #[test]
+    fn merged_table_agrees_with_the_source_tables() {
+        let table = merged_word_table();
+        assert!(
+            table.windows(2).all(|w| w[0].0 < w[1].0),
+            "merged table must be strictly ascending"
+        );
+        let all: Vec<&str> = crate::stopwords::STOPWORDS
+            .iter()
+            .chain(&ENGAGEMENT_WORDS)
+            .chain(&DETERRENT_WORDS)
+            .chain(&COMMERCE_WORDS)
+            .copied()
+            .chain(["dpf", "#dpfdelete", "", "zzz"])
+            .collect();
+        for word in all {
+            let flags = token_flags(word);
+            assert_eq!(
+                flags & TOKEN_STOP != 0,
+                crate::stopwords::is_stopword(word),
+                "{word}"
+            );
+            assert_eq!(
+                flags & TOKEN_ENGAGEMENT != 0,
+                is_engagement_word(word),
+                "{word}"
+            );
+            assert_eq!(
+                flags & TOKEN_DETERRENT != 0,
+                is_deterrent_word(word),
+                "{word}"
+            );
+            assert_eq!(
+                flags & TOKEN_COMMERCE != 0,
+                is_commerce_word(word),
+                "{word}"
+            );
+        }
+    }
+
+    #[test]
+    fn embed_matcher_agrees_with_the_naive_contains_rule() {
+        for bare in [
+            "dpfdelete",
+            "egroff",
+            "delete",
+            "deleted",
+            "offoff",
+            "xxkitxx",
+            "quarry",
+            "installations",
+            "ban",
+            "ölwechsel",
+            "dm",
+            "dmdm",
+            "#notbare",
+            "tunedin",
+        ] {
+            let naive = ENGAGEMENT_WORDS
+                .iter()
+                .any(|w| w.len() >= 3 && bare.contains(w) && bare != *w);
+            assert_eq!(embeds_engagement_word(bare), naive, "{bare}");
+        }
     }
 }

@@ -1,0 +1,290 @@
+//! The persistable signal cache end to end: export → serialise → load into a
+//! cold engine → score, bit-identical to a fresh compute, across all three
+//! engine shapes — and hard rejection of every stale/mismatched cache.
+
+use proptest::prelude::*;
+use psp_suite::psp::config::PspConfig;
+use psp_suite::psp::engine::{
+    LiveEngine, ScoringEngine, ShardedEngine, SignalCacheError, SignalCacheFile,
+    SIGNAL_CACHE_VERSION,
+};
+use psp_suite::psp::keyword_db::KeywordDatabase;
+use psp_suite::psp::sai::SaiList;
+use psp_suite::socialsim::corpus::Corpus;
+use psp_suite::socialsim::engagement::Engagement;
+use psp_suite::socialsim::index::ShardSpec;
+use psp_suite::socialsim::post::{Post, Region, TargetApplication};
+use psp_suite::socialsim::scenario;
+use psp_suite::socialsim::time::SimDate;
+use psp_suite::socialsim::user::User;
+use psp_suite::textmine::pipeline::TextPipeline;
+use psp_suite::textmine::sentiment::IntentLexicon;
+use std::path::PathBuf;
+
+fn db_and_config() -> (KeywordDatabase, PspConfig) {
+    (
+        KeywordDatabase::excavator_seed(),
+        PspConfig::excavator_europe(),
+    )
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("psp_signal_cache_{name}_{}", std::process::id()))
+}
+
+#[test]
+fn cache_round_trip_through_json_restores_warm_scoring() {
+    let corpus = scenario::excavator_europe(7);
+    let (db, config) = db_and_config();
+    let warm = ScoringEngine::new(&corpus);
+    let fresh_scores = warm.sai_list(&db, &config);
+
+    // Export after scoring: every signal the queries touched is memoised, the
+    // rest are materialised by the export itself.
+    let cache = warm.export_signal_cache();
+    assert_eq!(cache.post_count(), corpus.len());
+
+    // Serialise through JSON — the round trip must be bit-exact, floats
+    // included.
+    let json = serde_json::to_string(&cache).unwrap();
+    let reloaded: SignalCacheFile = serde_json::from_str(&json).unwrap();
+    assert_eq!(reloaded, cache);
+
+    // A cold engine warmed from the cache scores identically and reports
+    // every post as installed — i.e. the text pipeline never needs to run.
+    let cold = ScoringEngine::new(&corpus);
+    assert_eq!(cold.load_signal_cache(&reloaded).unwrap(), corpus.len());
+    assert_eq!(cold.sai_list(&db, &config), fresh_scores);
+    assert_eq!(
+        cold.sai_list(&db, &config),
+        SaiList::compute_naive(&corpus, &db, &config)
+    );
+}
+
+#[test]
+fn cold_restart_from_disk_skips_text_mining() {
+    let corpus = scenario::excavator_europe(9);
+    let (db, config) = db_and_config();
+    let expected = ScoringEngine::new(&corpus).sai_list(&db, &config);
+
+    // Persist the corpus and the signal cache side by side.
+    let corpus_path = temp_path("corpus.json");
+    let cache_path = temp_path("signals.json");
+    corpus.save_json(&corpus_path).unwrap();
+    ScoringEngine::new(&corpus)
+        .export_signal_cache()
+        .save(&cache_path)
+        .unwrap();
+
+    // "Restart": load both from disk, rebuild the index, install the cache.
+    let restored = Corpus::load_json(&corpus_path).unwrap();
+    let cache = SignalCacheFile::load(&cache_path).unwrap();
+    std::fs::remove_file(&corpus_path).ok();
+    std::fs::remove_file(&cache_path).ok();
+
+    assert_eq!(restored, corpus);
+    let engine = ScoringEngine::new(&restored);
+    assert_eq!(engine.load_signal_cache(&cache).unwrap(), restored.len());
+    assert_eq!(engine.sai_list(&db, &config), expected);
+}
+
+#[test]
+fn cache_is_interchangeable_across_engine_shapes() {
+    let corpus = scenario::passenger_car_europe(42);
+    let db = KeywordDatabase::passenger_car_seed();
+    let config = PspConfig::passenger_car_europe();
+    let expected = ScoringEngine::new(&corpus).sai_list(&db, &config);
+
+    // Snapshot engine → sharded engine.
+    let cache = ScoringEngine::new(&corpus).export_signal_cache();
+    for spec in [ShardSpec::yearly(), ShardSpec::ByRegion] {
+        let sharded = ShardedEngine::new(corpus.clone(), spec);
+        assert_eq!(sharded.load_signal_cache(&cache).unwrap(), corpus.len());
+        assert_eq!(sharded.sai_list(&db, &config), expected, "{spec:?}");
+    }
+
+    // Sharded engine → live engine: the sharded export reassembles global
+    // corpus order, so it must be identical to the snapshot export.
+    let sharded = ShardedEngine::new(corpus.clone(), ShardSpec::yearly());
+    let sharded_cache = sharded.export_signal_cache();
+    assert_eq!(sharded_cache, cache);
+    let live = LiveEngine::new(corpus.clone());
+    assert_eq!(
+        live.load_signal_cache(&sharded_cache).unwrap(),
+        corpus.len()
+    );
+    assert_eq!(live.sai_list(&db, &config), expected);
+}
+
+#[test]
+fn live_engine_cache_survives_ingest_cycles() {
+    let seed = scenario::excavator_europe(7);
+    let extra = scenario::excavator_europe(8).posts().to_vec();
+    let (db, config) = db_and_config();
+
+    let mut live = LiveEngine::new(seed);
+    live.ingest(extra);
+    let expected = live.sai_list(&db, &config);
+    let cache = live.export_signal_cache();
+
+    // A cold live engine over the same grown corpus accepts the cache.
+    let cold = LiveEngine::new(live.corpus().clone());
+    assert_eq!(cold.load_signal_cache(&cache).unwrap(), cold.post_count());
+    assert_eq!(cold.sai_list(&db, &config), expected);
+
+    // After further ingestion the old cache no longer matches.
+    let mut grown = cold;
+    grown.ingest(scenario::excavator_europe(10).posts().to_vec());
+    assert!(matches!(
+        grown.load_signal_cache(&cache),
+        Err(SignalCacheError::LengthMismatch { .. })
+    ));
+}
+
+#[test]
+fn stale_and_mismatched_caches_are_rejected() {
+    let corpus = scenario::excavator_europe(7);
+    let engine = ScoringEngine::new(&corpus);
+    let cache = engine.export_signal_cache();
+
+    // Wrong layout version.
+    let mut stale = cache.clone();
+    stale.version = SIGNAL_CACHE_VERSION + 1;
+    assert!(matches!(
+        engine.load_signal_cache(&stale),
+        Err(SignalCacheError::Version { .. })
+    ));
+
+    // Wrong lexicon: an engine scoring under different weights must refuse a
+    // default-lexicon cache.
+    let harsh = TextPipeline::with_lexicon(IntentLexicon {
+        deterrent_weight: 10.0,
+        ..IntentLexicon::default()
+    });
+    let strict_engine = ScoringEngine::with_pipeline(&corpus, harsh);
+    assert!(matches!(
+        strict_engine.load_signal_cache(&cache),
+        Err(SignalCacheError::LexiconMismatch)
+    ));
+
+    // Wrong corpus length (a truncated copy of the same corpus).
+    let truncated_corpus = Corpus::from_posts(corpus.posts()[..corpus.len() - 1].to_vec());
+    let truncated_engine = ScoringEngine::new(&truncated_corpus);
+    assert!(matches!(
+        truncated_engine.load_signal_cache(&cache),
+        Err(SignalCacheError::LengthMismatch { .. })
+    ));
+
+    // Right length, wrong post ids.
+    let mut forged = cache.clone();
+    forged.post_ids[3] += 1_000_000;
+    let result = engine.load_signal_cache(&forged);
+    assert_eq!(
+        result,
+        Err(SignalCacheError::PostIdMismatch {
+            index: 3,
+            cached: forged.post_ids[3],
+            found: corpus.posts()[3].id(),
+        })
+    );
+
+    // Truncated columns.
+    let mut truncated = cache.clone();
+    truncated.intents.pop();
+    assert!(matches!(
+        engine.load_signal_cache(&truncated),
+        Err(SignalCacheError::Corrupt(_))
+    ));
+
+    // None of the rejected loads may have warmed anything partially: a cold
+    // engine still installs every post from the intact cache (already-warm
+    // engines install 0 — their memoised signals are identical and kept).
+    let cold = ScoringEngine::new(&corpus);
+    assert_eq!(cold.load_signal_cache(&cache).unwrap(), corpus.len());
+    assert_eq!(engine.load_signal_cache(&cache).unwrap(), 0);
+}
+
+#[test]
+fn sharded_engine_validates_ids_against_its_shard_layout() {
+    let corpus = scenario::excavator_europe(7);
+    let sharded = ShardedEngine::new(corpus.clone(), ShardSpec::yearly());
+    let mut forged = ScoringEngine::new(&corpus).export_signal_cache();
+    let index = forged.post_ids.len() / 2;
+    forged.post_ids[index] += 77;
+    match sharded.load_signal_cache(&forged) {
+        Err(SignalCacheError::PostIdMismatch {
+            index: found_index, ..
+        }) => assert_eq!(found_index, index),
+        other => panic!("expected PostIdMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn missing_cache_file_reports_io() {
+    let path = temp_path("does_not_exist.json");
+    assert!(matches!(
+        SignalCacheFile::load(&path),
+        Err(SignalCacheError::Io(_))
+    ));
+}
+
+/// A compact random-corpus generator for the round-trip property below.
+fn arb_corpus() -> impl Strategy<Value = Corpus> {
+    const TEXTS: [&str; 8] = [
+        "#dpfdelete kit for sale 360 EUR",
+        "#egrdelete how-to guide",
+        "stock machine is fine",
+        "was €420, now 359,99 EUR",
+        "authorities warn this is illegal",
+        "ÖLWECHSEL am #jobsite",
+        "",
+        "#chiptuning stage 1 adds 40 hp",
+    ];
+    prop::collection::vec(
+        (
+            0usize..TEXTS.len(),
+            2015i32..2024,
+            0u64..50_000,
+            prop_oneof![Just(Region::Europe), Just(Region::AsiaPacific)],
+        ),
+        0..25,
+    )
+    .prop_map(|rows| {
+        Corpus::from_posts(
+            rows.into_iter()
+                .enumerate()
+                .map(|(id, (text, year, views, region))| {
+                    Post::new(
+                        id as u64 + 1,
+                        User::new("cache_prop_user", views / 100, 24),
+                        TEXTS[text],
+                        vec![],
+                        SimDate::new(year, 6, 15),
+                        region,
+                        TargetApplication::Excavator,
+                        Engagement::new(views, views / 50, views / 200, views / 400),
+                    )
+                }),
+        )
+    })
+}
+
+proptest! {
+    /// Export → JSON → load → score is bit-identical to a fresh compute on
+    /// random corpora (floats round-trip exactly through the serialised form).
+    #[test]
+    fn cache_round_trip_is_bit_exact_on_random_corpora(corpus in arb_corpus()) {
+        let (db, config) = db_and_config();
+        let cache = ScoringEngine::new(&corpus).export_signal_cache();
+        let json = serde_json::to_string(&cache).unwrap();
+        let reloaded: SignalCacheFile = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&reloaded, &cache);
+
+        let cold = ScoringEngine::new(&corpus);
+        prop_assert_eq!(cold.load_signal_cache(&reloaded).unwrap(), corpus.len());
+        prop_assert_eq!(
+            cold.sai_list(&db, &config),
+            SaiList::compute_naive(&corpus, &db, &config)
+        );
+    }
+}

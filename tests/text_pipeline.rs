@@ -1,0 +1,166 @@
+//! Property tests pinning the single-pass text analyzer **bit-identical** to
+//! the frozen multi-pass reference implementation (`textmine::reference`) on
+//! unicode-, punctuation- and hashtag-heavy inputs, and the `Cow` fast path
+//! of `normalize` to the allocating pass.
+
+use proptest::prelude::*;
+use psp_suite::textmine::normalize::{is_normalized, normalize, normalize_cow};
+use psp_suite::textmine::pipeline::TextPipeline;
+use psp_suite::textmine::reference;
+use psp_suite::textmine::sentiment::IntentLexicon;
+use std::borrow::Cow;
+
+/// Fragment pool: attack tags, lexicon words, stop words, prices, currencies,
+/// unicode (umlauts, combining marks, emoji, Kelvin sign), sigils and
+/// punctuation runs — everything the pipeline treats specially.
+const FRAGMENTS: [&str; 40] = [
+    "#DPFDelete",
+    "#dpfdelete",
+    "#EGRoff",
+    "##double",
+    "#",
+    "@",
+    "@TunerShop",
+    "#@",
+    "delete",
+    "Deleted",
+    "kit",
+    "sale",
+    "shipped",
+    "install",
+    "guide",
+    "illegal",
+    "warranty",
+    "the",
+    "and",
+    "now",
+    "360",
+    "359,99",
+    "1.299,00",
+    "1.299.00",
+    "0",
+    "9999999999",
+    "EUR",
+    "euro",
+    "euros",
+    "$",
+    "€420",
+    "£",
+    "usd",
+    "ÖLWECHSEL",
+    "ölwechsel",
+    "e\u{301}gr",
+    "\u{1F600}",
+    "K\u{212A}elvin",
+    "40hp",
+    "...",
+];
+
+/// Separator pool: plain and exotic whitespace plus punctuation that the
+/// normaliser collapses and the price tokenizer trims.
+const SEPARATORS: [&str; 8] = [" ", "  ", "\t", "\n", ", ", "! ", ": ", ". "];
+
+/// Random documents assembled from the fragment pool.
+fn arb_document() -> impl Strategy<Value = String> {
+    (
+        prop::collection::vec(0usize..FRAGMENTS.len(), 0..12),
+        prop::collection::vec(0usize..SEPARATORS.len(), 0..12),
+    )
+        .prop_map(|(words, seps)| {
+            let mut text = String::new();
+            for (i, w) in words.iter().enumerate() {
+                text.push_str(FRAGMENTS[*w]);
+                let sep = seps.get(i).copied().unwrap_or(0);
+                text.push_str(SEPARATORS[sep]);
+            }
+            text
+        })
+}
+
+proptest! {
+    /// The single-pass analyzer is bit-identical to the frozen multi-pass
+    /// reference on documents assembled from the fragment pool.
+    #[test]
+    fn single_pass_equals_reference_on_fragment_documents(text in arb_document()) {
+        let pipeline = TextPipeline::new();
+        prop_assert_eq!(
+            pipeline.analyze(&text),
+            reference::analyze(pipeline.lexicon(), &text)
+        );
+    }
+
+    /// ... and on arbitrary printable-ASCII soup.
+    #[test]
+    fn single_pass_equals_reference_on_ascii_soup(text in ".{0,200}") {
+        let pipeline = TextPipeline::new();
+        prop_assert_eq!(
+            pipeline.analyze(&text),
+            reference::analyze(pipeline.lexicon(), &text)
+        );
+    }
+
+    /// Custom lexicon weights flow through both implementations identically.
+    #[test]
+    fn single_pass_equals_reference_under_custom_weights(
+        text in arb_document(),
+        engagement in 0u8..4,
+        deterrent in 0u8..4,
+        commerce in 0u8..4,
+    ) {
+        let lexicon = IntentLexicon {
+            engagement_weight: f64::from(engagement) * 0.5,
+            deterrent_weight: f64::from(deterrent) * 0.5,
+            commerce_weight: f64::from(commerce) * 0.5,
+        };
+        prop_assert_eq!(
+            TextPipeline::with_lexicon(lexicon).analyze(&text),
+            reference::analyze(&lexicon, &text)
+        );
+    }
+
+    /// The lean engine-facing entry point carries exactly the intent and
+    /// price components of the full analysis.
+    #[test]
+    fn signals_match_analyze(text in arb_document()) {
+        let pipeline = TextPipeline::new();
+        let full = pipeline.analyze(&text);
+        let lean = pipeline.signals(&text);
+        prop_assert_eq!(lean.intent, full.intent);
+        prop_assert_eq!(lean.prices, full.prices);
+    }
+
+    /// A reference-mode pipeline dispatches to the frozen implementation —
+    /// and therefore agrees with the fast mode everywhere.
+    #[test]
+    fn reference_mode_agrees_with_fast_mode(text in arb_document()) {
+        prop_assert_eq!(
+            TextPipeline::reference().analyze(&text),
+            TextPipeline::new().analyze(&text)
+        );
+    }
+
+    /// `normalize_cow` equals the frozen normaliser on every input, and its
+    /// borrowed branch fires exactly when the input is its own normal form.
+    #[test]
+    fn normalize_cow_equals_reference_and_borrows_exactly_when_normal(text in arb_document()) {
+        let cow = normalize_cow(&text);
+        let oracle = reference::normalize(&text);
+        prop_assert_eq!(cow.as_ref(), oracle.as_str());
+        match &cow {
+            Cow::Borrowed(s) => {
+                prop_assert!(is_normalized(&text));
+                prop_assert_eq!(*s, text.as_str());
+            }
+            Cow::Owned(_) => prop_assert!(!is_normalized(&text), "text {:?}", text),
+        }
+    }
+
+    /// Normalisation is idempotent, and (for ASCII inputs, where the output
+    /// is ASCII too) its fixed points take the borrowed branch.
+    #[test]
+    fn normalize_is_idempotent_and_fixed_points_borrow(text in ".{0,120}") {
+        let once = normalize(&text);
+        prop_assert_eq!(normalize(&once), once.clone());
+        prop_assert!(matches!(normalize_cow(&once), Cow::Borrowed(_)), "{:?}", once);
+    }
+}
