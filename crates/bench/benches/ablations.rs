@@ -4,13 +4,14 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use psp::config::{PspConfig, SaiWeights};
+use psp::engine::ScoringEngine;
 use psp::keyword_db::KeywordDatabase;
-use psp::sai::SaiList;
 use psp::weights::{WeightGenerator, WeightMapping};
 use psp::workflow::PspWorkflow;
 use psp_bench::{passenger_corpus, passenger_sai};
 use socialsim::poisoning::BotCampaign;
 use socialsim::post::{Region, TargetApplication};
+use socialsim::time::DateWindow;
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -23,15 +24,33 @@ fn bench(c: &mut Criterion) {
         .sample_size(10)
         .measurement_time(Duration::from_secs(20));
 
-    // SAI weight presets.
+    // SAI weight presets, each swept over the yearly windows of the scene
+    // through the sweep entry point.  Weights are applied at sweep time, so
+    // all three presets resolve against one cached plan on the warm engine —
+    // the ablation isolates the weight formula, not plan rebuilds.
+    let engine = ScoringEngine::new(&corpus);
+    let windows: Vec<DateWindow> = (2015..=2023).map(|y| DateWindow::years(y, y)).collect();
     for (label, weights) in [
-        ("sai_default_weights", SaiWeights::default()),
-        ("sai_views_only", SaiWeights::views_only()),
-        ("sai_interactions_only", SaiWeights::interactions_only()),
+        ("sai_sweep_default_weights", SaiWeights::default()),
+        ("sai_sweep_views_only", SaiWeights::views_only()),
+        (
+            "sai_sweep_interactions_only",
+            SaiWeights::interactions_only(),
+        ),
     ] {
         let config = PspConfig::passenger_car_europe().with_weights(weights);
+        // Sanity before timing: the swept preset matches per-window scoring.
+        let per_window: Vec<PspConfig> = windows
+            .iter()
+            .map(|w| config.clone().with_window(*w))
+            .collect();
+        assert_eq!(
+            engine.sai_sweep(&db, &config, &windows),
+            engine.sai_lists(&db, &per_window),
+            "{label} sweep diverged from per-window lists"
+        );
         group.bench_function(label, |b| {
-            b.iter(|| black_box(SaiList::compute(&corpus, &db, &config)))
+            b.iter(|| black_box(engine.sai_sweep(&db, &config, &windows)))
         });
     }
 

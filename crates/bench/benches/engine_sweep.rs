@@ -1,0 +1,166 @@
+//! The sweep plane vs per-window batch scoring — the N-window monitoring
+//! hot path.
+//!
+//! The workload is a monitoring sweep: one warm engine (index built, signals
+//! memoised) answers 20 overlapping one-year analysis windows (quarterly
+//! starts over 2018-2022) of the scaled excavator corpus.  The batch
+//! `sai_lists` path resolves each keyword's candidates once but still walks
+//! the whole candidate set per window (a date filter plus a signal fold);
+//! `sai_sweep` projects the candidates once into date-sorted, prefix-summed
+//! columns and resolves each window with two binary searches plus a fold over
+//! only the window's own rows.  The sweep plan is cached on the engine, so
+//! the steady-state cost — what a `LiveMonitor` pays per re-evaluation — is
+//! pure window resolution; the sanity check before timing warms the plan
+//! exactly like the first monitoring pass would.
+//!
+//! Per corpus size (default 10k and 100k posts; `PSP_BENCH_SIZES` overrides),
+//! three paths are measured:
+//!
+//! * `window_sweep_lists/<size>` — the warm single engine through per-window
+//!   batch scoring (`sai_lists`, one config per window) — the pre-sweep hot
+//!   path;
+//! * `window_sweep_plan/<size>` — the same engine and windows through
+//!   `sai_sweep`;
+//! * `window_sweep_sharded_plan/<size>` — a warm `ShardedEngine` on yearly
+//!   shards through `sai_sweep` (per-shard plans + pre-normalisation merge).
+//!
+//! The headline ratio `speedup_sweep/<size>` is lists/plan (the acceptance
+//! target: >= 5x at 100k posts); `speedup_sweep_sharded/<size>` is
+//! lists/sharded-plan.  All three paths are asserted bit-identical before
+//! anything is timed.  The report lands in `target/perf/engine_sweep.json`;
+//! the blessed baseline in `crates/bench/baselines/engine_sweep.json` is
+//! enforced by the CI perf-smoke job via `perf_check --ratios-only`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psp::config::PspConfig;
+use psp::engine::{LiveEngine, ScoringEngine, ShardedEngine};
+use psp::keyword_db::KeywordDatabase;
+use psp_bench::perf::{fresh_report_path, mean_ns, sizes_from_env, PerfReport};
+use psp_bench::scaled_excavator_corpus;
+use socialsim::index::ShardSpec;
+use socialsim::time::{DateWindow, SimDate};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Default corpus sizes; override with `PSP_BENCH_SIZES=10000`.
+const DEFAULT_SIZES: [usize; 2] = [10_000, 100_000];
+
+/// Number of analysis windows in the sweep.
+const WINDOWS: usize = 20;
+
+/// 20 overlapping one-year windows starting quarterly at 2018-01 (the scaled
+/// corpus spans 2018-2023) — the shape of a monthly-cadence monitoring loop.
+fn sweep_windows() -> Vec<DateWindow> {
+    (0..WINDOWS)
+        .map(|i| {
+            let start_month = 3 * i; // months since 2018-01
+            let end_month = start_month + 11;
+            DateWindow::new(
+                SimDate::new(
+                    2018 + (start_month / 12) as i32,
+                    (1 + start_month % 12) as u8,
+                    1,
+                ),
+                SimDate::new(
+                    2018 + (end_month / 12) as i32,
+                    (1 + end_month % 12) as u8,
+                    28,
+                ),
+            )
+        })
+        .collect()
+}
+
+fn write_report(c: &Criterion, sizes: &[usize]) {
+    let mut report = PerfReport::new("engine_sweep");
+    for size in sizes {
+        let lists = mean_ns(c, &format!("engine_sweep/window_sweep_lists/{size}"));
+        let plan = mean_ns(c, &format!("engine_sweep/window_sweep_plan/{size}"));
+        let sharded = mean_ns(c, &format!("engine_sweep/window_sweep_sharded_plan/{size}"));
+        let speedup = lists / plan;
+        let speedup_sharded = lists / sharded;
+        println!(
+            "{size:>7} posts, {WINDOWS} windows: lists {lists:>13.0} ns | sweep {plan:>12.0} ns \
+             ({speedup:.1}x) | sharded sweep {sharded:>12.0} ns ({speedup_sharded:.1}x)"
+        );
+        report.push_metric(format!("window_sweep_lists/{size}"), lists);
+        report.push_metric(format!("window_sweep_plan/{size}"), plan);
+        report.push_metric(format!("window_sweep_sharded_plan/{size}"), sharded);
+        report.push_ratio(format!("speedup_sweep/{size}"), speedup);
+        // The sharded sweep is merge-dominated at small sizes and hovers near
+        // parity there — too noisy to enforce as a CI ratio floor, so the
+        // speedup row is only recorded at full scale, where it has headroom.
+        if *size >= 100_000 {
+            report.push_ratio(format!("speedup_sweep_sharded/{size}"), speedup_sharded);
+        }
+    }
+    let path = fresh_report_path("engine_sweep");
+    match report.save(&path) {
+        Ok(()) => println!("perf report written to {}", path.display()),
+        Err(err) => eprintln!("could not write perf report: {err}"),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let db = KeywordDatabase::excavator_seed();
+    let base = PspConfig::excavator_europe();
+    let windows = sweep_windows();
+    let configs: Vec<PspConfig> = windows
+        .iter()
+        .map(|w| base.clone().with_window(*w))
+        .collect();
+    let sizes = sizes_from_env(&DEFAULT_SIZES);
+
+    for &size in &sizes {
+        let corpus = scaled_excavator_corpus(size, 42);
+
+        // The warm serving state: indexed, every text signal memoised.
+        let single = ScoringEngine::new(&corpus);
+        single.precompute_signals();
+        let sharded = ShardedEngine::new(corpus.clone(), ShardSpec::yearly());
+        sharded.precompute_signals();
+
+        // Sanity: every sweep path must be bit-identical to per-window batch
+        // scoring before being timed.  (These first calls also build and
+        // cache the sweep plans — the warm steady state the bench measures.)
+        let reference = single.sai_lists(&db, &configs);
+        assert_eq!(
+            single.sai_sweep(&db, &base, &windows),
+            reference,
+            "sweep diverged from per-window lists at {size} posts"
+        );
+        assert_eq!(
+            sharded.sai_sweep(&db, &base, &windows),
+            reference,
+            "sharded sweep diverged from per-window lists at {size} posts"
+        );
+        if size <= 10_000 {
+            let live = LiveEngine::new(corpus.clone());
+            assert_eq!(
+                live.sai_sweep(&db, &base, &windows),
+                reference,
+                "live sweep diverged from per-window lists at {size} posts"
+            );
+        }
+
+        let mut group = c.benchmark_group("engine_sweep");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_secs(10));
+        group.bench_function(&format!("window_sweep_lists/{size}"), |b| {
+            b.iter(|| black_box(single.sai_lists(&db, &configs)))
+        });
+        group.bench_function(&format!("window_sweep_plan/{size}"), |b| {
+            b.iter(|| black_box(single.sai_sweep(&db, &base, &windows)))
+        });
+        group.bench_function(&format!("window_sweep_sharded_plan/{size}"), |b| {
+            b.iter(|| black_box(sharded.sai_sweep(&db, &base, &windows)))
+        });
+        group.finish();
+    }
+
+    write_report(c, &sizes);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,10 +1,20 @@
-//! E9 / Figure 9 — the windowed analysis behind the trend-inversion experiment.
+//! E9 / Figure 9 — the windowed analysis behind the trend-inversion
+//! experiment, on the sweep entry point.
+//!
+//! `compare_windows` measures the full cold-start artefact cost (engine
+//! build + a two-entry sweep: full history vs the recent window);
+//! `warm_yearly_sweep` measures the steady-state monitoring shape the sweep
+//! plane exists for — one warm engine resolving every yearly window of the
+//! scene through `sai_sweep` — and `warm_yearly_lists` keeps the per-window
+//! batch path alongside it as the honest reference.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use psp::config::PspConfig;
+use psp::engine::ScoringEngine;
 use psp::keyword_db::KeywordDatabase;
 use psp::timewindow::compare_windows;
 use psp_bench::{passenger_corpus, recent_window};
+use socialsim::time::DateWindow;
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -12,6 +22,19 @@ fn bench(c: &mut Criterion) {
     let corpus = passenger_corpus();
     let db = KeywordDatabase::passenger_car_seed();
     let config = PspConfig::passenger_car_europe();
+    let windows: Vec<DateWindow> = (2015..=2023).map(|y| DateWindow::years(y, y)).collect();
+    let configs: Vec<PspConfig> = windows
+        .iter()
+        .map(|w| config.clone().with_window(*w))
+        .collect();
+
+    let engine = ScoringEngine::new(&corpus);
+    // Sanity before timing: the sweep must match the per-window batch path.
+    assert_eq!(
+        engine.sai_sweep(&db, &config, &windows),
+        engine.sai_lists(&db, &configs),
+        "fig9 sweep diverged from per-window lists"
+    );
 
     let mut group = c.benchmark_group("fig9");
     group
@@ -27,6 +50,12 @@ fn bench(c: &mut Criterion) {
                 recent_window(),
             ))
         })
+    });
+    group.bench_function("warm_yearly_sweep", |b| {
+        b.iter(|| black_box(engine.sai_sweep(&db, &config, &windows)))
+    });
+    group.bench_function("warm_yearly_lists", |b| {
+        b.iter(|| black_box(engine.sai_lists(&db, &configs)))
     });
     group.finish();
 }

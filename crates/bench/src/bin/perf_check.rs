@@ -87,6 +87,11 @@ fn main() {
             failed = true;
             continue;
         }
+        // Always print the measured-vs-baseline values, pass or fail, so
+        // perf-smoke logs double as a trend record across runs.
+        for row in &outcome.rows {
+            println!("{bench}:   {row}");
+        }
         if outcome.passed() {
             println!(
                 "{bench}: OK — {} rows within {max_regression}x of the committed baseline",

@@ -211,11 +211,67 @@ impl fmt::Display for Regression {
     }
 }
 
+/// One row present in both the baseline and the fresh report — recorded for
+/// every checked row (not only regressions), so a passing perf-smoke run
+/// still logs the measured-vs-baseline trend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckedRow {
+    /// The metric/ratio name.
+    pub name: String,
+    /// The committed baseline value.
+    pub baseline: f64,
+    /// The value measured by the fresh run.
+    pub fresh: f64,
+    /// Whether the row is a speedup ratio (larger is better) rather than an
+    /// absolute timing (smaller is better).
+    pub is_ratio: bool,
+}
+
+impl CheckedRow {
+    /// Fresh-over-baseline for ratios, baseline-over-fresh for timings — so
+    /// the printed factor reads "≥ 1.0 is at least as good as the baseline"
+    /// either way.
+    #[must_use]
+    pub fn vs_baseline(&self) -> f64 {
+        if self.is_ratio {
+            self.fresh / self.baseline
+        } else {
+            self.baseline / self.fresh
+        }
+    }
+}
+
+impl fmt::Display for CheckedRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_ratio {
+            write!(
+                f,
+                "{}: speedup {:.2}x vs baseline {:.2}x ({:.2}x of baseline)",
+                self.name,
+                self.fresh,
+                self.baseline,
+                self.vs_baseline()
+            )
+        } else {
+            write!(
+                f,
+                "{}: {:.0} ns vs baseline {:.0} ns ({:.2}x of baseline)",
+                self.name,
+                self.fresh,
+                self.baseline,
+                self.vs_baseline()
+            )
+        }
+    }
+}
+
 /// The outcome of comparing a fresh report against a committed baseline.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Comparison {
     /// Number of rows present in both reports and therefore checked.
     pub checked: usize,
+    /// Every checked row with both its values — regressed or not.
+    pub rows: Vec<CheckedRow>,
     /// The rows that regressed beyond the allowed factor.
     pub regressions: Vec<Regression>,
 }
@@ -256,12 +312,17 @@ pub fn compare_with(
     max_regression: f64,
     include_metrics: bool,
 ) -> Comparison {
-    let mut checked = 0;
+    let mut rows = Vec::new();
     let mut regressions = Vec::new();
     if include_metrics {
         for (name, base) in &baseline.metrics {
             if let Some(measured) = fresh.metric(name) {
-                checked += 1;
+                rows.push(CheckedRow {
+                    name: name.clone(),
+                    baseline: *base,
+                    fresh: measured,
+                    is_ratio: false,
+                });
                 let limit = base * max_regression;
                 if measured > limit {
                     regressions.push(Regression {
@@ -277,7 +338,12 @@ pub fn compare_with(
     }
     for (name, base) in &baseline.ratios {
         if let Some(measured) = fresh.ratio(name) {
-            checked += 1;
+            rows.push(CheckedRow {
+                name: name.clone(),
+                baseline: *base,
+                fresh: measured,
+                is_ratio: true,
+            });
             let limit = base / max_regression;
             if measured < limit {
                 regressions.push(Regression {
@@ -291,7 +357,8 @@ pub fn compare_with(
         }
     }
     Comparison {
-        checked,
+        checked: rows.len(),
+        rows,
         regressions,
     }
 }
@@ -342,6 +409,30 @@ mod tests {
         assert!(regression.is_ratio);
         assert_eq!(regression.limit, 5.0);
         assert!(regression.to_string().contains("fell below"));
+    }
+
+    #[test]
+    fn every_checked_row_is_recorded_even_when_passing() {
+        let baseline = report(&[("a/100", 1000.0)], &[("speed/100", 10.0)]);
+        let fresh = report(&[("a/100", 500.0)], &[("speed/100", 12.0)]);
+        let outcome = compare(&baseline, &fresh, 2.0);
+        assert!(outcome.passed());
+        assert_eq!(outcome.rows.len(), 2);
+        assert_eq!(outcome.checked, outcome.rows.len());
+        // Both rows improved: the normalised factor reads >= 1 either way.
+        assert_eq!(outcome.rows[0].vs_baseline(), 2.0); // 1000 ns -> 500 ns
+        assert_eq!(outcome.rows[1].vs_baseline(), 1.2); // 10x -> 12x
+        assert!(outcome.rows[0].to_string().contains("ns vs baseline"));
+        assert!(outcome.rows[1].to_string().contains("speedup"));
+    }
+
+    #[test]
+    fn ratios_only_rows_exclude_metrics() {
+        let baseline = report(&[("a/100", 1000.0)], &[("speed/100", 10.0)]);
+        let fresh = report(&[("a/100", 900.0)], &[("speed/100", 9.0)]);
+        let outcome = compare_with(&baseline, &fresh, 2.0, false);
+        assert_eq!(outcome.rows.len(), 1);
+        assert!(outcome.rows[0].is_ratio);
     }
 
     #[test]

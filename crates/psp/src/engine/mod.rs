@@ -59,14 +59,18 @@ use socialsim::corpus::Corpus;
 use socialsim::index::CorpusIndex;
 use socialsim::post::Post;
 use socialsim::query::Query;
+use socialsim::time::DateWindow;
 use std::sync::OnceLock;
 use textmine::pipeline::TextPipeline;
 
 mod cache;
 mod sharded;
+mod sweep;
 
 pub use cache::{SignalCacheError, SignalCacheFile, SIGNAL_CACHE_VERSION};
 pub use sharded::ShardedEngine;
+
+use sweep::PlanCache;
 
 /// Anything that can answer SAI computations — implemented by every engine
 /// shape ([`ScoringEngine`], [`LiveEngine`], [`ShardedEngine`]) so the
@@ -78,9 +82,52 @@ pub trait SaiScorer {
     fn sai_list(&self, db: &KeywordDatabase, config: &PspConfig) -> SaiList;
 
     /// Computes one SAI list per configuration against the same corpus (the
-    /// batch entry point for window sweeps).  Always returns exactly one list
-    /// per configuration.
+    /// batch entry point for heterogeneous configuration sets).  Always
+    /// returns exactly one list per configuration.
     fn sai_lists(&self, db: &KeywordDatabase, configs: &[PspConfig]) -> Vec<SaiList>;
+
+    /// Computes one SAI list per analysis window against one shared base
+    /// configuration — the sweep entry point for monitoring series, Figure-9
+    /// comparisons and fleet sweeps, where only the window varies.
+    ///
+    /// Semantically identical to [`sai_lists`](Self::sai_lists) over
+    /// `base_config.clone().with_window(w)` for every window (any window
+    /// already set on `base_config` is replaced), and **bit-identical** to
+    /// it on every engine shape; the engines override the implementation
+    /// with a prefix-summed columnar plan that makes the per-window cost
+    /// ~O(log candidates + window matches) instead of O(candidates) — see
+    /// the `psp::engine::sweep` module docs.  Always returns exactly one
+    /// list per window.
+    fn sai_sweep(
+        &self,
+        db: &KeywordDatabase,
+        base_config: &PspConfig,
+        windows: &[DateWindow],
+    ) -> Vec<SaiList> {
+        let windows: Vec<Option<DateWindow>> = windows.iter().copied().map(Some).collect();
+        self.sai_sweep_opt(db, base_config, &windows)
+    }
+
+    /// The general form of [`sai_sweep`](Self::sai_sweep): each entry either
+    /// restricts the analysis to a window or (`None`) spans the full history
+    /// — how a Figure-9 "all history vs recent window" comparison rides the
+    /// same plan.  `base_config`'s own window is replaced per entry.
+    fn sai_sweep_opt(
+        &self,
+        db: &KeywordDatabase,
+        base_config: &PspConfig,
+        windows: &[Option<DateWindow>],
+    ) -> Vec<SaiList> {
+        let configs: Vec<PspConfig> = windows
+            .iter()
+            .map(|window| {
+                let mut config = base_config.clone();
+                config.window = *window;
+                config
+            })
+            .collect();
+        self.sai_lists(db, &configs)
+    }
 }
 
 /// A scorer that owns its corpus and absorbs streaming ingestion — the
@@ -162,6 +209,10 @@ struct EngineCore {
     /// Number of ingest batches absorbed since construction (0 for snapshot
     /// engines).  Observers use this to detect that re-evaluation is due.
     generation: u64,
+    /// The cached window-sweep plan (see [`sweep`]), keyed by `generation`
+    /// plus the (database, scene) pair — an ingest bumps the generation and
+    /// thereby invalidates the plan.
+    plans: PlanCache,
 }
 
 impl EngineCore {
@@ -177,6 +228,7 @@ impl EngineCore {
             pipeline,
             signals,
             generation: 0,
+            plans: PlanCache::default(),
         }
     }
 
@@ -395,11 +447,8 @@ impl EngineCore {
     /// The content condition does not depend on a configuration's
     /// region/application/window filters, so batch callers resolve the
     /// candidates once per profile — against any representative config — and
-    /// re-apply only [`metadata_filtered`](Self::metadata_filtered) per
-    /// configuration.  This is the shared skeleton of both batch entry points
-    /// (`EngineCore::sai_lists` and the sharded
-    /// `ShardedEngine::sai_lists`); keep them on these helpers so the two
-    /// paths cannot drift apart.
+    /// re-apply only the cheap metadata predicates per configuration (see
+    /// [`BatchCandidates`]).
     fn content_candidates_for(
         &self,
         corpus: &Corpus,
@@ -408,20 +457,6 @@ impl EngineCore {
     ) -> Vec<u32> {
         let content_query = profile_query(profile, any_config);
         self.index.content_candidates(corpus, &content_query)
-    }
-
-    /// Filters pre-resolved content candidates down to the ids passing one
-    /// configuration's metadata constraints (region / application / window),
-    /// preserving ascending order — the per-config half of the batch skeleton.
-    fn metadata_filtered<'a>(
-        &'a self,
-        candidates: &'a [u32],
-        query: &'a Query,
-    ) -> impl Iterator<Item = u32> + 'a {
-        candidates
-            .iter()
-            .copied()
-            .filter(|id| self.index.matches_metadata(*id, query))
     }
 
     /// Computes the full SAI list for a keyword database and configuration in
@@ -453,38 +488,174 @@ impl EngineCore {
                 .collect();
         }
         // One parallel job per profile: resolve the (config-independent)
-        // content candidates once, then score every configuration against them.
+        // content candidates once — scene filter hoisted — then score every
+        // configuration against them.
         let per_profile: Vec<Vec<SaiEntry>> = profiles
             .par_iter()
             .map(|profile| {
-                let candidates = self.content_candidates_for(corpus, profile, &configs[0]);
+                let batch = BatchCandidates::hoist(self, corpus, profile, &configs[0]);
                 configs
                     .iter()
                     .map(|config| {
                         let query = profile_query(profile, config);
-                        self.aggregate(
-                            corpus,
-                            profile,
-                            config,
-                            self.metadata_filtered(&candidates, &query),
-                        )
+                        self.aggregate(corpus, profile, config, batch.for_config(config, &query))
                     })
                     .collect()
             })
             .collect();
-        // Transpose the profile-major grid into one entry list per config,
-        // preserving keyword-database order within each list.
-        let mut per_config: Vec<Vec<SaiEntry>> = configs
-            .iter()
-            .map(|_| Vec::with_capacity(per_profile.len()))
-            .collect();
-        for row in per_profile {
-            for (c, entry) in row.into_iter().enumerate() {
-                per_config[c].push(entry);
-            }
-        }
-        per_config.into_iter().map(SaiList::from_entries).collect()
+        transpose_to_lists(per_profile, configs.len())
     }
+
+    /// The (cached) sweep plan for a database and base configuration — built
+    /// on first use, reused while the key matches, invalidated by ingest via
+    /// the generation counter.
+    fn sweep_plan(
+        &self,
+        corpus: &Corpus,
+        db: &KeywordDatabase,
+        base_config: &PspConfig,
+    ) -> std::sync::Arc<sweep::SweepPlan> {
+        self.plans.plan_for(self, corpus, db, base_config)
+    }
+
+    /// Computes one SAI list per window through the sweep plan — see
+    /// [`SaiScorer::sai_sweep`].
+    fn sai_sweep(
+        &self,
+        corpus: &Corpus,
+        db: &KeywordDatabase,
+        base_config: &PspConfig,
+        windows: &[Option<DateWindow>],
+    ) -> Vec<SaiList> {
+        let profiles: Vec<&KeywordProfile> = db.iter().collect();
+        if windows.is_empty() {
+            return Vec::new();
+        }
+        if profiles.is_empty() {
+            return windows
+                .iter()
+                .map(|_| SaiList::from_entries(Vec::new()))
+                .collect();
+        }
+        let weights = base_config.sai_weights;
+        let plan = self.sweep_plan(corpus, db, base_config);
+        // One parallel job per profile, resolving the whole window batch
+        // against its prefix-summed columns (scrambled windows share one
+        // distribution pass).
+        let jobs: Vec<(usize, &KeywordProfile)> = profiles.into_iter().enumerate().collect();
+        let per_profile: Vec<Vec<SaiEntry>> = jobs
+            .par_iter()
+            .map(|(p, profile)| plan.profiles[*p].entries_for(profile, weights, windows))
+            .collect();
+        transpose_to_lists(per_profile, windows.len())
+    }
+}
+
+/// The hoisted per-profile filter state of the batch (`sai_lists`) paths:
+/// a profile's content candidates plus the subset passing the base
+/// configuration's window-invariant *scene* filter (region / application),
+/// each resolved once per profile.  Every configuration sharing that scene
+/// then pays only the window predicate per candidate; a configuration with a
+/// different scene falls back to the full metadata filter.
+///
+/// Both batch entry points — the single-engine `EngineCore::sai_lists` and
+/// the sharded `ShardedEngine::sai_lists` — route through this one type, so
+/// the hoist decision cannot drift between the two bit-identical paths.
+struct BatchCandidates<'a> {
+    index: &'a CorpusIndex,
+    /// All content candidates, ascending.
+    candidates: Vec<u32>,
+    /// The candidates passing the base configuration's scene, ascending.
+    scene_candidates: Vec<u32>,
+    /// The scene the hoisted subset was filtered with.
+    region: socialsim::post::Region,
+    application: socialsim::post::TargetApplication,
+}
+
+impl<'a> BatchCandidates<'a> {
+    /// Resolves one profile's content candidates and hoists the scene filter
+    /// of `base_config` (by convention the batch's first configuration).
+    fn hoist(
+        core: &'a EngineCore,
+        corpus: &Corpus,
+        profile: &KeywordProfile,
+        base_config: &PspConfig,
+    ) -> Self {
+        let candidates = core.content_candidates_for(corpus, profile, base_config);
+        let base_query = profile_query(profile, base_config);
+        let scene_candidates = candidates
+            .iter()
+            .copied()
+            .filter(|id| core.index.matches_scene(*id, &base_query))
+            .collect();
+        Self {
+            index: &core.index,
+            candidates,
+            scene_candidates,
+            region: base_config.region,
+            application: base_config.application,
+        }
+    }
+
+    /// The candidate ids passing `config`'s metadata constraints, ascending:
+    /// the hoisted scene subset under a window-only check when `config`
+    /// shares the base scene, the full per-candidate metadata filter
+    /// otherwise.  `query` must be `profile_query(profile, config)`.
+    fn for_config<'q>(
+        &'q self,
+        config: &PspConfig,
+        query: &'q Query,
+    ) -> impl Iterator<Item = u32> + 'q {
+        if config.region == self.region && config.application == self.application {
+            let window = config.window;
+            EitherIter::Scene(
+                self.scene_candidates
+                    .iter()
+                    .copied()
+                    .filter(move |id| self.index.in_window(*id, window)),
+            )
+        } else {
+            EitherIter::Full(
+                self.candidates
+                    .iter()
+                    .copied()
+                    .filter(move |id| self.index.matches_metadata(*id, query)),
+            )
+        }
+    }
+}
+
+/// A two-armed iterator so [`BatchCandidates::for_config`] can return either
+/// filter shape as one `impl Iterator`.
+enum EitherIter<A, B> {
+    Scene(A),
+    Full(B),
+}
+
+impl<A: Iterator<Item = u32>, B: Iterator<Item = u32>> Iterator for EitherIter<A, B> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        match self {
+            EitherIter::Scene(iter) => iter.next(),
+            EitherIter::Full(iter) => iter.next(),
+        }
+    }
+}
+
+/// Transposes a profile-major entry grid into one finished list per
+/// configuration/window, preserving keyword-database order within each list —
+/// the shared tail of the batch and sweep paths.
+fn transpose_to_lists(per_profile: Vec<Vec<SaiEntry>>, lists: usize) -> Vec<SaiList> {
+    let mut per_config: Vec<Vec<SaiEntry>> = (0..lists)
+        .map(|_| Vec::with_capacity(per_profile.len()))
+        .collect();
+    for row in per_profile {
+        for (c, entry) in row.into_iter().enumerate() {
+            per_config[c].push(entry);
+        }
+    }
+    per_config.into_iter().map(SaiList::from_entries).collect()
 }
 
 /// An indexed, parallel SAI scoring engine bound to one corpus snapshot.
@@ -588,6 +759,33 @@ impl<'c> ScoringEngine<'c> {
     pub fn sai_lists(&self, db: &KeywordDatabase, configs: &[PspConfig]) -> Vec<SaiList> {
         self.core.sai_lists(self.corpus, db, configs)
     }
+
+    /// Computes one SAI list per analysis window against one shared base
+    /// configuration, through the prefix-summed sweep plan — bit-identical
+    /// to (and much faster than) per-window [`sai_lists`](Self::sai_lists);
+    /// see [`SaiScorer::sai_sweep`].
+    #[must_use]
+    pub fn sai_sweep(
+        &self,
+        db: &KeywordDatabase,
+        base_config: &PspConfig,
+        windows: &[DateWindow],
+    ) -> Vec<SaiList> {
+        let windows: Vec<Option<DateWindow>> = windows.iter().copied().map(Some).collect();
+        self.sai_sweep_opt(db, base_config, &windows)
+    }
+
+    /// The general sweep form with optional (`None` = full-history) windows —
+    /// see [`SaiScorer::sai_sweep_opt`].
+    #[must_use]
+    pub fn sai_sweep_opt(
+        &self,
+        db: &KeywordDatabase,
+        base_config: &PspConfig,
+        windows: &[Option<DateWindow>],
+    ) -> Vec<SaiList> {
+        self.core.sai_sweep(self.corpus, db, base_config, windows)
+    }
 }
 
 impl SaiScorer for ScoringEngine<'_> {
@@ -597,6 +795,15 @@ impl SaiScorer for ScoringEngine<'_> {
 
     fn sai_lists(&self, db: &KeywordDatabase, configs: &[PspConfig]) -> Vec<SaiList> {
         ScoringEngine::sai_lists(self, db, configs)
+    }
+
+    fn sai_sweep_opt(
+        &self,
+        db: &KeywordDatabase,
+        base_config: &PspConfig,
+        windows: &[Option<DateWindow>],
+    ) -> Vec<SaiList> {
+        ScoringEngine::sai_sweep_opt(self, db, base_config, windows)
     }
 }
 
@@ -728,6 +935,35 @@ impl LiveEngine {
     pub fn sai_lists(&self, db: &KeywordDatabase, configs: &[PspConfig]) -> Vec<SaiList> {
         self.core.sai_lists(&self.corpus, db, configs)
     }
+
+    /// Computes one SAI list per analysis window through the sweep plan —
+    /// see [`SaiScorer::sai_sweep`].  The plan survives across calls on this
+    /// warm engine and is invalidated exactly when [`ingest`](Self::ingest)
+    /// absorbs a non-empty batch (the generation counter is the key), so a
+    /// monitoring loop pays the plan build once per ingest, not per
+    /// re-evaluation.
+    #[must_use]
+    pub fn sai_sweep(
+        &self,
+        db: &KeywordDatabase,
+        base_config: &PspConfig,
+        windows: &[DateWindow],
+    ) -> Vec<SaiList> {
+        let windows: Vec<Option<DateWindow>> = windows.iter().copied().map(Some).collect();
+        self.sai_sweep_opt(db, base_config, &windows)
+    }
+
+    /// The general sweep form with optional (`None` = full-history) windows —
+    /// see [`SaiScorer::sai_sweep_opt`].
+    #[must_use]
+    pub fn sai_sweep_opt(
+        &self,
+        db: &KeywordDatabase,
+        base_config: &PspConfig,
+        windows: &[Option<DateWindow>],
+    ) -> Vec<SaiList> {
+        self.core.sai_sweep(&self.corpus, db, base_config, windows)
+    }
 }
 
 impl SaiScorer for LiveEngine {
@@ -737,6 +973,15 @@ impl SaiScorer for LiveEngine {
 
     fn sai_lists(&self, db: &KeywordDatabase, configs: &[PspConfig]) -> Vec<SaiList> {
         LiveEngine::sai_lists(self, db, configs)
+    }
+
+    fn sai_sweep_opt(
+        &self,
+        db: &KeywordDatabase,
+        base_config: &PspConfig,
+        windows: &[Option<DateWindow>],
+    ) -> Vec<SaiList> {
+        LiveEngine::sai_sweep_opt(self, db, base_config, windows)
     }
 }
 
@@ -889,6 +1134,136 @@ mod tests {
         let appended = live.ingest(scenario::excavator_europe(9).posts().to_vec());
         assert!(appended > 0);
         assert_eq!(live.generation(), 1);
+    }
+
+    #[test]
+    fn sweep_matches_per_window_batch_lists_bit_for_bit() {
+        let corpus = scenario::passenger_car_europe(42);
+        let db = KeywordDatabase::passenger_car_seed();
+        let base = PspConfig::passenger_car_europe();
+        let engine = ScoringEngine::new(&corpus);
+        let windows: Vec<DateWindow> = (2015..2023).map(|y| DateWindow::years(y, y + 1)).collect();
+        let configs: Vec<PspConfig> = windows
+            .iter()
+            .map(|w| base.clone().with_window(*w))
+            .collect();
+        assert_eq!(
+            engine.sai_sweep(&db, &base, &windows),
+            engine.sai_lists(&db, &configs)
+        );
+    }
+
+    #[test]
+    fn sweep_with_optional_windows_covers_the_full_history() {
+        let corpus = scenario::excavator_europe(7);
+        let db = KeywordDatabase::excavator_seed();
+        let base = PspConfig::excavator_europe();
+        let engine = ScoringEngine::new(&corpus);
+        let recent = DateWindow::years(2021, 2023);
+        let swept = engine.sai_sweep_opt(&db, &base, &[None, Some(recent)]);
+        assert_eq!(swept[0], engine.sai_list(&db, &base));
+        assert_eq!(
+            swept[1],
+            engine.sai_list(&db, &base.clone().with_window(recent))
+        );
+        // A window already set on the base config is replaced per entry.
+        let windowed_base = base.clone().with_window(DateWindow::years(2019, 2019));
+        assert_eq!(
+            engine.sai_sweep_opt(&db, &windowed_base, &[None]),
+            vec![engine.sai_list(&db, &base)]
+        );
+    }
+
+    #[test]
+    fn sweep_edge_cases_degrade_like_the_batch_path() {
+        let corpus = scenario::excavator_europe(7);
+        let engine = ScoringEngine::new(&corpus);
+        let base = PspConfig::excavator_europe();
+        // No windows -> no lists.
+        assert!(engine
+            .sai_sweep(&KeywordDatabase::excavator_seed(), &base, &[])
+            .is_empty());
+        // Empty database -> one empty list per window.
+        let lists = engine.sai_sweep(
+            &KeywordDatabase::new(),
+            &base,
+            &[DateWindow::years(2019, 2020), DateWindow::years(2021, 2022)],
+        );
+        assert_eq!(lists.len(), 2);
+        assert!(lists.iter().all(SaiList::is_empty));
+        // Windows entirely outside the data -> zero evidence, not a panic.
+        let empty = engine.sai_sweep(
+            &KeywordDatabase::excavator_seed(),
+            &base,
+            &[DateWindow::years(1990, 1991)],
+        );
+        assert!(empty[0]
+            .entries()
+            .iter()
+            .all(|e| e.posts == 0 && e.sai == 0.0));
+    }
+
+    #[test]
+    fn sweep_plan_is_reused_across_calls_and_rebuilt_on_key_change() {
+        let corpus = scenario::excavator_europe(7);
+        let db = KeywordDatabase::excavator_seed();
+        let base = PspConfig::excavator_europe();
+        let engine = ScoringEngine::new(&corpus);
+        assert!(!engine.core.plans.is_populated());
+        let first = engine.core.sweep_plan(&corpus, &db, &base);
+        assert!(engine.core.plans.is_populated());
+        // Same key — the identical plan object is reused, even when the base
+        // config differs in its window or SAI weights (both are resolved at
+        // sweep time, not baked into the plan).
+        let second = engine.core.sweep_plan(
+            &corpus,
+            &db,
+            &base.clone().with_window(DateWindow::years(2020, 2021)),
+        );
+        assert!(std::sync::Arc::ptr_eq(&first, &second));
+        let reweighted = engine.core.sweep_plan(
+            &corpus,
+            &db,
+            &base
+                .clone()
+                .with_weights(crate::config::SaiWeights::views_only()),
+        );
+        assert!(std::sync::Arc::ptr_eq(&first, &reweighted));
+        // A different scene (here: a poisoning filter) rebuilds.
+        let filtered =
+            engine
+                .core
+                .sweep_plan(&corpus, &db, &base.clone().with_poisoning_filter(0.25));
+        assert!(!std::sync::Arc::ptr_eq(&first, &filtered));
+        // The filtered plan admits at most as many candidate rows.
+        assert!(filtered.candidate_rows() <= first.candidate_rows());
+    }
+
+    #[test]
+    fn ingest_invalidates_the_live_sweep_plan() {
+        let seed = scenario::excavator_europe(7);
+        let db = KeywordDatabase::excavator_seed();
+        let base = PspConfig::excavator_europe();
+        let windows: Vec<DateWindow> = (2018..2024).map(|y| DateWindow::years(y, y)).collect();
+
+        let mut live = LiveEngine::new(seed);
+        let before = live.core.sweep_plan(live.corpus(), &db, &base);
+        // An empty ingest leaves the plan valid...
+        live.ingest(Vec::new());
+        assert!(std::sync::Arc::ptr_eq(
+            &before,
+            &live.core.sweep_plan(live.corpus(), &db, &base)
+        ));
+        // ...a real batch invalidates it, and the re-planned sweep matches a
+        // cold engine over the grown corpus bit for bit.
+        live.ingest(scenario::excavator_europe(8).posts().to_vec());
+        let after = live.core.sweep_plan(live.corpus(), &db, &base);
+        assert!(!std::sync::Arc::ptr_eq(&before, &after));
+        let cold = ScoringEngine::new(live.corpus());
+        assert_eq!(
+            live.sai_sweep(&db, &base, &windows),
+            cold.sai_sweep(&db, &base, &windows)
+        );
     }
 
     #[test]

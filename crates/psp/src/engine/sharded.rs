@@ -31,7 +31,8 @@
 //!   ingest-then-shard converge to the same state.
 
 use super::{
-    profile_query, EngineCore, SaiScorer, SignalCacheError, SignalCacheFile, StreamingScorer,
+    profile_query, BatchCandidates, EngineCore, SaiScorer, SignalCacheError, SignalCacheFile,
+    StreamingScorer,
 };
 use crate::config::PspConfig;
 use crate::keyword_db::{KeywordDatabase, KeywordProfile};
@@ -40,6 +41,7 @@ use rayon::prelude::*;
 use socialsim::corpus::Corpus;
 use socialsim::index::{ShardKey, ShardSpec};
 use socialsim::post::Post;
+use socialsim::time::DateWindow;
 use textmine::pipeline::TextPipeline;
 
 /// One shard: a sub-corpus, its own engine core, and the mapping from
@@ -405,11 +407,15 @@ impl ShardedEngine {
                     .iter()
                     .map(|profile| {
                         // Same skeleton as the single-engine batch path:
-                        // content candidates once, metadata filter per config.
-                        let candidates =
-                            shard
-                                .core
-                                .content_candidates_for(&shard.corpus, profile, &configs[0]);
+                        // content candidates once, scene filter hoisted, only
+                        // the window predicate re-checked per config (the
+                        // shared `BatchCandidates` hoist).
+                        let batch = BatchCandidates::hoist(
+                            &shard.core,
+                            &shard.corpus,
+                            profile,
+                            &configs[0],
+                        );
                         configs
                             .iter()
                             .zip(&live)
@@ -421,7 +427,7 @@ impl ShardedEngine {
                                 shard.core.aggregate_partial(
                                     &shard.corpus,
                                     config,
-                                    shard.core.metadata_filtered(&candidates, &query),
+                                    batch.for_config(config, &query),
                                     &shard.global_ids,
                                 )
                             })
@@ -447,6 +453,82 @@ impl ShardedEngine {
             })
             .collect()
     }
+
+    /// Computes one SAI list per analysis window through **per-shard sweep
+    /// plans** — see [`SaiScorer::sai_sweep`].
+    ///
+    /// Each shard core holds its own prefix-summed plan (built on first use,
+    /// invalidated only when *that shard* absorbs an ingest batch) and
+    /// resolves every window against it; a shard whose [`ShardKey`] provably
+    /// cannot match a window contributes an empty partial without touching
+    /// its plan, and a shard no window can match never builds a plan at all.
+    /// The per-window partials then flow through the existing
+    /// pre-normalisation merge (`SaiList::from_shard_partials`), so the
+    /// swept lists are bit-identical to the single-engine sweep and to
+    /// per-window [`sai_lists`](Self::sai_lists).
+    #[must_use]
+    pub fn sai_sweep(
+        &self,
+        db: &KeywordDatabase,
+        base_config: &PspConfig,
+        windows: &[DateWindow],
+    ) -> Vec<SaiList> {
+        let windows: Vec<Option<DateWindow>> = windows.iter().copied().map(Some).collect();
+        self.sai_sweep_opt(db, base_config, &windows)
+    }
+
+    /// The general sweep form with optional (`None` = full-history) windows —
+    /// see [`SaiScorer::sai_sweep_opt`].
+    #[must_use]
+    pub fn sai_sweep_opt(
+        &self,
+        db: &KeywordDatabase,
+        base_config: &PspConfig,
+        windows: &[Option<DateWindow>],
+    ) -> Vec<SaiList> {
+        if windows.is_empty() {
+            return Vec::new();
+        }
+        let profiles: Vec<&KeywordProfile> = db.iter().collect();
+        // Profile-major per shard: rows[profile][window].
+        let mut per_shard: Vec<Vec<Vec<SaiPartial>>> = self
+            .shards
+            .par_iter()
+            .map(|shard| {
+                let live: Vec<bool> = windows
+                    .iter()
+                    .map(|window| {
+                        shard
+                            .key
+                            .may_match(Some(base_config.region), window.as_ref())
+                    })
+                    .collect();
+                if !live.contains(&true) {
+                    return vec![vec![SaiPartial::default(); windows.len()]; profiles.len()];
+                }
+                let plan = shard.core.sweep_plan(&shard.corpus, db, base_config);
+                plan.profiles
+                    .iter()
+                    .map(|columns| columns.partials_for(&shard.global_ids, windows, &live))
+                    .collect()
+            })
+            .collect();
+        // Transpose into one [shard][profile] grid per window and merge —
+        // the same pre-normalisation merge as the batch path.
+        (0..windows.len())
+            .map(|w| {
+                let per_shard_window: Vec<Vec<SaiPartial>> = per_shard
+                    .iter_mut()
+                    .map(|rows| {
+                        rows.iter_mut()
+                            .map(|row| std::mem::take(&mut row[w]))
+                            .collect()
+                    })
+                    .collect();
+                SaiList::from_shard_partials(db, base_config, &per_shard_window)
+            })
+            .collect()
+    }
 }
 
 impl SaiScorer for ShardedEngine {
@@ -456,6 +538,15 @@ impl SaiScorer for ShardedEngine {
 
     fn sai_lists(&self, db: &KeywordDatabase, configs: &[PspConfig]) -> Vec<SaiList> {
         ShardedEngine::sai_lists(self, db, configs)
+    }
+
+    fn sai_sweep_opt(
+        &self,
+        db: &KeywordDatabase,
+        base_config: &PspConfig,
+        windows: &[Option<DateWindow>],
+    ) -> Vec<SaiList> {
+        ShardedEngine::sai_sweep_opt(self, db, base_config, windows)
     }
 }
 

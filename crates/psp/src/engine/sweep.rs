@@ -1,0 +1,610 @@
+//! The sweep plane: prefix-summed columnar projections of per-post SAI
+//! evidence, so an N-window monitoring sweep pays ~O(log n) per window for
+//! everything that merges associatively.
+//!
+//! A windowed sweep (`MonitoringSeries`, Figure-9 comparisons, fleet sweeps)
+//! scores the *same* scenario over many windows of one corpus.  The batch
+//! `sai_lists` path already resolves each keyword's content candidates once,
+//! but every window still re-walks the whole candidate set: an O(candidates)
+//! date filter plus an O(matches) signal fold, per window.  The sweep plan
+//! moves all window-invariant work into a build step and leaves per-window
+//! work proportional to the window's *own* evidence:
+//!
+//! * **build once per (database, scene)** — for each keyword profile, the
+//!   candidates passing the window-invariant filters (content, region,
+//!   application, credibility) are projected into columns sorted by posting
+//!   date (stable, so equal dates keep ascending post-id order).  The exact
+//!   integer evidence (post / view / interaction counts) is prefix-summed;
+//!   the order-sensitive evidence (intent scores, mined price runs) is stored
+//!   per row, never prefix-summed, because float addition is not associative;
+//! * **resolve per window** — two binary searches turn the window into a
+//!   contiguous row range `[lo, hi)`; counts and integer sums fall out of
+//!   prefix-sum subtractions in O(log n), and only the window's own rows are
+//!   re-folded — in ascending post-id order, the exact order the per-window
+//!   `sai_lists` fold uses — for the intent sum and the price stream.
+//!
+//! The result is **bit-identical** to scoring each window through
+//! [`SaiScorer::sai_lists`](super::SaiScorer::sai_lists) and to the
+//! `SaiList::compute_naive` oracle: integer subtraction of integer prefix
+//! sums is exact, and the float evidence is added in the same order as the
+//! unswept fold.  The `psp-suite` property tests (`tests/sweep.rs`) pin this
+//! down over random corpora × window grids × shard axes × thread counts.
+//!
+//! Plans are cached per engine core behind a [`PlanCache`] and keyed by the
+//! keyword database, the scene half of the configuration ([`PlanKey`]:
+//! region, application, credibility rule — windows and SAI weights are
+//! resolved per sweep) and the core's ingest generation — so a
+//! [`LiveEngine`](super::LiveEngine) invalidates its plan exactly when an
+//! ingest batch lands, and a [`ShardedEngine`](super::ShardedEngine) keeps
+//! one plan per shard, invalidated only when *that shard* absorbs posts.
+
+use super::{profile_query, EngineCore};
+use crate::config::{PspConfig, SaiWeights};
+use crate::keyword_db::{KeywordDatabase, KeywordProfile};
+use crate::sai::{SaiEntry, SaiPartial};
+use rayon::prelude::*;
+use socialsim::corpus::Corpus;
+use socialsim::post::{Region, TargetApplication};
+use socialsim::time::{DateWindow, SimDate};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// The configuration half a sweep plan actually depends on: the scene filters
+/// (region, application) and the credibility rule.  Windows are resolved per
+/// sweep and SAI weights per entry, so configurations differing only in those
+/// share one plan — a weight-ablation sweep re-uses the cached columns.
+#[derive(Debug, Clone, PartialEq)]
+struct PlanKey {
+    region: Region,
+    application: TargetApplication,
+    min_author_credibility: Option<f64>,
+}
+
+impl PlanKey {
+    fn of(config: &PspConfig) -> Self {
+        Self {
+            region: config.region,
+            application: config.application,
+            min_author_credibility: config.min_author_credibility,
+        }
+    }
+}
+
+/// One keyword profile's window-invariant evidence, held in **two aligned
+/// orders**:
+///
+/// * the primary columns live in **ascending post-id order** (the natural
+///   candidate order — also the mandatory fold order for the order-sensitive
+///   float evidence);
+/// * a **date-sorted view** (`sorted_dates` + the `perm` permutation) turns
+///   any window into a contiguous rank range via two binary searches, with
+///   the integer evidence prefix-summed along that view.
+///
+/// Per window the integer sums are O(log n) prefix subtractions; the
+/// order-sensitive evidence re-folds over the window's own rows only, picking
+/// the cheapest id-ordering strategy per window (see
+/// [`window_rows`](Self::window_rows)).
+#[derive(Debug, Clone, Default)]
+pub(super) struct ProfileColumns {
+    /// Local post ids of the surviving candidates, strictly ascending
+    /// (id-order row axis).
+    ids: Vec<u32>,
+    /// Per-row intent scores, id order.  Order-sensitive: folded per window
+    /// in ascending post-id order, never prefix-summed (float addition is
+    /// not associative, and bit-exactness is the contract).
+    intents: Vec<f64>,
+    /// Row → range into `prices` (`len + 1` offsets), id order.
+    price_offsets: Vec<u32>,
+    /// Mined prices, flattened in id order.
+    prices: Vec<f64>,
+    /// The candidates' posting dates in ascending (date, id) order — the
+    /// binary-search axis of the date-sorted view.
+    sorted_dates: Vec<SimDate>,
+    /// Date rank → id-order row: the stable date sort as a permutation.
+    perm: Vec<u32>,
+    /// Id-order row → date rank: the inverse of `perm`, for the linear-walk
+    /// fold strategy.
+    rank_of: Vec<u32>,
+    /// `prefix_views[i]` = summed views of the first `i` date-ranked rows
+    /// (`len + 1`).
+    prefix_views: Vec<u64>,
+    /// Prefix-summed interactions along the date-sorted view, like
+    /// `prefix_views`.
+    prefix_interactions: Vec<u64>,
+    /// Prefix-summed mined-price counts along the date-sorted view — sizes
+    /// every window's price buffer exactly, in O(1).
+    prefix_price_counts: Vec<u32>,
+    /// `perm_descents[i]` = number of adjacent descents among the first `i`
+    /// entries of `perm` (`len + 1` prefix counts): a rank range `[lo, hi)`
+    /// is already in ascending id order iff it contains no descent — an O(1)
+    /// check that lets in-order windows (the overwhelmingly common shape:
+    /// per-keyword candidates usually arrive in date order) fold straight
+    /// over contiguous column slices.
+    perm_descents: Vec<u32>,
+}
+
+/// The rows one *in-order* window covers, in ascending post-id order —
+/// produced by [`ProfileColumns::in_order_rows`] at O(1) cost.
+enum RowSet<'a> {
+    /// A contiguous id-order row run `[from, to)`: the fold is pure slice
+    /// arithmetic (one pass for the intent sum, one bulk copy for prices).
+    Run(usize, usize),
+    /// An ascending-but-gapped row list, borrowed straight from `perm`.
+    Rows(&'a [u32]),
+}
+
+impl ProfileColumns {
+    /// Projects one profile's candidates under the window-invariant filters
+    /// of the base configuration (content, region, application, credibility
+    /// — everything but the window) into the dual-order columns.  Forces the
+    /// text signals of every surviving candidate — paid once per plan, not
+    /// per window.
+    fn build(
+        core: &EngineCore,
+        corpus: &Corpus,
+        profile: &KeywordProfile,
+        base_config: &PspConfig,
+    ) -> Self {
+        let query = profile_query(profile, base_config);
+        let candidates = core.index.content_candidates(corpus, &query);
+        let mut columns = Self::default();
+        columns.ids.reserve(candidates.len());
+        columns.intents.reserve(candidates.len());
+        columns.price_offsets.reserve(candidates.len() + 1);
+        columns.price_offsets.push(0);
+        // Id-order columns first: candidates arrive ascending, and the
+        // filters preserve order.
+        let mut dates: Vec<SimDate> = Vec::with_capacity(candidates.len());
+        let mut views: Vec<u64> = Vec::with_capacity(candidates.len());
+        let mut interactions: Vec<u64> = Vec::with_capacity(candidates.len());
+        for id in candidates {
+            if !core.index.matches_scene(id, &query) {
+                continue;
+            }
+            let signal = core.signal(corpus, id);
+            if let Some(threshold) = base_config.min_author_credibility {
+                // Same rule as the aggregation paths: credible author, or
+                // organic engagement above 1% interaction rate.
+                if signal.credibility < threshold && signal.interaction_rate <= 0.01 {
+                    continue;
+                }
+            }
+            columns.ids.push(id);
+            columns.intents.push(signal.intent);
+            columns.prices.extend_from_slice(&signal.prices);
+            columns.price_offsets.push(columns.prices.len() as u32);
+            dates.push(core.index.date_of(id));
+            views.push(signal.views);
+            interactions.push(signal.interactions);
+        }
+        let rows = columns.ids.len();
+
+        // The date-sorted view: a stable sort keeps equal dates in ascending
+        // id order, making `perm` the (date, id) order the windows slice.
+        let mut perm: Vec<u32> = (0..rows as u32).collect();
+        perm.sort_by_key(|row| dates[*row as usize]);
+        let mut rank_of = vec![0_u32; rows];
+        for (rank, row) in perm.iter().enumerate() {
+            rank_of[*row as usize] = rank as u32;
+        }
+        columns.sorted_dates = perm.iter().map(|row| dates[*row as usize]).collect();
+        columns.prefix_views.reserve(rows + 1);
+        columns.prefix_views.push(0);
+        columns.prefix_interactions.reserve(rows + 1);
+        columns.prefix_interactions.push(0);
+        columns.prefix_price_counts.reserve(rows + 1);
+        columns.prefix_price_counts.push(0);
+        columns.perm_descents.reserve(rows + 1);
+        columns.perm_descents.push(0);
+        for (rank, row) in perm.iter().enumerate() {
+            let row = *row as usize;
+            columns
+                .prefix_views
+                .push(columns.prefix_views[rank] + views[row]);
+            columns
+                .prefix_interactions
+                .push(columns.prefix_interactions[rank] + interactions[row]);
+            columns.prefix_price_counts.push(
+                columns.prefix_price_counts[rank] + columns.price_offsets[row + 1]
+                    - columns.price_offsets[row],
+            );
+            columns.perm_descents.push(
+                columns.perm_descents[rank] + u32::from(rank > 0 && perm[rank - 1] > perm[rank]),
+            );
+        }
+        columns.perm = perm;
+        columns.rank_of = rank_of;
+        columns
+    }
+
+    /// The contiguous date-rank range covered by the window (`None` = every
+    /// row): two binary searches over the sorted date column.
+    fn window_bounds(&self, window: Option<&DateWindow>) -> (usize, usize) {
+        match window {
+            None => (0, self.sorted_dates.len()),
+            Some(window) => {
+                let lo = self
+                    .sorted_dates
+                    .partition_point(|date| *date < window.from);
+                let hi = self.sorted_dates.partition_point(|date| *date <= window.to);
+                // An inverted window (`from > to`, constructible through the
+                // pub fields or deserialisation) contains no date — clamp to
+                // the empty range so the sweep reports zero evidence exactly
+                // like the per-window paths, instead of underflowing.
+                (lo, hi.max(lo))
+            }
+        }
+    }
+
+    /// The id-order rows of rank range `[lo, hi)` when the range is already
+    /// in ascending id order — the cheap per-window resolutions:
+    ///
+    /// * **full coverage** — a window spanning every row is the whole
+    ///   id-order column `[0, n)` no matter how scrambled the permutation is
+    ///   (the Figure-9 "full history" shape);
+    /// * **in order** (O(1) check via the descent prefix counts) — the range
+    ///   is borrowed from `perm` as-is; when it is also gap-free it collapses
+    ///   to a contiguous [`RowSet::Run`] whose fold is pure slice work.
+    ///
+    /// Returns `None` for a scrambled range — those windows are resolved
+    /// together by one shared [`distribute`](Self::distribute) pass instead
+    /// of paying an ordering cost each.
+    fn in_order_rows(&self, lo: usize, hi: usize) -> Option<RowSet<'_>> {
+        if hi - lo == self.perm.len() {
+            return Some(RowSet::Run(0, self.perm.len()));
+        }
+        if hi == lo {
+            return Some(RowSet::Run(0, 0));
+        }
+        if hi <= lo + 1 || self.perm_descents[hi] == self.perm_descents[lo + 1] {
+            let first = self.perm[lo] as usize;
+            let last = self.perm[hi - 1] as usize;
+            if last - first == hi - 1 - lo {
+                return Some(RowSet::Run(first, last + 1));
+            }
+            return Some(RowSet::Rows(&self.perm[lo..hi]));
+        }
+        None
+    }
+
+    /// Resolves every *scrambled* window of a sweep in **one ascending-id
+    /// pass**: the windows' rank bounds partition the rank axis into
+    /// elementary segments, each segment knows which windows cover it
+    /// (interval stabbing), and a single walk over the id-ordered rows calls
+    /// `visit(window, row)` for every (window, row) membership — in
+    /// ascending id order per window, the fold order bit-exactness demands.
+    ///
+    /// Cost: O(windows·log windows + rows) once, plus exactly one visit per
+    /// membership — instead of one O(rows) walk (or O(k log k) sort) *per
+    /// window*.
+    fn distribute(
+        &self,
+        scrambled: &[(usize, (usize, usize))],
+        mut visit: impl FnMut(usize, usize),
+    ) {
+        // The sorted, deduplicated rank bounds: segment `s` spans
+        // `[points[s], points[s + 1])`; ranks outside every window land in
+        // segments no window covers.
+        let mut points: Vec<u32> = scrambled
+            .iter()
+            .flat_map(|(_, (lo, hi))| [*lo as u32, *hi as u32])
+            .collect();
+        points.sort_unstable();
+        points.dedup();
+        let segments = points.len().saturating_sub(1);
+        let mut covers: Vec<Vec<u32>> = vec![Vec::new(); segments];
+        for (window, (lo, hi)) in scrambled {
+            // Both bounds are members of `points`, so partition_point finds
+            // their exact segment indices.
+            let first = points.partition_point(|p| (*p as usize) < *lo);
+            let last = points.partition_point(|p| (*p as usize) < *hi);
+            for segment in &mut covers[first..last] {
+                segment.push(*window as u32);
+            }
+        }
+        // Dense rank → segment map (u32::MAX = covered by no window), so the
+        // hot row loop is two loads and a bounds test.
+        let rows = self.perm.len();
+        let mut segment_of: Vec<u32> = vec![u32::MAX; rows];
+        for (segment, cover) in covers.iter().enumerate() {
+            if cover.is_empty() {
+                continue;
+            }
+            for rank in points[segment]..points[segment + 1] {
+                segment_of[rank as usize] = segment as u32;
+            }
+        }
+        for row in 0..rows {
+            let segment = segment_of[self.rank_of[row] as usize];
+            if segment == u32::MAX {
+                continue;
+            }
+            for window in &covers[segment as usize] {
+                visit(*window as usize, row);
+            }
+        }
+    }
+
+    /// Resolves a whole sweep into one raw (unnormalised) [`SaiEntry`] per
+    /// window: counts and integer sums by prefix-sum subtraction, intent and
+    /// prices re-folded over each window's own rows in ascending post-id
+    /// order — in-order windows via slice folds, scrambled windows batched
+    /// through one [`distribute`](Self::distribute) pass.
+    pub(super) fn entries_for(
+        &self,
+        profile: &KeywordProfile,
+        weights: SaiWeights,
+        windows: &[Option<DateWindow>],
+    ) -> Vec<SaiEntry> {
+        let bounds: Vec<(usize, usize)> = windows
+            .iter()
+            .map(|window| self.window_bounds(window.as_ref()))
+            .collect();
+        let mut intents: Vec<f64> = vec![0.0; bounds.len()];
+        let mut prices: Vec<Vec<f64>> = bounds
+            .iter()
+            .map(|(lo, hi)| {
+                Vec::with_capacity(
+                    (self.prefix_price_counts[*hi] - self.prefix_price_counts[*lo]) as usize,
+                )
+            })
+            .collect();
+        let mut scrambled: Vec<(usize, (usize, usize))> = Vec::new();
+        for (w, &(lo, hi)) in bounds.iter().enumerate() {
+            match self.in_order_rows(lo, hi) {
+                Some(RowSet::Run(from, to)) => {
+                    for value in &self.intents[from..to] {
+                        intents[w] += value;
+                    }
+                    prices[w].extend_from_slice(
+                        &self.prices
+                            [self.price_offsets[from] as usize..self.price_offsets[to] as usize],
+                    );
+                }
+                Some(RowSet::Rows(rows)) => {
+                    for row in rows {
+                        let row = *row as usize;
+                        intents[w] += self.intents[row];
+                        let from = self.price_offsets[row] as usize;
+                        let to = self.price_offsets[row + 1] as usize;
+                        prices[w].extend_from_slice(&self.prices[from..to]);
+                    }
+                }
+                None => scrambled.push((w, (lo, hi))),
+            }
+        }
+        if !scrambled.is_empty() {
+            self.distribute(&scrambled, |w, row| {
+                intents[w] += self.intents[row];
+                let from = self.price_offsets[row] as usize;
+                let to = self.price_offsets[row + 1] as usize;
+                prices[w].extend_from_slice(&self.prices[from..to]);
+            });
+        }
+        bounds
+            .iter()
+            .zip(intents)
+            .zip(prices)
+            .map(|((&(lo, hi), intent), prices)| {
+                let posts = hi - lo;
+                let views = self.prefix_views[hi] - self.prefix_views[lo];
+                let interactions = self.prefix_interactions[hi] - self.prefix_interactions[lo];
+                let sai = weights.view_weight * views as f64
+                    + weights.interaction_weight * interactions as f64
+                    + weights.post_weight * posts as f64
+                    + weights.intent_weight * intent;
+                SaiEntry {
+                    keyword: profile.keyword.clone(),
+                    scenario: profile.scenario.clone(),
+                    vector: profile.vector,
+                    origin: profile.origin,
+                    posts,
+                    views,
+                    interactions,
+                    intent,
+                    prices,
+                    sai,
+                    probability: 0.0,
+                }
+            })
+            .collect()
+    }
+
+    /// Resolves a whole sweep into one mergeable [`SaiPartial`] per window,
+    /// keyed by global post ids (`global_ids` = the shard's local→global
+    /// mapping) — the sharded counterpart of
+    /// [`entries_for`](Self::entries_for), feeding the existing
+    /// pre-normalisation k-way merge.  A `false` entry in `live` (a window
+    /// this shard provably cannot match) yields an empty partial without
+    /// touching the columns.
+    pub(super) fn partials_for(
+        &self,
+        global_ids: &[u32],
+        windows: &[Option<DateWindow>],
+        live: &[bool],
+    ) -> Vec<SaiPartial> {
+        let bounds: Vec<(usize, usize)> = windows
+            .iter()
+            .zip(live)
+            .map(|(window, live)| {
+                if *live {
+                    self.window_bounds(window.as_ref())
+                } else {
+                    (0, 0)
+                }
+            })
+            .collect();
+        let mut partials: Vec<SaiPartial> = bounds
+            .iter()
+            .map(|&(lo, hi)| SaiPartial {
+                posts: hi - lo,
+                views: self.prefix_views[hi] - self.prefix_views[lo],
+                interactions: self.prefix_interactions[hi] - self.prefix_interactions[lo],
+                ids: Vec::with_capacity(hi - lo),
+                intents: Vec::with_capacity(hi - lo),
+                price_counts: Vec::with_capacity(hi - lo),
+                prices: Vec::with_capacity(
+                    (self.prefix_price_counts[hi] - self.prefix_price_counts[lo]) as usize,
+                ),
+            })
+            .collect();
+        // global_ids is strictly ascending, so ascending local id order is
+        // ascending global id order — the order the merge requires.
+        let mut scrambled: Vec<(usize, (usize, usize))> = Vec::new();
+        for (w, &(lo, hi)) in bounds.iter().enumerate() {
+            match self.in_order_rows(lo, hi) {
+                Some(RowSet::Run(from, to)) => {
+                    let partial = &mut partials[w];
+                    partial
+                        .ids
+                        .extend(self.ids[from..to].iter().map(|id| global_ids[*id as usize]));
+                    partial.intents.extend_from_slice(&self.intents[from..to]);
+                    partial.price_counts.extend(
+                        self.price_offsets[from..=to]
+                            .windows(2)
+                            .map(|pair| pair[1] - pair[0]),
+                    );
+                    partial.prices.extend_from_slice(
+                        &self.prices
+                            [self.price_offsets[from] as usize..self.price_offsets[to] as usize],
+                    );
+                }
+                Some(RowSet::Rows(rows)) => {
+                    for row in rows {
+                        self.push_partial_row(&mut partials[w], global_ids, *row as usize);
+                    }
+                }
+                None => scrambled.push((w, (lo, hi))),
+            }
+        }
+        if !scrambled.is_empty() {
+            self.distribute(&scrambled, |w, row| {
+                self.push_partial_row(&mut partials[w], global_ids, row);
+            });
+        }
+        partials
+    }
+
+    /// Appends one id-order row to a partial being assembled.
+    fn push_partial_row(&self, partial: &mut SaiPartial, global_ids: &[u32], row: usize) {
+        let from = self.price_offsets[row] as usize;
+        let to = self.price_offsets[row + 1] as usize;
+        partial.ids.push(global_ids[self.ids[row] as usize]);
+        partial.intents.push(self.intents[row]);
+        partial.price_counts.push((to - from) as u32);
+        partial.prices.extend_from_slice(&self.prices[from..to]);
+    }
+
+    /// Number of candidate rows in the plan (test-only introspection).
+    #[cfg(test)]
+    pub(super) fn len(&self) -> usize {
+        self.ids.len()
+    }
+}
+
+/// A full sweep plan: one [`ProfileColumns`] per keyword profile, plus the
+/// key it was built for.
+#[derive(Debug, Clone)]
+pub(super) struct SweepPlan {
+    /// The core's ingest generation at build time; a later generation means
+    /// posts arrived and the plan is stale.
+    generation: u64,
+    /// The keyword database the plan projects (column order = profile order).
+    db: KeywordDatabase,
+    /// The window-invariant configuration half the plan bakes in.
+    key: PlanKey,
+    /// One column set per profile, in database order.
+    pub(super) profiles: Vec<ProfileColumns>,
+}
+
+impl SweepPlan {
+    /// Builds the plan for a database and base configuration, fanning the
+    /// per-profile column projections out over worker threads.
+    fn build(
+        core: &EngineCore,
+        corpus: &Corpus,
+        db: &KeywordDatabase,
+        base_config: &PspConfig,
+    ) -> Self {
+        let jobs: Vec<&KeywordProfile> = db.iter().collect();
+        let profiles: Vec<ProfileColumns> = jobs
+            .par_iter()
+            .map(|profile| ProfileColumns::build(core, corpus, profile, base_config))
+            .collect();
+        Self {
+            generation: core.generation,
+            db: db.clone(),
+            key: PlanKey::of(base_config),
+            profiles,
+        }
+    }
+
+    /// Whether the plan still describes this core, database and scene.
+    fn is_valid_for(&self, generation: u64, db: &KeywordDatabase, key: &PlanKey) -> bool {
+        self.generation == generation && self.key == *key && self.db == *db
+    }
+
+    /// Total candidate rows across all profiles (test-only introspection).
+    #[cfg(test)]
+    pub(super) fn candidate_rows(&self) -> usize {
+        self.profiles.iter().map(ProfileColumns::len).sum()
+    }
+}
+
+/// A one-slot, interior-mutable cache of the most recent [`SweepPlan`] built
+/// on an engine core.  Holding exactly one plan keeps the memory bound tight;
+/// the monitoring workloads the sweep exists for re-use one (database, scene)
+/// pair across every re-evaluation, so the single slot hits every time.
+#[derive(Default)]
+pub(super) struct PlanCache(Mutex<Option<Arc<SweepPlan>>>);
+
+impl PlanCache {
+    fn lock(&self) -> MutexGuard<'_, Option<Arc<SweepPlan>>> {
+        // A poisoning panic can only have happened outside plan construction
+        // (plans are built before being stored), so the cached value is safe.
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The cached plan if it matches the key, else a freshly built (and
+    /// newly cached) one.  Racing builders may both build; last store wins —
+    /// both plans are correct, so this only costs duplicated work.
+    pub(super) fn plan_for(
+        &self,
+        core: &EngineCore,
+        corpus: &Corpus,
+        db: &KeywordDatabase,
+        base_config: &PspConfig,
+    ) -> Arc<SweepPlan> {
+        let key = PlanKey::of(base_config);
+        if let Some(plan) = self.lock().as_ref() {
+            if plan.is_valid_for(core.generation, db, &key) {
+                return Arc::clone(plan);
+            }
+        }
+        let plan = Arc::new(SweepPlan::build(core, corpus, db, base_config));
+        *self.lock() = Some(Arc::clone(&plan));
+        plan
+    }
+
+    /// Whether a plan is currently cached (test-only introspection).
+    #[cfg(test)]
+    pub(super) fn is_populated(&self) -> bool {
+        self.lock().is_some()
+    }
+}
+
+impl Clone for PlanCache {
+    fn clone(&self) -> Self {
+        // Clones share the immutable plan (cheap `Arc` clone) but get their
+        // own slot, so a clone that later ingests re-plans independently.
+        Self(Mutex::new(self.lock().clone()))
+    }
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let cached = self.lock().is_some();
+        f.debug_struct("PlanCache")
+            .field("cached", &cached)
+            .finish()
+    }
+}

@@ -85,28 +85,23 @@ pub struct MonitoringSeries {
 }
 
 /// The sliding-window plan shared by the snapshot and live evaluation paths:
-/// `(start, end)` year bounds plus one windowed config per bound.
+/// `(start, end)` year bounds plus the matching sweep windows.
 fn window_plan(
-    base_config: &PspConfig,
     from_year: i32,
     to_year: i32,
     window_years: i32,
-) -> (Vec<(i32, i32)>, Vec<PspConfig>) {
+) -> (Vec<(i32, i32)>, Vec<DateWindow>) {
     let window_years = window_years.max(1);
     let mut bounds = Vec::new();
-    let mut configs = Vec::new();
+    let mut windows = Vec::new();
     let mut start = from_year;
     while start <= to_year {
         let end = (start + window_years - 1).min(to_year);
         bounds.push((start, end));
-        configs.push(
-            base_config
-                .clone()
-                .with_window(DateWindow::years(start, end)),
-        );
+        windows.push(DateWindow::years(start, end));
         start += 1;
     }
-    (bounds, configs)
+    (bounds, windows)
 }
 
 /// Folds per-window SAI lists into the observation series — the shared tail of
@@ -160,11 +155,11 @@ impl MonitoringSeries {
         window_years: i32,
     ) -> Self {
         // One engine for the whole series: the corpus is indexed and the
-        // text-mining signals are computed once, then every window is answered
-        // from the index through the batch multi-query API.
+        // text-mining signals are computed once, then every window is
+        // answered through the prefix-summed sweep plan (`sai_sweep`).
         let engine = ScoringEngine::new(corpus);
-        let (bounds, configs) = window_plan(base_config, from_year, to_year, window_years);
-        let sai_lists = engine.sai_lists(db, &configs);
+        let (bounds, windows) = window_plan(from_year, to_year, window_years);
+        let sai_lists = engine.sai_sweep(db, base_config, &windows);
         Self {
             scenario: scenario.to_string(),
             observations: observations_from(bounds, sai_lists, scenario),
@@ -334,12 +329,13 @@ impl<E: StreamingScorer> LiveMonitor<E> {
     }
 
     /// Re-evaluates the sliding-window series over everything ingested so far,
-    /// on the warm engine.
+    /// on the warm engine — through the sweep plan, which stays cached across
+    /// re-evaluations and is invalidated exactly when an ingest lands (the
+    /// engine's generation counter keys the plan).
     #[must_use]
     pub fn series(&self, from_year: i32, to_year: i32) -> MonitoringSeries {
-        let (bounds, configs) =
-            window_plan(&self.base_config, from_year, to_year, self.window_years);
-        let sai_lists = self.engine.sai_lists(&self.db, &configs);
+        let (bounds, windows) = window_plan(from_year, to_year, self.window_years);
+        let sai_lists = self.engine.sai_sweep(&self.db, &self.base_config, &windows);
         MonitoringSeries {
             scenario: self.scenario.clone(),
             observations: observations_from(bounds, sai_lists, &self.scenario),
@@ -599,6 +595,84 @@ mod tests {
         // Negative thresholds clamp to zero: any strict change alerts.
         let strict = monitor.alerts(2018, 2020, -1.0);
         assert_eq!(strict.len(), 2);
+    }
+
+    /// Two years with the *same* posts (and therefore bit-identical SAI):
+    /// consecutive equal windows must never alert, even at threshold zero.
+    fn steady_corpus() -> Corpus {
+        let mut posts = Vec::new();
+        for (i, year) in [(0_u64, 2019), (1, 2020)] {
+            for j in 0..4 {
+                posts.push(dpf_post(
+                    i * 100 + j,
+                    year,
+                    "#dpfdelete kit 360 EUR same every year",
+                ));
+            }
+        }
+        Corpus::from_posts(posts)
+    }
+
+    #[test]
+    fn exactly_equal_consecutive_sai_never_alerts() {
+        let monitor = LiveMonitor::new(
+            steady_corpus(),
+            KeywordDatabase::excavator_seed(),
+            PspConfig::excavator_europe(),
+            "dpf-tampering",
+            1,
+        );
+        let series = monitor.series(2019, 2020);
+        let sai: Vec<f64> = series.observations.iter().map(|o| o.scenario_sai).collect();
+        assert_eq!(sai[0], sai[1], "the two years carry identical evidence");
+        assert!(sai[0] > 0.0);
+        // Both comparisons are strict, so equality is quiet at any threshold —
+        // including zero, where any genuine movement would alert.
+        for threshold in [0.0, 0.25, 5.0] {
+            assert!(
+                series.sai_alerts(threshold).is_empty(),
+                "threshold {threshold}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_window_series_has_no_consecutive_pairs_to_alert_on() {
+        let monitor = LiveMonitor::new(
+            burst_corpus(),
+            KeywordDatabase::excavator_seed(),
+            PspConfig::excavator_europe(),
+            "dpf-tampering",
+            1,
+        );
+        let series = monitor.series(2019, 2019);
+        assert_eq!(series.observations.len(), 1);
+        assert!(series.sai_alerts(0.0).is_empty());
+    }
+
+    #[test]
+    fn empty_windows_stay_nan_free_and_quiet() {
+        // A span with no evidence at all: every observation must report an
+        // exact 0.0 (never NaN — downstream threshold comparisons would
+        // silently go quiet on NaN), and no alert may fire.
+        let monitor = LiveMonitor::new(
+            burst_corpus(),
+            KeywordDatabase::excavator_seed(),
+            PspConfig::excavator_europe(),
+            "dpf-tampering",
+            1,
+        );
+        let series = monitor.series(2010, 2015);
+        assert_eq!(series.observations.len(), 6);
+        for observation in &series.observations {
+            assert_eq!(observation.scenario_sai, 0.0);
+            assert!(observation.scenario_sai.is_finite());
+            assert!(observation
+                .vector_shares
+                .iter()
+                .all(|(_, share)| share.is_finite()));
+        }
+        assert!(series.sai_alerts(0.0).is_empty());
     }
 
     #[test]

@@ -72,16 +72,15 @@ pub fn compare_windows(
     scenario: &str,
     recent_window: DateWindow,
 ) -> WindowComparison {
-    // Both windows are answered by one engine: the corpus is indexed once and
-    // the two runs are issued as a batch against it.
+    // Both windows are answered by one engine through one sweep plan: the
+    // corpus is indexed once and the (window-invariant) candidate columns are
+    // projected once, then each window resolves against them.
     let engine = ScoringEngine::new(corpus);
-    let baseline_config = base_config.clone();
-    let recent_config = base_config.clone().with_window(recent_window);
     comparison_from(
         scenario,
-        baseline_config.window,
+        base_config.window,
         recent_window,
-        engine.sai_lists(db, &[baseline_config, recent_config]),
+        engine.sai_sweep_opt(db, base_config, &[base_config.window, Some(recent_window)]),
     )
 }
 
@@ -103,13 +102,11 @@ pub fn compare_windows_live<E: crate::engine::SaiScorer>(
     scenario: &str,
     recent_window: DateWindow,
 ) -> WindowComparison {
-    let baseline_config = base_config.clone();
-    let recent_config = base_config.clone().with_window(recent_window);
     comparison_from(
         scenario,
-        baseline_config.window,
+        base_config.window,
         recent_window,
-        engine.sai_lists(db, &[baseline_config, recent_config]),
+        engine.sai_sweep_opt(db, base_config, &[base_config.window, Some(recent_window)]),
     )
 }
 

@@ -367,6 +367,16 @@ impl CorpusIndex {
     /// constraints (the content condition is not checked).
     #[must_use]
     pub fn matches_metadata(&self, id: u32, query: &Query) -> bool {
+        self.matches_scene(id, query) && self.in_window(id, query.window())
+    }
+
+    /// Whether post `id` satisfies the query's *scene* constraints — region
+    /// and target application, the metadata that does not depend on the
+    /// analysis window.  Batch callers sweeping many windows over otherwise
+    /// identical configurations check the scene once per candidate and
+    /// re-apply only [`in_window`](Self::in_window) per window.
+    #[must_use]
+    pub fn matches_scene(&self, id: u32, query: &Query) -> bool {
         if let Some(region) = query.region() {
             if !self
                 .by_region
@@ -385,12 +395,24 @@ impl CorpusIndex {
                 return false;
             }
         }
-        if let Some(window) = query.window() {
-            if !window.contains(self.dates[id as usize]) {
-                return false;
-            }
-        }
         true
+    }
+
+    /// Whether post `id`'s date falls inside the window (`None` = full
+    /// history) — the only per-window half of the metadata predicate.
+    #[must_use]
+    pub fn in_window(&self, id: u32, window: Option<DateWindow>) -> bool {
+        window.is_none_or(|w| w.contains(self.dates[id as usize]))
+    }
+
+    /// The posting date of post `id`, from the index's own date column.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is not covered by the index.
+    #[must_use]
+    pub fn date_of(&self, id: u32) -> SimDate {
+        self.dates[id as usize]
     }
 
     /// Ids of posts satisfying the query's *content* condition (keywords OR
@@ -595,6 +617,42 @@ mod tests {
         assert_eq!(excavator, vec![0, 1]);
         let windowed = index.query(&corpus, &Query::new().within(DateWindow::years(2021, 2022)));
         assert_eq!(windowed, vec![1, 3]);
+    }
+
+    #[test]
+    fn metadata_split_agrees_with_the_combined_predicate() {
+        let corpus = sample();
+        let index = corpus.build_index();
+        let queries = [
+            Query::new(),
+            Query::new().in_region(Region::Europe),
+            Query::new().about(TargetApplication::Excavator),
+            Query::new().within(DateWindow::years(2020, 2021)),
+            Query::new()
+                .in_region(Region::Europe)
+                .about(TargetApplication::Excavator)
+                .within(DateWindow::years(2019, 2021)),
+        ];
+        for query in &queries {
+            for id in 0..corpus.len() as u32 {
+                assert_eq!(
+                    index.matches_metadata(id, query),
+                    index.matches_scene(id, query) && index.in_window(id, query.window()),
+                    "post {id}, query {query:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn date_column_mirrors_the_posts() {
+        let corpus = sample();
+        let index = corpus.build_index();
+        for (id, post) in corpus.posts().iter().enumerate() {
+            assert_eq!(index.date_of(id as u32), post.date());
+        }
+        // A missing window constraint admits every date.
+        assert!(index.in_window(0, None));
     }
 
     #[test]

@@ -25,6 +25,7 @@ use psp_suite::psp::sai::SaiList;
 use psp_suite::socialsim::corpus::Corpus;
 use psp_suite::socialsim::post::Post;
 use psp_suite::socialsim::scenario;
+use psp_suite::socialsim::time::DateWindow;
 use psp_suite::vehicle::attack_surface::AttackVector;
 use std::collections::BTreeMap;
 
@@ -102,6 +103,27 @@ fn main() {
     println!(
         "warm live-ingest series == cold full-rebuild series over {} posts: bit-exact",
         monitor.post_count()
+    );
+
+    // The series rides the sweep plane (`sai_sweep`): every window resolves
+    // against prefix-summed columns instead of re-filtering the candidate
+    // set.  Smoke-check that path against per-window batch scoring.
+    let windows: Vec<DateWindow> = (2015..=2023)
+        .map(|y| DateWindow::years(y, (y + 1).min(2023)))
+        .collect();
+    let swept = monitor.engine().sai_sweep(&db, &config, &windows);
+    let per_window: Vec<PspConfig> = windows
+        .iter()
+        .map(|w| config.clone().with_window(*w))
+        .collect();
+    assert_eq!(
+        swept,
+        monitor.engine().sai_lists(&db, &per_window),
+        "sweep plan diverged from per-window batch scoring"
+    );
+    println!(
+        "sai_sweep over {} windows == per-window sai_lists on the warm engine: bit-exact",
+        windows.len()
     );
 
     // Part 2: size a control plan against the financial investment bound of the

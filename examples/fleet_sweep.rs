@@ -128,26 +128,37 @@ fn main() {
         sharded.shard_count(),
         layout.join(" ")
     );
-    let windows: Vec<PspConfig> = (2018..=2023)
-        .map(|y| PspConfig::passenger_car_europe().with_window(DateWindow::years(y, y)))
-        .collect();
+    let windows: Vec<DateWindow> = (2018..=2023).map(|y| DateWindow::years(y, y)).collect();
+    let base = PspConfig::passenger_car_europe();
     let car_db = KeywordDatabase::passenger_car_seed();
-    let per_window = sharded.sai_lists(&car_db, &windows);
-    for (config, sai) in windows.iter().zip(&per_window) {
-        let window = config.window.expect("sweep windows are explicit");
+    // The batch sweep entry point: per-shard prefix-summed plans, one merge
+    // per window.
+    let per_window = sharded.sai_sweep(&car_db, &base, &windows);
+    for (window, sai) in windows.iter().zip(&per_window) {
         let top = sai.top().map_or("no evidence".to_string(), |e| {
             format!("{} (SAI {:.0})", e.keyword, e.sai)
         });
         println!("  window {} -> top keyword {top}", window.from.year());
     }
-    // The same sweep through one unsharded engine must agree to the bit.
+    // The same sweep through one unsharded engine — and through the
+    // per-window batch path — must agree to the bit.
+    let single = ScoringEngine::new(&fleet);
     assert_eq!(
         per_window,
-        ScoringEngine::new(&fleet).sai_lists(&car_db, &windows),
+        single.sai_sweep(&car_db, &base, &windows),
         "sharded fleet sweep diverged from the single-engine sweep"
     );
+    let configs: Vec<PspConfig> = windows
+        .iter()
+        .map(|w| base.clone().with_window(*w))
+        .collect();
+    assert_eq!(
+        per_window,
+        single.sai_lists(&car_db, &configs),
+        "sweep plan diverged from per-window batch scoring"
+    );
     println!(
-        "  sharded sweep == single-engine sweep over {} windows: bit-exact",
+        "  sharded sweep == single-engine sweep == per-window lists over {} windows: bit-exact",
         windows.len()
     );
 }
