@@ -64,10 +64,12 @@ use std::sync::OnceLock;
 use textmine::pipeline::TextPipeline;
 
 mod cache;
+mod matrix;
 mod sharded;
 mod sweep;
 
 pub use cache::{SignalCacheError, SignalCacheFile, SIGNAL_CACHE_VERSION};
+pub use matrix::{CellId, MatrixResults, MatrixSpec};
 pub use sharded::ShardedEngine;
 
 use sweep::PlanCache;
@@ -127,6 +129,28 @@ pub trait SaiScorer {
             })
             .collect();
         self.sai_lists(db, &configs)
+    }
+
+    /// Resolves a full (scenario × configuration × window) cross-product —
+    /// the batch plane (see [`MatrixSpec`]).
+    ///
+    /// Every cell is bit-identical to the corresponding nested
+    /// [`sai_list`](Self::sai_list) / [`sai_sweep_opt`](Self::sai_sweep_opt)
+    /// calls; the scheduler orders cells so that every (database, scene)
+    /// pair in the matrix builds its sweep plan exactly once.
+    fn sai_matrix(&self, spec: &MatrixSpec) -> MatrixResults {
+        let mut results = MatrixResults::empty_for(spec);
+        self.sai_matrix_stream(spec, &mut |id, sai| results.push(id, sai));
+        results
+    }
+
+    /// The streaming form of [`sai_matrix`](Self::sai_matrix): cells are
+    /// handed to `sink` in deterministic [`CellId`] order (scenario-major,
+    /// then configuration, then window) as their row resolves, so a caller
+    /// can render or persist incrementally instead of holding the whole
+    /// cross-product.
+    fn sai_matrix_stream(&self, spec: &MatrixSpec, sink: &mut dyn FnMut(CellId, SaiList)) {
+        matrix::run_matrix(self, spec, sink);
     }
 }
 
@@ -1264,6 +1288,196 @@ mod tests {
             live.sai_sweep(&db, &base, &windows),
             cold.sai_sweep(&db, &base, &windows)
         );
+    }
+
+    #[test]
+    fn alternating_scenes_keep_both_plans_warm() {
+        let corpus = scenario::excavator_europe(7);
+        let db = KeywordDatabase::excavator_seed();
+        let base = PspConfig::excavator_europe();
+        let filtered = base.clone().with_poisoning_filter(0.25);
+        let engine = ScoringEngine::new(&corpus);
+        let plan_a = engine.core.sweep_plan(&corpus, &db, &base);
+        let plan_b = engine.core.sweep_plan(&corpus, &db, &filtered);
+        // Alternate several times: both plans stay cached.  The single-slot
+        // cache this replaced re-planned on every call here.
+        for _ in 0..3 {
+            assert!(std::sync::Arc::ptr_eq(
+                &plan_a,
+                &engine.core.sweep_plan(&corpus, &db, &base)
+            ));
+            assert!(std::sync::Arc::ptr_eq(
+                &plan_b,
+                &engine.core.sweep_plan(&corpus, &db, &filtered)
+            ));
+        }
+        assert_eq!(engine.core.plans.build_count(), 2);
+    }
+
+    #[test]
+    fn alternating_databases_keep_their_plans_warm() {
+        let corpus = scenario::excavator_europe(7);
+        let base = PspConfig::excavator_europe();
+        let db_a = KeywordDatabase::excavator_seed();
+        let db_b = KeywordDatabase::passenger_car_seed();
+        let engine = ScoringEngine::new(&corpus);
+        let plan_a = engine.core.sweep_plan(&corpus, &db_a, &base);
+        let plan_b = engine.core.sweep_plan(&corpus, &db_b, &base);
+        for _ in 0..3 {
+            assert!(std::sync::Arc::ptr_eq(
+                &plan_a,
+                &engine.core.sweep_plan(&corpus, &db_a, &base)
+            ));
+            assert!(std::sync::Arc::ptr_eq(
+                &plan_b,
+                &engine.core.sweep_plan(&corpus, &db_b, &base)
+            ));
+        }
+        assert_eq!(engine.core.plans.build_count(), 2);
+    }
+
+    #[test]
+    fn the_plan_cache_is_bounded_with_lru_eviction() {
+        let corpus = scenario::excavator_europe(7);
+        let db = KeywordDatabase::excavator_seed();
+        let engine = ScoringEngine::new(&corpus);
+        // Distinct credibility thresholds give distinct plan keys.
+        let scene =
+            |i: usize| PspConfig::excavator_europe().with_poisoning_filter(0.01 * (i + 1) as f64);
+        let overflow = sweep::PLAN_CACHE_CAPACITY + 1;
+        for i in 0..overflow {
+            engine.core.sweep_plan(&corpus, &db, &scene(i));
+        }
+        assert_eq!(engine.core.plans.build_count(), overflow as u64);
+        // The most recent scene is still cached...
+        engine.core.sweep_plan(&corpus, &db, &scene(overflow - 1));
+        assert_eq!(engine.core.plans.build_count(), overflow as u64);
+        // ...while the least recently used one was evicted and rebuilds.
+        engine.core.sweep_plan(&corpus, &db, &scene(0));
+        assert_eq!(engine.core.plans.build_count(), overflow as u64 + 1);
+    }
+
+    #[test]
+    fn a_matrix_builds_one_plan_per_database_and_scene() {
+        let corpus = scenario::excavator_europe(7);
+        let engine = ScoringEngine::new(&corpus);
+        let base = PspConfig::excavator_europe();
+        let windows: Vec<DateWindow> = (2018..2022).map(|y| DateWindow::years(y, y + 1)).collect();
+        let spec = MatrixSpec::new()
+            .scenario("excavator", KeywordDatabase::excavator_seed())
+            .scenario("car", KeywordDatabase::passenger_car_seed())
+            .config("balanced", base.clone())
+            .config(
+                "views-only",
+                base.clone()
+                    .with_weights(crate::config::SaiWeights::views_only()),
+            )
+            .config("filtered", base.clone().with_poisoning_filter(0.25))
+            .windows(&windows);
+        let results = engine.sai_matrix(&spec);
+        assert_eq!(results.len(), spec.cell_count());
+        // 2 databases × 2 scenes (balanced and views-only share a plan key;
+        // the poisoning filter is its own scene): 4 plans for 24 cells.
+        assert_eq!(engine.core.plans.build_count(), 4);
+        // Re-running the whole matrix reuses every plan.
+        let again = engine.sai_matrix(&spec);
+        assert_eq!(engine.core.plans.build_count(), 4);
+        assert_eq!(results, again);
+    }
+
+    #[test]
+    fn an_empty_matrix_returns_no_cells_without_planning() {
+        let corpus = scenario::excavator_europe(7);
+        let engine = ScoringEngine::new(&corpus);
+        let no_scenarios = MatrixSpec::new()
+            .config("base", PspConfig::excavator_europe())
+            .window(DateWindow::years(2019, 2021));
+        assert!(engine.sai_matrix(&no_scenarios).is_empty());
+        let no_configs = MatrixSpec::new()
+            .scenario("excavator", KeywordDatabase::excavator_seed())
+            .window(DateWindow::years(2019, 2021));
+        assert!(engine.sai_matrix(&no_configs).is_empty());
+        assert_eq!(MatrixSpec::new().cell_count(), 0);
+        assert!(engine.sai_matrix(&MatrixSpec::new()).is_empty());
+        assert_eq!(engine.core.plans.build_count(), 0);
+        assert!(!engine.core.plans.is_populated());
+    }
+
+    #[test]
+    fn matrix_cells_match_the_naive_reference() {
+        let corpus = scenario::excavator_europe(7);
+        let engine = ScoringEngine::new(&corpus);
+        let db = KeywordDatabase::excavator_seed();
+        let configs = [
+            PspConfig::excavator_europe(),
+            PspConfig::excavator_europe().with_poisoning_filter(0.25),
+        ];
+        let window = DateWindow::years(2020, 2022);
+        let spec = MatrixSpec::new()
+            .scenario("excavator", db.clone())
+            .config("balanced", configs[0].clone())
+            .config("filtered", configs[1].clone())
+            .full_history()
+            .window(window);
+        let results = engine.sai_matrix(&spec);
+        assert_eq!(results.len(), 4);
+        for (id, sai) in results.iter() {
+            let mut config = configs[id.config].clone();
+            config.window = [None, Some(window)][id.window];
+            assert_eq!(*sai, SaiList::compute_naive(&corpus, &db, &config));
+        }
+    }
+
+    #[test]
+    fn ingest_invalidates_matrix_plans() {
+        let mut live = LiveEngine::new(scenario::excavator_europe(7));
+        let spec = MatrixSpec::new()
+            .scenario("excavator", KeywordDatabase::excavator_seed())
+            .config("base", PspConfig::excavator_europe())
+            .config(
+                "filtered",
+                PspConfig::excavator_europe().with_poisoning_filter(0.25),
+            )
+            .window(DateWindow::years(2019, 2021));
+        live.sai_matrix(&spec);
+        assert_eq!(live.core.plans.build_count(), 2);
+        live.sai_matrix(&spec);
+        assert_eq!(live.core.plans.build_count(), 2);
+        // A real ingest bumps the generation: the whole matrix re-plans, and
+        // the result matches a cold engine over the grown corpus.
+        live.ingest(scenario::excavator_europe(8).posts().to_vec());
+        let after = live.sai_matrix(&spec);
+        assert_eq!(live.core.plans.build_count(), 4);
+        let cold = ScoringEngine::new(live.corpus());
+        assert_eq!(after, cold.sai_matrix(&spec));
+    }
+
+    #[test]
+    fn matrix_results_are_addressable_and_stream_in_cell_order() {
+        let corpus = scenario::excavator_europe(7);
+        let engine = ScoringEngine::new(&corpus);
+        let spec = MatrixSpec::new()
+            .scenario("excavator", KeywordDatabase::excavator_seed())
+            .config("base", PspConfig::excavator_europe())
+            .full_history()
+            .window(DateWindow::years(2021, 2023));
+        let mut streamed = Vec::new();
+        engine.sai_matrix_stream(&spec, &mut |id, sai| streamed.push((id, sai)));
+        let ids: Vec<CellId> = streamed.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, spec.cell_ids());
+        let results = engine.sai_matrix(&spec);
+        assert_eq!(results.scenario_label(0), Some("excavator"));
+        assert_eq!(results.config_label(0), Some("base"));
+        assert_eq!(results.window_count(), 2);
+        for (id, sai) in &streamed {
+            assert_eq!(results.cell(*id), Some(sai));
+            assert_eq!(results.get(id.scenario, id.config, id.window), Some(sai));
+        }
+        // Out-of-range addresses answer None instead of panicking.
+        assert!(results.get(1, 0, 0).is_none());
+        assert!(results.get(0, 1, 0).is_none());
+        assert!(results.get(0, 0, 2).is_none());
+        assert_eq!(results.into_cells(), streamed);
     }
 
     #[test]

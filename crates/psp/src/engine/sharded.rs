@@ -239,6 +239,16 @@ impl ShardedEngine {
         sizes
     }
 
+    /// Total sweep plans built across all shard cores since construction
+    /// (test-only introspection for the shard-pruning plan-count tests).
+    #[cfg(test)]
+    pub(super) fn plan_build_count(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|shard| shard.core.plans.build_count())
+            .sum()
+    }
+
     /// Reassembles the full corpus in global post order (cloning the posts) —
     /// a convenience for cold-rebuild comparisons and snapshotting.
     #[must_use]
@@ -686,6 +696,31 @@ mod tests {
         warm.precompute_signals();
         let lazy = ShardedEngine::new(corpus, ShardSpec::yearly());
         assert_eq!(warm.sai_list(&db, &config), lazy.sai_list(&db, &config));
+    }
+
+    #[test]
+    fn matrix_on_a_sharded_engine_plans_only_the_overlapping_shards() {
+        let corpus = scenario::excavator_europe(7);
+        let (db, base) = db_and_config();
+        let sharded = ShardedEngine::new(corpus.clone(), ShardSpec::yearly());
+        assert!(sharded.shard_count() > 2);
+        let window = DateWindow::years(2021, 2022);
+        let spec = crate::engine::MatrixSpec::new()
+            .scenario("excavator", db.clone())
+            .config("base", base.clone())
+            .window(window);
+        let results = sharded.sai_matrix(&spec);
+        // Only shards whose key may overlap the window ever build a plan —
+        // shard-pruned cells never plan.
+        let expected = sharded
+            .shard_sizes()
+            .iter()
+            .filter(|(key, _)| key.may_match(Some(base.region), Some(&window)))
+            .count() as u64;
+        assert!(expected < sharded.shard_count() as u64);
+        assert_eq!(sharded.plan_build_count(), expected);
+        // And the pruned matrix stays bit-identical to the single engine.
+        assert_eq!(results, ScoringEngine::new(&corpus).sai_matrix(&spec));
     }
 
     #[test]

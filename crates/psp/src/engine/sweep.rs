@@ -30,13 +30,18 @@
 //! unswept fold.  The `psp-suite` property tests (`tests/sweep.rs`) pin this
 //! down over random corpora × window grids × shard axes × thread counts.
 //!
-//! Plans are cached per engine core behind a [`PlanCache`] and keyed by the
-//! keyword database, the scene half of the configuration ([`PlanKey`]:
+//! Plans are cached per engine core behind a [`PlanCache`] — a small bounded
+//! keyed cache (most-recently-used, [`PLAN_CACHE_CAPACITY`] slots) — keyed by
+//! the keyword database, the scene half of the configuration ([`PlanKey`]:
 //! region, application, credibility rule — windows and SAI weights are
-//! resolved per sweep) and the core's ingest generation — so a
-//! [`LiveEngine`](super::LiveEngine) invalidates its plan exactly when an
-//! ingest batch lands, and a [`ShardedEngine`](super::ShardedEngine) keeps
-//! one plan per shard, invalidated only when *that shard* absorbs posts.
+//! resolved per sweep) and the core's ingest generation.  Several (database,
+//! scene) pairs in rotation — a `SweepMatrix` evaluating many scenarios over
+//! one warm engine, or two alternating monitoring scenes — each keep their
+//! plan instead of thrashing one slot; a
+//! [`LiveEngine`](super::LiveEngine) invalidates its plans exactly when an
+//! ingest batch lands (generation bump), and a
+//! [`ShardedEngine`](super::ShardedEngine) keeps per-shard caches,
+//! invalidated only when *that shard* absorbs posts.
 
 use super::{profile_query, EngineCore};
 use crate::config::{PspConfig, SaiWeights};
@@ -46,6 +51,7 @@ use rayon::prelude::*;
 use socialsim::corpus::Corpus;
 use socialsim::post::{Region, TargetApplication};
 use socialsim::time::{DateWindow, SimDate};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// The configuration half a sweep plan actually depends on: the scene filters
@@ -53,14 +59,14 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 /// sweep and SAI weights per entry, so configurations differing only in those
 /// share one plan — a weight-ablation sweep re-uses the cached columns.
 #[derive(Debug, Clone, PartialEq)]
-struct PlanKey {
+pub(super) struct PlanKey {
     region: Region,
     application: TargetApplication,
     min_author_credibility: Option<f64>,
 }
 
 impl PlanKey {
-    fn of(config: &PspConfig) -> Self {
+    pub(super) fn of(config: &PspConfig) -> Self {
         Self {
             region: config.region,
             application: config.application,
@@ -550,23 +556,51 @@ impl SweepPlan {
     }
 }
 
-/// A one-slot, interior-mutable cache of the most recent [`SweepPlan`] built
-/// on an engine core.  Holding exactly one plan keeps the memory bound tight;
-/// the monitoring workloads the sweep exists for re-use one (database, scene)
-/// pair across every re-evaluation, so the single slot hits every time.
-#[derive(Default)]
-pub(super) struct PlanCache(Mutex<Option<Arc<SweepPlan>>>);
+/// Maximum number of plans one [`PlanCache`] retains.  Every (database,
+/// scene) pair in rotation costs one slot; eight covers the matrix workloads
+/// (a handful of scenario databases times one or two scene filters each)
+/// while keeping the memory bound tight.
+pub(super) const PLAN_CACHE_CAPACITY: usize = 8;
+
+/// A small, bounded, interior-mutable cache of the [`SweepPlan`]s most
+/// recently built on an engine core, keyed by `(generation, database,
+/// scene)`.
+///
+/// Alternating (database, scene) pairs — a `SweepMatrix` evaluating several
+/// scenarios against one warm engine, or two monitoring scenes taking turns —
+/// each keep their plan instead of thrashing a single slot.  Plans from
+/// superseded ingest generations can never validate again and are dropped
+/// eagerly; beyond [`PLAN_CACHE_CAPACITY`] the least recently used plan is
+/// evicted.
+pub(super) struct PlanCache {
+    /// The cached plans, least recently used first.
+    slots: Mutex<Vec<Arc<SweepPlan>>>,
+    /// Number of plans ever built through this cache — how the plan-reuse
+    /// regression tests prove "one build per (generation, database, scene)".
+    builds: AtomicU64,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self {
+            slots: Mutex::new(Vec::new()),
+            builds: AtomicU64::new(0),
+        }
+    }
+}
 
 impl PlanCache {
-    fn lock(&self) -> MutexGuard<'_, Option<Arc<SweepPlan>>> {
+    fn lock(&self) -> MutexGuard<'_, Vec<Arc<SweepPlan>>> {
         // A poisoning panic can only have happened outside plan construction
-        // (plans are built before being stored), so the cached value is safe.
-        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+        // (plans are built before being stored), so the cached values are
+        // safe.
+        self.slots.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// The cached plan if it matches the key, else a freshly built (and
-    /// newly cached) one.  Racing builders may both build; last store wins —
-    /// both plans are correct, so this only costs duplicated work.
+    /// The cached plan for this (generation, database, scene), else a freshly
+    /// built (and newly cached) one.  Racing builders of one key may both
+    /// build — both plans are correct and the cache keeps exactly one of
+    /// them, so a race only costs duplicated work.
     pub(super) fn plan_for(
         &self,
         core: &EngineCore,
@@ -575,34 +609,62 @@ impl PlanCache {
         base_config: &PspConfig,
     ) -> Arc<SweepPlan> {
         let key = PlanKey::of(base_config);
-        if let Some(plan) = self.lock().as_ref() {
-            if plan.is_valid_for(core.generation, db, &key) {
-                return Arc::clone(plan);
+        {
+            let mut slots = self.lock();
+            // Plans of superseded generations can never validate again.
+            slots.retain(|plan| plan.generation == core.generation);
+            if let Some(hit) = slots
+                .iter()
+                .position(|plan| plan.is_valid_for(core.generation, db, &key))
+            {
+                let plan = slots.remove(hit);
+                slots.push(Arc::clone(&plan)); // most recently used last
+                return plan;
             }
         }
+        // Build outside the lock so concurrent sweeps of *different* keys are
+        // not serialised behind each other's builds.
         let plan = Arc::new(SweepPlan::build(core, corpus, db, base_config));
-        *self.lock() = Some(Arc::clone(&plan));
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        let mut slots = self.lock();
+        // A racing builder may have cached the same key meanwhile: drop it so
+        // the cache holds one plan per key.
+        slots.retain(|cached| !cached.is_valid_for(core.generation, db, &key));
+        slots.push(Arc::clone(&plan));
+        if slots.len() > PLAN_CACHE_CAPACITY {
+            let excess = slots.len() - PLAN_CACHE_CAPACITY;
+            slots.drain(..excess);
+        }
         plan
     }
 
-    /// Whether a plan is currently cached (test-only introspection).
+    /// Number of plans built through this cache (test-only introspection).
+    #[cfg(test)]
+    pub(super) fn build_count(&self) -> u64 {
+        self.builds.load(Ordering::Relaxed)
+    }
+
+    /// Whether any plan is currently cached (test-only introspection).
     #[cfg(test)]
     pub(super) fn is_populated(&self) -> bool {
-        self.lock().is_some()
+        !self.lock().is_empty()
     }
 }
 
 impl Clone for PlanCache {
     fn clone(&self) -> Self {
-        // Clones share the immutable plan (cheap `Arc` clone) but get their
-        // own slot, so a clone that later ingests re-plans independently.
-        Self(Mutex::new(self.lock().clone()))
+        // Clones share the immutable plans (cheap `Arc` clones) but get their
+        // own slots, so a clone that later ingests re-plans independently.
+        Self {
+            slots: Mutex::new(self.lock().clone()),
+            builds: AtomicU64::new(self.builds.load(Ordering::Relaxed)),
+        }
     }
 }
 
 impl std::fmt::Debug for PlanCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let cached = self.lock().is_some();
+        let cached = self.lock().len();
         f.debug_struct("PlanCache")
             .field("cached", &cached)
             .finish()

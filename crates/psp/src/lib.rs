@@ -73,7 +73,10 @@ pub mod workflow;
 
 pub use classify::AttackOrigin;
 pub use config::{PspConfig, SaiWeights};
-pub use engine::{LiveEngine, SaiScorer, ScoringEngine, ShardedEngine, StreamingScorer};
+pub use engine::{
+    CellId, LiveEngine, MatrixResults, MatrixSpec, SaiScorer, ScoringEngine, ShardedEngine,
+    StreamingScorer,
+};
 pub use error::PspError;
 pub use financial::{FinancialAssessment, FinancialInputs};
 pub use keyword_db::{KeywordDatabase, KeywordProfile};

@@ -19,7 +19,9 @@
 //!   grown corpus.
 
 use crate::config::PspConfig;
-use crate::engine::{LiveEngine, ScoringEngine, ShardedEngine, StreamingScorer};
+use crate::engine::{
+    LiveEngine, MatrixSpec, SaiScorer, ScoringEngine, ShardedEngine, StreamingScorer,
+};
 use crate::keyword_db::KeywordDatabase;
 use crate::sai::SaiList;
 use crate::weights::WeightGenerator;
@@ -108,13 +110,13 @@ fn window_plan(
 /// both evaluation paths, so a live re-evaluation is the same computation as a
 /// cold run by construction.
 fn observations_from(
-    bounds: Vec<(i32, i32)>,
-    sai_lists: Vec<SaiList>,
+    bounds: &[(i32, i32)],
+    sai_lists: &[SaiList],
     scenario: &str,
 ) -> Vec<WindowObservation> {
     let generator = WeightGenerator::new();
     let mut observations = Vec::new();
-    for ((start, end), sai) in bounds.into_iter().zip(sai_lists) {
+    for (&(start, end), sai) in bounds.iter().zip(sai_lists) {
         let entries = sai.scenario_entries(scenario);
         let posts = entries.iter().map(|e| e.posts).sum();
         let scenario_sai = entries.iter().map(|e| e.sai).sum();
@@ -134,7 +136,7 @@ fn observations_from(
             scenario_sai,
             vector_shares: shares,
             dominant,
-            table: generator.insider_table(&sai, scenario),
+            table: generator.insider_table(sai, scenario),
         });
     }
     observations
@@ -162,8 +164,48 @@ impl MonitoringSeries {
         let sai_lists = engine.sai_sweep(db, base_config, &windows);
         Self {
             scenario: scenario.to_string(),
-            observations: observations_from(bounds, sai_lists, scenario),
+            observations: observations_from(&bounds, &sai_lists, scenario),
         }
+    }
+
+    /// Runs the windowed analysis once and folds it into one series **per
+    /// scenario** — the multi-profile monitoring entry point.
+    ///
+    /// The expensive part of a monitoring run — indexing, text mining and the
+    /// per-window SAI sweep — does not depend on which scenario is being
+    /// watched, so watching `N` scenarios costs one batch-plane run
+    /// ([`SaiScorer::sai_matrix`]) plus `N` cheap observation folds, instead
+    /// of `N` full [`run`](Self::run)s.  Each returned series is
+    /// bit-identical to the corresponding single-scenario `run`.
+    #[must_use]
+    pub fn run_many(
+        corpus: &Corpus,
+        db: &KeywordDatabase,
+        base_config: &PspConfig,
+        scenarios: &[&str],
+        from_year: i32,
+        to_year: i32,
+        window_years: i32,
+    ) -> Vec<Self> {
+        let engine = ScoringEngine::new(corpus);
+        let (bounds, windows) = window_plan(from_year, to_year, window_years);
+        let spec = MatrixSpec::new()
+            .scenario("monitor", db.clone())
+            .config("base", base_config.clone())
+            .windows(&windows);
+        let sai_lists: Vec<SaiList> = engine
+            .sai_matrix(&spec)
+            .into_cells()
+            .into_iter()
+            .map(|(_, sai)| sai)
+            .collect();
+        scenarios
+            .iter()
+            .map(|scenario| Self {
+                scenario: (*scenario).to_string(),
+                observations: observations_from(&bounds, &sai_lists, scenario),
+            })
+            .collect()
     }
 
     /// The observations with evidence (non-zero posts).
@@ -338,7 +380,7 @@ impl<E: StreamingScorer> LiveMonitor<E> {
         let sai_lists = self.engine.sai_sweep(&self.db, &self.base_config, &windows);
         MonitoringSeries {
             scenario: self.scenario.clone(),
-            observations: observations_from(bounds, sai_lists, &self.scenario),
+            observations: observations_from(&bounds, &sai_lists, &self.scenario),
         }
     }
 
@@ -452,6 +494,24 @@ mod tests {
         let s = series(0);
         assert_eq!(s.observations.len(), 9);
         assert!(s.observations.iter().all(|o| o.from_year == o.to_year));
+    }
+
+    #[test]
+    fn run_many_matches_individual_runs_bit_for_bit() {
+        let corpus = scenario::passenger_car_europe(42);
+        let db = KeywordDatabase::passenger_car_seed();
+        let config = PspConfig::passenger_car_europe();
+        let scenarios = ["ecm-reprogramming", "emission-defeat", "vehicle-theft"];
+        let many = MonitoringSeries::run_many(&corpus, &db, &config, &scenarios, 2015, 2023, 2);
+        assert_eq!(many.len(), scenarios.len());
+        for (series, scenario) in many.iter().zip(&scenarios) {
+            assert_eq!(
+                *series,
+                MonitoringSeries::run(&corpus, &db, &config, scenario, 2015, 2023, 2)
+            );
+        }
+        // No scenarios — the batch run degenerates to nothing.
+        assert!(MonitoringSeries::run_many(&corpus, &db, &config, &[], 2015, 2023, 2).is_empty());
     }
 
     #[test]

@@ -7,17 +7,24 @@
 //! the reachability analysis, the PSP weight tuning and the financial model, and
 //! prints one summary row per (application, window) combination.
 //!
+//! Parts 2–5 route their cross-products through the batch plane
+//! ([`MatrixSpec`] / `sai_matrix`) and assert every cell bit-identical to the
+//! hand-nested loops they replaced, so the example doubles as a CI smoke test
+//! for the `SweepMatrix` scheduler.
+//!
 //! ```text
 //! cargo run --example fleet_sweep
 //! ```
 
 use psp_suite::market::datasets;
 use psp_suite::market::share::MarketStructure;
-use psp_suite::psp::config::PspConfig;
-use psp_suite::psp::engine::{ScoringEngine, ShardedEngine};
+use psp_suite::psp::config::{PspConfig, SaiWeights};
+use psp_suite::psp::engine::{MatrixSpec, SaiScorer, ScoringEngine, ShardedEngine};
 use psp_suite::psp::financial::{rate_financial_feasibility, FinancialAssessment, FinancialInputs};
 use psp_suite::psp::keyword_db::KeywordDatabase;
+use psp_suite::psp::learning::learn_keywords;
 use psp_suite::psp::sai::SaiList;
+use psp_suite::psp::weights::WeightGenerator;
 use psp_suite::psp::workflow::PspWorkflow;
 use psp_suite::socialsim::index::ShardSpec;
 use psp_suite::socialsim::scenario;
@@ -43,33 +50,71 @@ fn main() {
         );
     }
 
-    // Part 2: PSP weight tuning per scene and window.
+    // Part 2: PSP weight tuning per scene and window — one matrix over the
+    // window axis instead of one workflow run per window.  Keyword learning is
+    // window-independent (it sees the full corpus), so it is hoisted out of
+    // the loop and the learned database feeds every cell.
     println!("\nDominant insider vector for ECM reprogramming (passenger car):");
     let car_corpus = scenario::passenger_car_europe(42);
-    for (label, window) in [
+    let base = PspConfig::passenger_car_europe();
+    let mut learned_db = KeywordDatabase::passenger_car_seed();
+    if base.keyword_learning {
+        learn_keywords(&mut learned_db, &car_corpus, base.learning_min_support);
+    }
+    let window_axis = [
         ("all time", None),
         ("2021+", Some(DateWindow::years(2021, 2023))),
         ("2015-2019", Some(DateWindow::years(2015, 2019))),
-    ] {
-        let mut config = PspConfig::passenger_car_europe();
+    ];
+    let mut spec = MatrixSpec::new()
+        .scenario("ecm", learned_db.clone())
+        .config("base", base.clone());
+    for (_, window) in &window_axis {
+        spec = match window {
+            Some(w) => spec.window(*w),
+            None => spec.full_history(),
+        };
+    }
+    let car_engine = ScoringEngine::new(&car_corpus);
+    let cells = car_engine.sai_matrix(&spec);
+    let generator = WeightGenerator::new();
+    for (w, (label, window)) in window_axis.iter().enumerate() {
+        let sai = cells.get(0, 0, w).expect("cell resolved");
+        let table = generator.insider_table(sai, "ecm-reprogramming");
+        // The old nested loop: one full workflow run per window.  The matrix
+        // cell must reproduce it bit for bit.
+        let mut config = base.clone();
         if let Some(w) = window {
-            config = config.with_window(w);
+            config = config.with_window(*w);
         }
         let outcome =
             PspWorkflow::new(config, KeywordDatabase::passenger_car_seed()).run(&car_corpus);
-        let table = outcome
-            .insider_table("ecm-reprogramming")
-            .expect("scenario tuned");
+        assert_eq!(*sai, outcome.sai, "matrix cell diverged from the workflow");
+        assert_eq!(
+            Some(&table),
+            outcome.insider_table("ecm-reprogramming"),
+            "tuned table diverged from the workflow"
+        );
         println!("  window {label:<10} -> ranking {:?}", table.ranking());
     }
 
     // Part 3: financial sweep over market structures for the excavator DPF attack.
+    // The SAI evidence is one full-history matrix cell.
     println!("\nFinancial sweep for excavator DPF tampering:");
     let corpus = scenario::excavator_europe(42);
-    let sai = SaiList::compute(
-        &corpus,
-        &KeywordDatabase::excavator_seed(),
-        &PspConfig::excavator_europe(),
+    let excavator_db = KeywordDatabase::excavator_seed();
+    let excavator_config = PspConfig::excavator_europe();
+    let excavator_cells = ScoringEngine::new(&corpus).sai_matrix(
+        &MatrixSpec::new()
+            .scenario("dpf", excavator_db.clone())
+            .config("base", excavator_config.clone())
+            .full_history(),
+    );
+    let sai = excavator_cells.get(0, 0, 0).expect("cell resolved");
+    assert_eq!(
+        *sai,
+        SaiList::compute(&corpus, &excavator_db, &excavator_config),
+        "matrix cell diverged from the direct computation"
     );
     println!(
         "  {:<28} {:>10} {:>14} {:>14} {:>10}",
@@ -85,7 +130,7 @@ fn main() {
         inputs.market = market;
         let assessment = FinancialAssessment::assess(
             "dpf-tampering",
-            &sai,
+            sai,
             &datasets::excavator_sales_europe(),
             &datasets::annual_report(),
             &inputs,
@@ -110,10 +155,10 @@ fn main() {
     }
 
     // Part 5: the sharded fleet engine — one engine core per time shard over
-    // the merged multi-corpus fleet, swept across yearly analysis windows.
-    // Each window only touches the shards it overlaps (the rest are pruned),
-    // and the merged results are bit-identical to a single engine over the
-    // whole fleet corpus.
+    // the merged multi-corpus fleet, resolving a full (scenario × weights ×
+    // windows) matrix in one request.  Each window only touches the shards it
+    // overlaps (the rest are pruned), and every cell is bit-identical to a
+    // single engine over the whole fleet corpus.
     let mut fleet = scenario::passenger_car_europe(42);
     fleet.merge(scenario::excavator_europe(42));
     let sharded = ShardedEngine::new(fleet.clone(), ShardSpec::yearly());
@@ -123,42 +168,68 @@ fn main() {
         .map(|(key, posts)| format!("{key}:{posts}"))
         .collect();
     println!(
-        "\nSharded fleet sweep over {} posts in {} yearly shards [{}]:",
+        "\nSharded fleet matrix over {} posts in {} yearly shards [{}]:",
         sharded.post_count(),
         sharded.shard_count(),
         layout.join(" ")
     );
     let windows: Vec<DateWindow> = (2018..=2023).map(|y| DateWindow::years(y, y)).collect();
-    let base = PspConfig::passenger_car_europe();
     let car_db = KeywordDatabase::passenger_car_seed();
-    // The batch sweep entry point: per-shard prefix-summed plans, one merge
-    // per window.
-    let per_window = sharded.sai_sweep(&car_db, &base, &windows);
-    for (window, sai) in windows.iter().zip(&per_window) {
+    let fleet_dbs = [car_db.clone(), excavator_db.clone()];
+    let fleet_configs = [
+        PspConfig::passenger_car_europe(),
+        PspConfig::passenger_car_europe().with_weights(SaiWeights::views_only()),
+    ];
+    // The batch plane entry point: 2 scenarios × 2 weight sets × 6 windows in
+    // one request, per-shard prefix-summed plans, one plan per (db, scene).
+    let fleet_spec = MatrixSpec::new()
+        .scenario("passenger-car", fleet_dbs[0].clone())
+        .scenario("excavator", fleet_dbs[1].clone())
+        .config("balanced", fleet_configs[0].clone())
+        .config("views-only", fleet_configs[1].clone())
+        .windows(&windows);
+    let fleet_cells = sharded.sai_matrix(&fleet_spec);
+    println!(
+        "  resolved {} cells (2 scenarios x 2 weight sets x {} windows)",
+        fleet_cells.len(),
+        windows.len()
+    );
+    for (window, w) in windows.iter().zip(0..) {
+        let sai = fleet_cells.get(0, 0, w).expect("cell resolved");
         let top = sai.top().map_or("no evidence".to_string(), |e| {
             format!("{} (SAI {:.0})", e.keyword, e.sai)
         });
         println!("  window {} -> top keyword {top}", window.from.year());
     }
-    // The same sweep through one unsharded engine — and through the
-    // per-window batch path — must agree to the bit.
-    let single = ScoringEngine::new(&fleet);
+    // The old nested loops — the per-window sharded sweep, one single-engine
+    // `sai_list` per cell, and the whole matrix on an unsharded engine — must
+    // all agree with the matrix to the bit.
+    let base = &fleet_configs[0];
     assert_eq!(
-        per_window,
-        single.sai_sweep(&car_db, &base, &windows),
-        "sharded fleet sweep diverged from the single-engine sweep"
+        (0..windows.len())
+            .map(|w| fleet_cells.get(0, 0, w).expect("cell resolved").clone())
+            .collect::<Vec<_>>(),
+        sharded.sai_sweep(&car_db, base, &windows),
+        "matrix row diverged from the sharded sweep"
     );
-    let configs: Vec<PspConfig> = windows
-        .iter()
-        .map(|w| base.clone().with_window(*w))
-        .collect();
+    let single = ScoringEngine::new(&fleet);
+    for (id, sai) in fleet_cells.iter() {
+        let config = fleet_configs[id.config]
+            .clone()
+            .with_window(windows[id.window]);
+        assert_eq!(
+            *sai,
+            single.sai_list(&fleet_dbs[id.scenario], &config),
+            "cell {id:?} diverged from the single-engine list"
+        );
+    }
     assert_eq!(
-        per_window,
-        single.sai_lists(&car_db, &configs),
-        "sweep plan diverged from per-window batch scoring"
+        fleet_cells,
+        single.sai_matrix(&fleet_spec),
+        "sharded matrix diverged from the single-engine matrix"
     );
     println!(
-        "  sharded sweep == single-engine sweep == per-window lists over {} windows: bit-exact",
-        windows.len()
+        "  sharded matrix == single-engine matrix == nested per-cell lists over {} cells: bit-exact",
+        fleet_cells.len()
     );
 }
