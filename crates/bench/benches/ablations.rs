@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use psp::config::{PspConfig, SaiWeights};
-use psp::engine::ScoringEngine;
+use psp::engine::{ScoringEngine, WindowAxis};
 use psp::keyword_db::KeywordDatabase;
 use psp::weights::{WeightGenerator, WeightMapping};
 use psp::workflow::PspWorkflow;
@@ -45,12 +45,12 @@ fn bench(c: &mut Criterion) {
             .map(|w| config.clone().with_window(*w))
             .collect();
         assert_eq!(
-            engine.sai_sweep(&db, &config, &windows),
+            engine.sai_windows(&db, &config, &WindowAxis::each(&windows)),
             engine.sai_lists(&db, &per_window),
             "{label} sweep diverged from per-window lists"
         );
         group.bench_function(label, |b| {
-            b.iter(|| black_box(engine.sai_sweep(&db, &config, &windows)))
+            b.iter(|| black_box(engine.sai_windows(&db, &config, &WindowAxis::each(&windows))))
         });
     }
 

@@ -1,0 +1,185 @@
+//! Serving latency under concurrent ingest — the TARA service daemon's
+//! snapshot-isolation promise, measured.
+//!
+//! The workload is the daemon steady state: reader threads issue `Score`
+//! requests against a warm [`TaraService`] while (in the busy phase) a
+//! duty-cycled writer keeps publishing new engine generations.  Snapshot
+//! isolation means a reader never waits for an ingest to finish — the only
+//! contention left is the CPU itself, which is why the writer is
+//! duty-cycled (each ingest is followed by a sleep of twice its duration,
+//! capping the writer at ~1/3 of one core): on small CI machines a
+//! free-running writer would measure raw scheduler contention, not the
+//! service design.
+//!
+//! Not a criterion bench: the interesting statistic is the tail (p99) of
+//! individual request latencies across threads, which criterion's
+//! mean-of-batches model cannot express — so this harness times every
+//! request and reports percentiles directly.
+//!
+//! Per corpus size (default 10k and 50k posts; `PSP_BENCH_SIZES` overrides):
+//!
+//! * `serve_idle_p50/<size>`, `serve_idle_p99/<size>` — request latency with
+//!   no writer;
+//! * `serve_busy_p50/<size>`, `serve_busy_p99/<size>` — the same readers
+//!   while the duty-cycled writer ingests;
+//! * ratio `p99_idle_over_busy/<size>` — idle p99 / busy p99.  The CI floor
+//!   (baseline/2) makes this the acceptance bar: with a blessed ratio near
+//!   1.0, the check fails when the busy p99 degrades past ~2x the idle p99
+//!   relative to the baseline — i.e. when scoring starts blocking on ingest.
+//!
+//! Before anything is timed, a served response is asserted bit-identical to
+//! a standalone engine at the same generation.  The report lands in
+//! `target/perf/engine_serve.json`; the blessed baseline in
+//! `crates/bench/baselines/engine_serve.json` is enforced by the CI
+//! perf-smoke job via `perf_check --ratios-only`.
+
+use psp::config::PspConfig;
+use psp::engine::LiveEngine;
+use psp::keyword_db::KeywordDatabase;
+use psp::service::{ServiceRegistry, ServiceRequest, ServiceResponse, TaraService};
+use psp_bench::perf::{fresh_report_path, sizes_from_env, PerfReport};
+use psp_bench::scaled_excavator_corpus;
+use socialsim::post::Post;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// Default corpus sizes; override with `PSP_BENCH_SIZES=10000`.
+const DEFAULT_SIZES: [usize; 2] = [10_000, 50_000];
+
+/// Reader threads issuing requests.
+const READERS: usize = 2;
+
+/// Requests timed per reader per phase.
+const REQUESTS_PER_READER: usize = 30;
+
+/// Posts per ingest batch published by the busy-phase writer.
+const WRITER_BATCH: usize = 500;
+
+fn score_request() -> ServiceRequest {
+    ServiceRequest::Score {
+        db: "excavator".into(),
+        config: "excavator".into(),
+    }
+}
+
+/// Runs one measurement phase: `READERS` threads each time
+/// `REQUESTS_PER_READER` `Score` requests; with `writer_posts`, a writer
+/// thread concurrently publishes generations at <= 1/3 duty cycle.  Returns
+/// all request latencies in nanoseconds.
+fn run_phase(service: &TaraService, writer_posts: Option<&[Post]>) -> Vec<f64> {
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        if let Some(posts) = writer_posts {
+            let (service, done) = (service, &done);
+            scope.spawn(move || {
+                let mut batches = posts.chunks(WRITER_BATCH).cycle();
+                while !done.load(Ordering::SeqCst) {
+                    let batch = batches.next().expect("cycle never ends").to_vec();
+                    let start = Instant::now();
+                    match service.handle(ServiceRequest::Ingest { posts: batch }) {
+                        ServiceResponse::Ingested { .. } => {}
+                        other => panic!("unexpected response: {other:?}"),
+                    }
+                    // Duty cycling: rest twice as long as the ingest took so
+                    // the writer stays a background load, not a saturating
+                    // one.
+                    std::thread::sleep(2 * start.elapsed());
+                }
+            });
+        }
+
+        let handles: Vec<_> = (0..READERS)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut latencies = Vec::with_capacity(REQUESTS_PER_READER);
+                    for _ in 0..REQUESTS_PER_READER {
+                        let start = Instant::now();
+                        match service.handle(score_request()) {
+                            ServiceResponse::Score { .. } => {}
+                            other => panic!("unexpected response: {other:?}"),
+                        }
+                        latencies.push(start.elapsed().as_nanos() as f64);
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        let mut all = Vec::with_capacity(READERS * REQUESTS_PER_READER);
+        for handle in handles {
+            all.extend(handle.join().expect("reader thread panicked"));
+        }
+        done.store(true, Ordering::SeqCst);
+        all
+    })
+}
+
+/// Nearest-rank percentile over unsorted samples.
+fn percentile(samples: &mut [f64], p: f64) -> f64 {
+    assert!(!samples.is_empty());
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let rank = ((p / 100.0) * samples.len() as f64).ceil() as usize;
+    samples[rank.clamp(1, samples.len()) - 1]
+}
+
+fn main() {
+    let sizes = sizes_from_env(&DEFAULT_SIZES);
+    let db = KeywordDatabase::excavator_seed();
+    let config = PspConfig::excavator_europe();
+    let mut report = PerfReport::new("engine_serve");
+
+    for &size in &sizes {
+        let corpus = scaled_excavator_corpus(size, 42);
+        // The writer replays a disjoint stream so every published generation
+        // genuinely changes the corpus.
+        let extra = scaled_excavator_corpus(size.min(20_000), 7)
+            .posts()
+            .to_vec();
+
+        // The warm serving state: indexed, every text signal memoised.
+        let engine = LiveEngine::new(corpus.clone());
+        engine.precompute_signals();
+        let registry = ServiceRegistry::new()
+            .database("excavator", db.clone())
+            .config("excavator", config.clone());
+        let service = TaraService::with_workers(engine, registry, READERS);
+
+        // Sanity: a served response is bit-identical to a standalone engine
+        // at the same generation before anything is timed.  (Also warms the
+        // service's plan cache — the daemon steady state.)
+        match service.handle(score_request()) {
+            ServiceResponse::Score { generation, sai } => {
+                assert_eq!(generation, 0);
+                assert_eq!(
+                    sai,
+                    LiveEngine::new(corpus.clone()).sai_list(&db, &config),
+                    "served response diverged from a standalone engine at {size} posts"
+                );
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+
+        let mut idle = run_phase(&service, None);
+        let mut busy = run_phase(&service, Some(&extra));
+
+        let idle_p50 = percentile(&mut idle, 50.0);
+        let idle_p99 = percentile(&mut idle, 99.0);
+        let busy_p50 = percentile(&mut busy, 50.0);
+        let busy_p99 = percentile(&mut busy, 99.0);
+        let ratio = idle_p99 / busy_p99;
+        println!(
+            "{size:>7} posts: idle p50 {idle_p50:>11.0} ns, p99 {idle_p99:>11.0} ns | \
+             busy p50 {busy_p50:>11.0} ns, p99 {busy_p99:>11.0} ns | idle/busy p99 {ratio:.2}"
+        );
+        report.push_metric(format!("serve_idle_p50/{size}"), idle_p50);
+        report.push_metric(format!("serve_idle_p99/{size}"), idle_p99);
+        report.push_metric(format!("serve_busy_p50/{size}"), busy_p50);
+        report.push_metric(format!("serve_busy_p99/{size}"), busy_p99);
+        report.push_ratio(format!("p99_idle_over_busy/{size}"), ratio);
+    }
+
+    let path = fresh_report_path("engine_serve");
+    match report.save(&path) {
+        Ok(()) => println!("perf report written to {}", path.display()),
+        Err(err) => eprintln!("could not write perf report: {err}"),
+    }
+}

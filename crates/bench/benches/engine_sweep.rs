@@ -6,7 +6,7 @@
 //! starts over 2018-2022) of the scaled excavator corpus.  The batch
 //! `sai_lists` path resolves each keyword's candidates once but still walks
 //! the whole candidate set per window (a date filter plus a signal fold);
-//! `sai_sweep` projects the candidates once into date-sorted, prefix-summed
+//! `sai_windows` projects the candidates once into date-sorted, prefix-summed
 //! columns and resolves each window with two binary searches plus a fold over
 //! only the window's own rows.  The sweep plan is cached on the engine, so
 //! the steady-state cost — what a `LiveMonitor` pays per re-evaluation — is
@@ -20,9 +20,9 @@
 //!   batch scoring (`sai_lists`, one config per window) — the pre-sweep hot
 //!   path;
 //! * `window_sweep_plan/<size>` — the same engine and windows through
-//!   `sai_sweep`;
+//!   `sai_windows`;
 //! * `window_sweep_sharded_plan/<size>` — a warm `ShardedEngine` on yearly
-//!   shards through `sai_sweep` (per-shard plans + pre-normalisation merge).
+//!   shards through `sai_windows` (per-shard plans + pre-normalisation merge).
 //!
 //! The headline ratio `speedup_sweep/<size>` is lists/plan (the acceptance
 //! target: >= 5x at 100k posts); `speedup_sweep_sharded/<size>` is
@@ -33,7 +33,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use psp::config::PspConfig;
-use psp::engine::{LiveEngine, ScoringEngine, ShardedEngine};
+use psp::engine::{LiveEngine, ScoringEngine, ShardedEngine, WindowAxis};
 use psp::keyword_db::KeywordDatabase;
 use psp_bench::perf::{fresh_report_path, mean_ns, sizes_from_env, PerfReport};
 use psp_bench::scaled_excavator_corpus;
@@ -125,19 +125,19 @@ fn bench(c: &mut Criterion) {
         // cache the sweep plans — the warm steady state the bench measures.)
         let reference = single.sai_lists(&db, &configs);
         assert_eq!(
-            single.sai_sweep(&db, &base, &windows),
+            single.sai_windows(&db, &base, &WindowAxis::each(&windows)),
             reference,
             "sweep diverged from per-window lists at {size} posts"
         );
         assert_eq!(
-            sharded.sai_sweep(&db, &base, &windows),
+            sharded.sai_windows(&db, &base, &WindowAxis::each(&windows)),
             reference,
             "sharded sweep diverged from per-window lists at {size} posts"
         );
         if size <= 10_000 {
             let live = LiveEngine::new(corpus.clone());
             assert_eq!(
-                live.sai_sweep(&db, &base, &windows),
+                live.sai_windows(&db, &base, &WindowAxis::each(&windows)),
                 reference,
                 "live sweep diverged from per-window lists at {size} posts"
             );
@@ -151,10 +151,10 @@ fn bench(c: &mut Criterion) {
             b.iter(|| black_box(single.sai_lists(&db, &configs)))
         });
         group.bench_function(&format!("window_sweep_plan/{size}"), |b| {
-            b.iter(|| black_box(single.sai_sweep(&db, &base, &windows)))
+            b.iter(|| black_box(single.sai_windows(&db, &base, &WindowAxis::each(&windows))))
         });
         group.bench_function(&format!("window_sweep_sharded_plan/{size}"), |b| {
-            b.iter(|| black_box(sharded.sai_sweep(&db, &base, &windows)))
+            b.iter(|| black_box(sharded.sai_windows(&db, &base, &WindowAxis::each(&windows))))
         });
         group.finish();
     }

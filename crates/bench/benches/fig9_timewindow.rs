@@ -5,12 +5,12 @@
 //! build + a two-entry sweep: full history vs the recent window);
 //! `warm_yearly_sweep` measures the steady-state monitoring shape the sweep
 //! plane exists for — one warm engine resolving every yearly window of the
-//! scene through `sai_sweep` — and `warm_yearly_lists` keeps the per-window
+//! scene through `sai_windows` — and `warm_yearly_lists` keeps the per-window
 //! batch path alongside it as the honest reference.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use psp::config::PspConfig;
-use psp::engine::ScoringEngine;
+use psp::engine::{ScoringEngine, WindowAxis};
 use psp::keyword_db::KeywordDatabase;
 use psp::timewindow::compare_windows;
 use psp_bench::{passenger_corpus, recent_window};
@@ -31,7 +31,7 @@ fn bench(c: &mut Criterion) {
     let engine = ScoringEngine::new(&corpus);
     // Sanity before timing: the sweep must match the per-window batch path.
     assert_eq!(
-        engine.sai_sweep(&db, &config, &windows),
+        engine.sai_windows(&db, &config, &WindowAxis::each(&windows)),
         engine.sai_lists(&db, &configs),
         "fig9 sweep diverged from per-window lists"
     );
@@ -52,7 +52,7 @@ fn bench(c: &mut Criterion) {
         })
     });
     group.bench_function("warm_yearly_sweep", |b| {
-        b.iter(|| black_box(engine.sai_sweep(&db, &config, &windows)))
+        b.iter(|| black_box(engine.sai_windows(&db, &config, &WindowAxis::each(&windows))))
     });
     group.bench_function("warm_yearly_lists", |b| {
         b.iter(|| black_box(engine.sai_lists(&db, &configs)))

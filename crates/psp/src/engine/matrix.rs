@@ -25,17 +25,18 @@
 //!
 //! Results stream to the caller in deterministic [`CellId`] order
 //! (scenario-major, then configuration, then window), and every cell is
-//! **bit-identical** to the nested `sai_sweep` / `sai_lists` /
+//! **bit-identical** to the nested `sai_windows` / `sai_lists` /
 //! `compute_naive` equivalents — float folds keep their ascending-post-id
 //! order all the way through the shard-partial merge.
 
 use crate::config::PspConfig;
 use crate::keyword_db::KeywordDatabase;
 use crate::sai::SaiList;
+use serde::{Deserialize, Serialize};
 use socialsim::time::DateWindow;
 
 use super::sweep::PlanKey;
-use super::SaiScorer;
+use super::{SaiScorer, WindowAxis};
 
 /// The address of one cell in a [`MatrixSpec`] cross-product: indices into
 /// the spec's scenario, configuration and window axes, in declaration order.
@@ -43,7 +44,7 @@ use super::SaiScorer;
 /// The derived ordering (scenario-major, then configuration, then window) is
 /// exactly the order cells stream out of
 /// [`SaiScorer::sai_matrix_stream`](super::SaiScorer::sai_matrix_stream).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct CellId {
     /// Index into the spec's scenarios (keyword databases).
     pub scenario: usize,
@@ -64,7 +65,7 @@ pub struct CellId {
 ///   scenario × many configurations.
 /// * **Windows** optionally fix a shared analysis-window grid.  A non-empty
 ///   grid *replaces* each configuration's own window (mirroring
-///   [`SaiScorer::sai_sweep_opt`](super::SaiScorer::sai_sweep_opt));
+///   [`SaiScorer::sai_windows`](super::SaiScorer::sai_windows));
 ///   an empty grid means one cell per (scenario, configuration), evaluated
 ///   under the configuration's own window — so a 1×1 matrix with no grid is
 ///   exactly one `sai_list` call.
@@ -188,13 +189,20 @@ impl MatrixSpec {
         ids
     }
 
+    /// Appends every entry of a [`WindowAxis`] to the shared grid.
+    #[must_use]
+    pub fn window_axis(mut self, axis: &WindowAxis) -> Self {
+        self.windows.extend_from_slice(axis.as_options());
+        self
+    }
+
     /// The window axis one configuration's row resolves against: the shared
     /// grid if one was given, else the configuration's own window.
-    fn effective_windows(&self, config: &PspConfig) -> Vec<Option<DateWindow>> {
+    fn effective_windows(&self, config: &PspConfig) -> WindowAxis {
         if self.windows.is_empty() {
-            vec![config.window]
+            WindowAxis::from(vec![config.window])
         } else {
-            self.windows.clone()
+            WindowAxis::spans(&self.windows)
         }
     }
 }
@@ -337,7 +345,7 @@ impl MatrixResults {
 /// configurations consecutively, so every (database, scene) pair in the
 /// matrix builds its sweep plan exactly once — structurally, independent of
 /// the plan cache's capacity.  Each (scenario, configuration) row then rides
-/// the engine's own sweep path ([`SaiScorer::sai_sweep_opt`]), which brings
+/// the engine's own sweep path ([`SaiScorer::sai_windows`]), which brings
 /// the rayon fan-out, the prefix-summed window resolution and (on a sharded
 /// engine) per-window shard pruning.
 ///
@@ -367,8 +375,8 @@ pub(super) fn run_matrix<E: SaiScorer + ?Sized>(
         for (_, members) in &groups {
             for &c in members {
                 let config = &spec.configs[c].1;
-                let windows = spec.effective_windows(config);
-                rows[c] = Some(engine.sai_sweep_opt(db, config, &windows));
+                let axis = spec.effective_windows(config);
+                rows[c] = Some(engine.sai_windows(db, config, &axis));
             }
         }
         // Emit buffered rows in ascending (configuration, window) order.

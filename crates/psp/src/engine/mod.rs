@@ -55,6 +55,7 @@ use crate::config::PspConfig;
 use crate::keyword_db::{KeywordDatabase, KeywordProfile};
 use crate::sai::{SaiEntry, SaiList, SaiPartial};
 use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
 use socialsim::corpus::Corpus;
 use socialsim::index::CorpusIndex;
 use socialsim::post::Post;
@@ -74,6 +75,90 @@ pub use sharded::ShardedEngine;
 
 use sweep::PlanCache;
 
+/// The window axis of a sweep: an ordered list of analysis windows, each
+/// either a concrete [`DateWindow`] or `None` for the full history — the one
+/// canonical way to say "evaluate these windows" to every engine shape (see
+/// [`SaiScorer::sai_windows`]).
+///
+/// Build it from concrete windows ([`WindowAxis::each`]), from optional spans
+/// ([`WindowAxis::spans`]), or incrementally with the
+/// [`window`](WindowAxis::window) / [`full_history`](WindowAxis::full_history)
+/// builders.  The axis serialises as a plain JSON array, so service requests
+/// carry it directly.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WindowAxis(Vec<Option<DateWindow>>);
+
+impl WindowAxis {
+    /// An empty axis (sweeping it yields no lists).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// One entry per concrete window.
+    #[must_use]
+    pub fn each(windows: &[DateWindow]) -> Self {
+        Self(windows.iter().copied().map(Some).collect())
+    }
+
+    /// One entry per optional span (`None` = full history) — the general
+    /// form a Figure-9 "all history vs recent window" comparison needs.
+    #[must_use]
+    pub fn spans(windows: &[Option<DateWindow>]) -> Self {
+        Self(windows.to_vec())
+    }
+
+    /// Appends a concrete window.
+    #[must_use]
+    pub fn window(mut self, window: DateWindow) -> Self {
+        self.0.push(Some(window));
+        self
+    }
+
+    /// Appends a full-history entry.
+    #[must_use]
+    pub fn full_history(mut self) -> Self {
+        self.0.push(None);
+        self
+    }
+
+    /// Number of entries on the axis.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the axis has no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The entries as optional windows, in axis order.
+    #[must_use]
+    pub fn as_options(&self) -> &[Option<DateWindow>] {
+        &self.0
+    }
+}
+
+impl From<Vec<Option<DateWindow>>> for WindowAxis {
+    fn from(windows: Vec<Option<DateWindow>>) -> Self {
+        Self(windows)
+    }
+}
+
+/// What one ingest observed, atomically: how many posts were appended and the
+/// generation the engine publishes them under.  Returned by
+/// [`StreamingScorer::ingest_batch`] so callers (and daemon responses) can
+/// stamp results with the exact engine version that includes the batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct IngestReceipt {
+    /// Number of posts appended by this batch.
+    pub appended: usize,
+    /// The engine generation after the batch (unchanged for an empty batch).
+    pub generation: u64,
+}
+
 /// Anything that can answer SAI computations — implemented by every engine
 /// shape ([`ScoringEngine`], [`LiveEngine`], [`ShardedEngine`]) so the
 /// windowed entry points ([`crate::timewindow::compare_windows_live`],
@@ -88,39 +173,28 @@ pub trait SaiScorer {
     /// returns exactly one list per configuration.
     fn sai_lists(&self, db: &KeywordDatabase, configs: &[PspConfig]) -> Vec<SaiList>;
 
-    /// Computes one SAI list per analysis window against one shared base
-    /// configuration — the sweep entry point for monitoring series, Figure-9
-    /// comparisons and fleet sweeps, where only the window varies.
+    /// Computes one SAI list per entry on a [`WindowAxis`] against one shared
+    /// base configuration — the canonical sweep entry point for monitoring
+    /// series, Figure-9 comparisons and fleet sweeps, where only the window
+    /// varies.  Each axis entry either restricts the analysis to a window or
+    /// (`None`) spans the full history; `base_config`'s own window is
+    /// replaced per entry.
     ///
     /// Semantically identical to [`sai_lists`](Self::sai_lists) over
-    /// `base_config.clone().with_window(w)` for every window (any window
-    /// already set on `base_config` is replaced), and **bit-identical** to
-    /// it on every engine shape; the engines override the implementation
-    /// with a prefix-summed columnar plan that makes the per-window cost
-    /// ~O(log candidates + window matches) instead of O(candidates) — see
-    /// the `psp::engine::sweep` module docs.  Always returns exactly one
-    /// list per window.
-    fn sai_sweep(
+    /// `base_config.clone().with_window(w)` for every axis entry, and
+    /// **bit-identical** to it on every engine shape; the engines override
+    /// the implementation with a prefix-summed columnar plan that makes the
+    /// per-window cost ~O(log candidates + window matches) instead of
+    /// O(candidates) — see the `psp::engine::sweep` module docs.  Always
+    /// returns exactly one list per axis entry.
+    fn sai_windows(
         &self,
         db: &KeywordDatabase,
         base_config: &PspConfig,
-        windows: &[DateWindow],
+        axis: &WindowAxis,
     ) -> Vec<SaiList> {
-        let windows: Vec<Option<DateWindow>> = windows.iter().copied().map(Some).collect();
-        self.sai_sweep_opt(db, base_config, &windows)
-    }
-
-    /// The general form of [`sai_sweep`](Self::sai_sweep): each entry either
-    /// restricts the analysis to a window or (`None`) spans the full history
-    /// — how a Figure-9 "all history vs recent window" comparison rides the
-    /// same plan.  `base_config`'s own window is replaced per entry.
-    fn sai_sweep_opt(
-        &self,
-        db: &KeywordDatabase,
-        base_config: &PspConfig,
-        windows: &[Option<DateWindow>],
-    ) -> Vec<SaiList> {
-        let configs: Vec<PspConfig> = windows
+        let configs: Vec<PspConfig> = axis
+            .as_options()
             .iter()
             .map(|window| {
                 let mut config = base_config.clone();
@@ -131,11 +205,35 @@ pub trait SaiScorer {
         self.sai_lists(db, &configs)
     }
 
+    /// Deprecated spelling of [`sai_windows`](Self::sai_windows) over
+    /// concrete windows.
+    #[deprecated(since = "0.2.0", note = "use sai_windows with WindowAxis::each")]
+    fn sai_sweep(
+        &self,
+        db: &KeywordDatabase,
+        base_config: &PspConfig,
+        windows: &[DateWindow],
+    ) -> Vec<SaiList> {
+        self.sai_windows(db, base_config, &WindowAxis::each(windows))
+    }
+
+    /// Deprecated spelling of [`sai_windows`](Self::sai_windows) over
+    /// optional (`None` = full-history) windows.
+    #[deprecated(since = "0.2.0", note = "use sai_windows with WindowAxis::spans")]
+    fn sai_sweep_opt(
+        &self,
+        db: &KeywordDatabase,
+        base_config: &PspConfig,
+        windows: &[Option<DateWindow>],
+    ) -> Vec<SaiList> {
+        self.sai_windows(db, base_config, &WindowAxis::spans(windows))
+    }
+
     /// Resolves a full (scenario × configuration × window) cross-product —
     /// the batch plane (see [`MatrixSpec`]).
     ///
     /// Every cell is bit-identical to the corresponding nested
-    /// [`sai_list`](Self::sai_list) / [`sai_sweep_opt`](Self::sai_sweep_opt)
+    /// [`sai_list`](Self::sai_list) / [`sai_windows`](Self::sai_windows)
     /// calls; the scheduler orders cells so that every (database, scene)
     /// pair in the matrix builds its sweep plan exactly once.
     fn sai_matrix(&self, spec: &MatrixSpec) -> MatrixResults {
@@ -159,14 +257,21 @@ pub trait SaiScorer {
 /// both [`LiveEngine`] (one warm index) and [`ShardedEngine`] (shard-aware
 /// routing).
 pub trait StreamingScorer: SaiScorer {
-    /// Ingests a batch of posts, returning how many were appended.
-    fn ingest_batch(&mut self, batch: Vec<Post>) -> usize;
+    /// Ingests a batch of posts, returning a receipt with the number of
+    /// posts appended and the generation they are published under — both
+    /// observed atomically under the same `&mut self`.
+    fn ingest_batch(&mut self, batch: Vec<Post>) -> IngestReceipt;
 
     /// Number of posts currently served.
     fn post_count(&self) -> usize;
 
     /// Number of non-empty ingest batches absorbed since construction.
     fn generation(&self) -> u64;
+
+    /// Exports the memoised per-post text signals as a persistable
+    /// [`SignalCacheFile`], materialising any signal not yet paid for — the
+    /// generic handle the service daemon's export-cache request rides.
+    fn export_signal_cache(&self) -> SignalCacheFile;
 }
 
 /// The query the SAI computation issues for one keyword profile under one
@@ -784,10 +889,24 @@ impl<'c> ScoringEngine<'c> {
         self.core.sai_lists(self.corpus, db, configs)
     }
 
-    /// Computes one SAI list per analysis window against one shared base
-    /// configuration, through the prefix-summed sweep plan — bit-identical
-    /// to (and much faster than) per-window [`sai_lists`](Self::sai_lists);
-    /// see [`SaiScorer::sai_sweep`].
+    /// Computes one SAI list per [`WindowAxis`] entry against one shared
+    /// base configuration, through the prefix-summed sweep plan —
+    /// bit-identical to (and much faster than) per-window
+    /// [`sai_lists`](Self::sai_lists); see [`SaiScorer::sai_windows`].
+    #[must_use]
+    pub fn sai_windows(
+        &self,
+        db: &KeywordDatabase,
+        base_config: &PspConfig,
+        axis: &WindowAxis,
+    ) -> Vec<SaiList> {
+        self.core
+            .sai_sweep(self.corpus, db, base_config, axis.as_options())
+    }
+
+    /// Deprecated spelling of [`sai_windows`](Self::sai_windows) over
+    /// concrete windows.
+    #[deprecated(since = "0.2.0", note = "use sai_windows with WindowAxis::each")]
     #[must_use]
     pub fn sai_sweep(
         &self,
@@ -795,12 +914,12 @@ impl<'c> ScoringEngine<'c> {
         base_config: &PspConfig,
         windows: &[DateWindow],
     ) -> Vec<SaiList> {
-        let windows: Vec<Option<DateWindow>> = windows.iter().copied().map(Some).collect();
-        self.sai_sweep_opt(db, base_config, &windows)
+        self.sai_windows(db, base_config, &WindowAxis::each(windows))
     }
 
-    /// The general sweep form with optional (`None` = full-history) windows —
-    /// see [`SaiScorer::sai_sweep_opt`].
+    /// Deprecated spelling of [`sai_windows`](Self::sai_windows) over
+    /// optional (`None` = full-history) windows.
+    #[deprecated(since = "0.2.0", note = "use sai_windows with WindowAxis::spans")]
     #[must_use]
     pub fn sai_sweep_opt(
         &self,
@@ -808,7 +927,7 @@ impl<'c> ScoringEngine<'c> {
         base_config: &PspConfig,
         windows: &[Option<DateWindow>],
     ) -> Vec<SaiList> {
-        self.core.sai_sweep(self.corpus, db, base_config, windows)
+        self.sai_windows(db, base_config, &WindowAxis::spans(windows))
     }
 }
 
@@ -821,13 +940,13 @@ impl SaiScorer for ScoringEngine<'_> {
         ScoringEngine::sai_lists(self, db, configs)
     }
 
-    fn sai_sweep_opt(
+    fn sai_windows(
         &self,
         db: &KeywordDatabase,
         base_config: &PspConfig,
-        windows: &[Option<DateWindow>],
+        axis: &WindowAxis,
     ) -> Vec<SaiList> {
-        ScoringEngine::sai_sweep_opt(self, db, base_config, windows)
+        ScoringEngine::sai_windows(self, db, base_config, axis)
     }
 }
 
@@ -853,8 +972,8 @@ impl SaiScorer for ScoringEngine<'_> {
 /// let (db, config) = (KeywordDatabase::excavator_seed(), PspConfig::excavator_europe());
 /// let mut engine = LiveEngine::new(seed);
 /// let before = engine.sai_list(&db, &config);
-/// let appended = engine.ingest(scenario::excavator_europe(8).posts().to_vec());
-/// assert!(appended > 0 && engine.generation() == 1);
+/// let receipt = engine.ingest(scenario::excavator_europe(8).posts().to_vec());
+/// assert!(receipt.appended > 0 && receipt.generation == 1);
 /// let after = engine.sai_list(&db, &config);
 /// assert!(after.top().unwrap().posts >= before.top().unwrap().posts);
 /// ```
@@ -899,20 +1018,24 @@ impl LiveEngine {
 
     /// Ingests a batch of posts: appends them to the corpus, extends the
     /// inverted index in place and grows the signal cache by exactly the
-    /// batch.  Returns the number of posts appended.
+    /// batch.  Returns an [`IngestReceipt`] stamping the number of appended
+    /// posts with the generation that publishes them.
     ///
     /// Amortised O(batch) — the posts already indexed are never rescanned, and
     /// their memoised text signals stay untouched (posts are immutable and ids
     /// append-only, so nothing previously cached can be affected).  A
     /// non-empty batch bumps [`generation`](Self::generation) by one.
-    pub fn ingest(&mut self, batch: impl IntoIterator<Item = Post>) -> usize {
+    pub fn ingest(&mut self, batch: impl IntoIterator<Item = Post>) -> IngestReceipt {
         let before = self.corpus.len();
         for post in batch {
             self.corpus.push(post);
         }
         let appended = self.corpus.len() - before;
         self.core.append(&self.corpus, appended);
-        appended
+        IngestReceipt {
+            appended,
+            generation: self.core.generation,
+        }
     }
 
     /// Number of non-empty ingest batches absorbed since construction.
@@ -960,12 +1083,26 @@ impl LiveEngine {
         self.core.sai_lists(&self.corpus, db, configs)
     }
 
-    /// Computes one SAI list per analysis window through the sweep plan —
-    /// see [`SaiScorer::sai_sweep`].  The plan survives across calls on this
-    /// warm engine and is invalidated exactly when [`ingest`](Self::ingest)
-    /// absorbs a non-empty batch (the generation counter is the key), so a
-    /// monitoring loop pays the plan build once per ingest, not per
-    /// re-evaluation.
+    /// Computes one SAI list per [`WindowAxis`] entry through the sweep plan
+    /// — see [`SaiScorer::sai_windows`].  The plan survives across calls on
+    /// this warm engine and is invalidated exactly when
+    /// [`ingest`](Self::ingest) absorbs a non-empty batch (the generation
+    /// counter is the key), so a monitoring loop pays the plan build once per
+    /// ingest, not per re-evaluation.
+    #[must_use]
+    pub fn sai_windows(
+        &self,
+        db: &KeywordDatabase,
+        base_config: &PspConfig,
+        axis: &WindowAxis,
+    ) -> Vec<SaiList> {
+        self.core
+            .sai_sweep(&self.corpus, db, base_config, axis.as_options())
+    }
+
+    /// Deprecated spelling of [`sai_windows`](Self::sai_windows) over
+    /// concrete windows.
+    #[deprecated(since = "0.2.0", note = "use sai_windows with WindowAxis::each")]
     #[must_use]
     pub fn sai_sweep(
         &self,
@@ -973,12 +1110,12 @@ impl LiveEngine {
         base_config: &PspConfig,
         windows: &[DateWindow],
     ) -> Vec<SaiList> {
-        let windows: Vec<Option<DateWindow>> = windows.iter().copied().map(Some).collect();
-        self.sai_sweep_opt(db, base_config, &windows)
+        self.sai_windows(db, base_config, &WindowAxis::each(windows))
     }
 
-    /// The general sweep form with optional (`None` = full-history) windows —
-    /// see [`SaiScorer::sai_sweep_opt`].
+    /// Deprecated spelling of [`sai_windows`](Self::sai_windows) over
+    /// optional (`None` = full-history) windows.
+    #[deprecated(since = "0.2.0", note = "use sai_windows with WindowAxis::spans")]
     #[must_use]
     pub fn sai_sweep_opt(
         &self,
@@ -986,7 +1123,7 @@ impl LiveEngine {
         base_config: &PspConfig,
         windows: &[Option<DateWindow>],
     ) -> Vec<SaiList> {
-        self.core.sai_sweep(&self.corpus, db, base_config, windows)
+        self.sai_windows(db, base_config, &WindowAxis::spans(windows))
     }
 }
 
@@ -999,18 +1136,18 @@ impl SaiScorer for LiveEngine {
         LiveEngine::sai_lists(self, db, configs)
     }
 
-    fn sai_sweep_opt(
+    fn sai_windows(
         &self,
         db: &KeywordDatabase,
         base_config: &PspConfig,
-        windows: &[Option<DateWindow>],
+        axis: &WindowAxis,
     ) -> Vec<SaiList> {
-        LiveEngine::sai_sweep_opt(self, db, base_config, windows)
+        LiveEngine::sai_windows(self, db, base_config, axis)
     }
 }
 
 impl StreamingScorer for LiveEngine {
-    fn ingest_batch(&mut self, batch: Vec<Post>) -> usize {
+    fn ingest_batch(&mut self, batch: Vec<Post>) -> IngestReceipt {
         self.ingest(batch)
     }
 
@@ -1020,6 +1157,10 @@ impl StreamingScorer for LiveEngine {
 
     fn generation(&self) -> u64 {
         LiveEngine::generation(self)
+    }
+
+    fn export_signal_cache(&self) -> SignalCacheFile {
+        LiveEngine::export_signal_cache(self)
     }
 }
 
@@ -1153,10 +1294,18 @@ mod tests {
     fn empty_ingest_does_not_bump_the_generation() {
         let mut live = LiveEngine::new(scenario::excavator_europe(7));
         assert_eq!(live.generation(), 0);
-        assert_eq!(live.ingest(Vec::new()), 0);
+        let empty = live.ingest(Vec::new());
+        assert_eq!(
+            empty,
+            IngestReceipt {
+                appended: 0,
+                generation: 0
+            }
+        );
         assert_eq!(live.generation(), 0);
-        let appended = live.ingest(scenario::excavator_europe(9).posts().to_vec());
-        assert!(appended > 0);
+        let receipt = live.ingest(scenario::excavator_europe(9).posts().to_vec());
+        assert!(receipt.appended > 0);
+        assert_eq!(receipt.generation, 1);
         assert_eq!(live.generation(), 1);
     }
 
@@ -1172,9 +1321,56 @@ mod tests {
             .map(|w| base.clone().with_window(*w))
             .collect();
         assert_eq!(
-            engine.sai_sweep(&db, &base, &windows),
+            engine.sai_windows(&db, &base, &WindowAxis::each(&windows)),
             engine.sai_lists(&db, &configs)
         );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_sweep_forwarders_match_sai_windows_bit_for_bit() {
+        let corpus = scenario::excavator_europe(7);
+        let db = KeywordDatabase::excavator_seed();
+        let base = PspConfig::excavator_europe();
+        let engine = ScoringEngine::new(&corpus);
+        let windows: Vec<DateWindow> = (2018..2023).map(|y| DateWindow::years(y, y + 1)).collect();
+        let spans = [None, Some(DateWindow::years(2020, 2022))];
+        // Inherent forwarders.
+        assert_eq!(
+            engine.sai_sweep(&db, &base, &windows),
+            engine.sai_windows(&db, &base, &WindowAxis::each(&windows))
+        );
+        assert_eq!(
+            engine.sai_sweep_opt(&db, &base, &spans),
+            engine.sai_windows(&db, &base, &WindowAxis::spans(&spans))
+        );
+        // Trait-level forwarders (dyn dispatch, default bodies).
+        let scorer: &dyn SaiScorer = &engine;
+        assert_eq!(
+            scorer.sai_sweep(&db, &base, &windows),
+            scorer.sai_windows(&db, &base, &WindowAxis::each(&windows))
+        );
+        assert_eq!(
+            scorer.sai_sweep_opt(&db, &base, &spans),
+            scorer.sai_windows(&db, &base, &WindowAxis::spans(&spans))
+        );
+    }
+
+    #[test]
+    fn window_axis_builders_agree_with_the_bulk_constructors() {
+        let a = DateWindow::years(2019, 2020);
+        let b = DateWindow::years(2021, 2022);
+        assert_eq!(WindowAxis::each(&[a, b]).as_options(), &[Some(a), Some(b)]);
+        assert_eq!(
+            WindowAxis::new().window(a).full_history().window(b),
+            WindowAxis::spans(&[Some(a), None, Some(b)])
+        );
+        assert_eq!(
+            WindowAxis::from(vec![None, Some(a)]),
+            WindowAxis::new().full_history().window(a)
+        );
+        assert!(WindowAxis::new().is_empty());
+        assert_eq!(WindowAxis::each(&[a, b]).len(), 2);
     }
 
     #[test]
@@ -1184,7 +1380,8 @@ mod tests {
         let base = PspConfig::excavator_europe();
         let engine = ScoringEngine::new(&corpus);
         let recent = DateWindow::years(2021, 2023);
-        let swept = engine.sai_sweep_opt(&db, &base, &[None, Some(recent)]);
+        let axis = WindowAxis::new().full_history().window(recent);
+        let swept = engine.sai_windows(&db, &base, &axis);
         assert_eq!(swept[0], engine.sai_list(&db, &base));
         assert_eq!(
             swept[1],
@@ -1193,7 +1390,7 @@ mod tests {
         // A window already set on the base config is replaced per entry.
         let windowed_base = base.clone().with_window(DateWindow::years(2019, 2019));
         assert_eq!(
-            engine.sai_sweep_opt(&db, &windowed_base, &[None]),
+            engine.sai_windows(&db, &windowed_base, &WindowAxis::new().full_history()),
             vec![engine.sai_list(&db, &base)]
         );
     }
@@ -1205,21 +1402,25 @@ mod tests {
         let base = PspConfig::excavator_europe();
         // No windows -> no lists.
         assert!(engine
-            .sai_sweep(&KeywordDatabase::excavator_seed(), &base, &[])
+            .sai_windows(
+                &KeywordDatabase::excavator_seed(),
+                &base,
+                &WindowAxis::new()
+            )
             .is_empty());
         // Empty database -> one empty list per window.
-        let lists = engine.sai_sweep(
+        let lists = engine.sai_windows(
             &KeywordDatabase::new(),
             &base,
-            &[DateWindow::years(2019, 2020), DateWindow::years(2021, 2022)],
+            &WindowAxis::each(&[DateWindow::years(2019, 2020), DateWindow::years(2021, 2022)]),
         );
         assert_eq!(lists.len(), 2);
         assert!(lists.iter().all(SaiList::is_empty));
         // Windows entirely outside the data -> zero evidence, not a panic.
-        let empty = engine.sai_sweep(
+        let empty = engine.sai_windows(
             &KeywordDatabase::excavator_seed(),
             &base,
-            &[DateWindow::years(1990, 1991)],
+            &WindowAxis::each(&[DateWindow::years(1990, 1991)]),
         );
         assert!(empty[0]
             .entries()
@@ -1284,9 +1485,10 @@ mod tests {
         let after = live.core.sweep_plan(live.corpus(), &db, &base);
         assert!(!std::sync::Arc::ptr_eq(&before, &after));
         let cold = ScoringEngine::new(live.corpus());
+        let axis = WindowAxis::each(&windows);
         assert_eq!(
-            live.sai_sweep(&db, &base, &windows),
-            cold.sai_sweep(&db, &base, &windows)
+            live.sai_windows(&db, &base, &axis),
+            cold.sai_windows(&db, &base, &axis)
         );
     }
 

@@ -31,8 +31,8 @@
 //!   ingest-then-shard converge to the same state.
 
 use super::{
-    profile_query, BatchCandidates, EngineCore, SaiScorer, SignalCacheError, SignalCacheFile,
-    StreamingScorer,
+    profile_query, BatchCandidates, EngineCore, IngestReceipt, SaiScorer, SignalCacheError,
+    SignalCacheFile, StreamingScorer, WindowAxis,
 };
 use crate::config::PspConfig;
 use crate::keyword_db::{KeywordDatabase, KeywordProfile};
@@ -167,12 +167,13 @@ impl ShardedEngine {
     /// shard) or its region's shard, and a key with no shard yet creates one
     /// on the fly — then every touched shard's index is
     /// extended in place ([`socialsim::index::CorpusIndex::append`], amortised
-    /// O(batch)).  Returns the number of posts appended.
+    /// O(batch)).  Returns an [`IngestReceipt`] stamping the number of
+    /// appended posts with the generation that publishes them.
     ///
     /// Routing is deterministic from the post alone, so ingesting into a
     /// sharded engine and re-sharding the grown corpus from scratch produce
     /// the same shard layout and bit-identical scores (property-tested).
-    pub fn ingest(&mut self, batch: impl IntoIterator<Item = Post>) -> usize {
+    pub fn ingest(&mut self, batch: impl IntoIterator<Item = Post>) -> IngestReceipt {
         let mut pending = vec![0_usize; self.shards.len()];
         let mut appended = 0_usize;
         for post in batch {
@@ -200,7 +201,10 @@ impl ShardedEngine {
         if appended > 0 {
             self.generation += 1;
         }
-        appended
+        IngestReceipt {
+            appended,
+            generation: self.generation,
+        }
     }
 
     /// The spec the corpus is partitioned by.
@@ -464,8 +468,8 @@ impl ShardedEngine {
             .collect()
     }
 
-    /// Computes one SAI list per analysis window through **per-shard sweep
-    /// plans** — see [`SaiScorer::sai_sweep`].
+    /// Computes one SAI list per [`WindowAxis`] entry through **per-shard
+    /// sweep plans** — see [`SaiScorer::sai_windows`].
     ///
     /// Each shard core holds its own prefix-summed plan (built on first use,
     /// invalidated only when *that shard* absorbs an ingest batch) and
@@ -477,25 +481,13 @@ impl ShardedEngine {
     /// swept lists are bit-identical to the single-engine sweep and to
     /// per-window [`sai_lists`](Self::sai_lists).
     #[must_use]
-    pub fn sai_sweep(
+    pub fn sai_windows(
         &self,
         db: &KeywordDatabase,
         base_config: &PspConfig,
-        windows: &[DateWindow],
+        axis: &WindowAxis,
     ) -> Vec<SaiList> {
-        let windows: Vec<Option<DateWindow>> = windows.iter().copied().map(Some).collect();
-        self.sai_sweep_opt(db, base_config, &windows)
-    }
-
-    /// The general sweep form with optional (`None` = full-history) windows —
-    /// see [`SaiScorer::sai_sweep_opt`].
-    #[must_use]
-    pub fn sai_sweep_opt(
-        &self,
-        db: &KeywordDatabase,
-        base_config: &PspConfig,
-        windows: &[Option<DateWindow>],
-    ) -> Vec<SaiList> {
+        let windows = axis.as_options();
         if windows.is_empty() {
             return Vec::new();
         }
@@ -539,6 +531,32 @@ impl ShardedEngine {
             })
             .collect()
     }
+
+    /// Deprecated spelling of [`sai_windows`](Self::sai_windows) over
+    /// concrete windows.
+    #[deprecated(since = "0.2.0", note = "use sai_windows with WindowAxis::each")]
+    #[must_use]
+    pub fn sai_sweep(
+        &self,
+        db: &KeywordDatabase,
+        base_config: &PspConfig,
+        windows: &[DateWindow],
+    ) -> Vec<SaiList> {
+        self.sai_windows(db, base_config, &WindowAxis::each(windows))
+    }
+
+    /// Deprecated spelling of [`sai_windows`](Self::sai_windows) over
+    /// optional (`None` = full-history) windows.
+    #[deprecated(since = "0.2.0", note = "use sai_windows with WindowAxis::spans")]
+    #[must_use]
+    pub fn sai_sweep_opt(
+        &self,
+        db: &KeywordDatabase,
+        base_config: &PspConfig,
+        windows: &[Option<DateWindow>],
+    ) -> Vec<SaiList> {
+        self.sai_windows(db, base_config, &WindowAxis::spans(windows))
+    }
 }
 
 impl SaiScorer for ShardedEngine {
@@ -550,18 +568,18 @@ impl SaiScorer for ShardedEngine {
         ShardedEngine::sai_lists(self, db, configs)
     }
 
-    fn sai_sweep_opt(
+    fn sai_windows(
         &self,
         db: &KeywordDatabase,
         base_config: &PspConfig,
-        windows: &[Option<DateWindow>],
+        axis: &WindowAxis,
     ) -> Vec<SaiList> {
-        ShardedEngine::sai_sweep_opt(self, db, base_config, windows)
+        ShardedEngine::sai_windows(self, db, base_config, axis)
     }
 }
 
 impl StreamingScorer for ShardedEngine {
-    fn ingest_batch(&mut self, batch: Vec<Post>) -> usize {
+    fn ingest_batch(&mut self, batch: Vec<Post>) -> IngestReceipt {
         self.ingest(batch)
     }
 
@@ -571,6 +589,10 @@ impl StreamingScorer for ShardedEngine {
 
     fn generation(&self) -> u64 {
         ShardedEngine::generation(self)
+    }
+
+    fn export_signal_cache(&self) -> SignalCacheFile {
+        ShardedEngine::export_signal_cache(self)
     }
 }
 
@@ -646,8 +668,9 @@ mod tests {
         let shards_before = sharded.shard_count();
 
         let extra = scenario::excavator_europe(8).posts().to_vec();
-        let appended = sharded.ingest(extra.clone());
-        assert_eq!(appended, extra.len());
+        let receipt = sharded.ingest(extra.clone());
+        assert_eq!(receipt.appended, extra.len());
+        assert_eq!(receipt.generation, 1);
         assert_eq!(sharded.generation(), 1);
         assert!(sharded.shard_count() >= shards_before);
 
@@ -683,7 +706,7 @@ mod tests {
     fn empty_ingest_bumps_nothing() {
         let mut sharded = ShardedEngine::new(scenario::excavator_europe(7), ShardSpec::yearly());
         let sizes = sharded.shard_sizes();
-        assert_eq!(sharded.ingest(Vec::new()), 0);
+        assert_eq!(sharded.ingest(Vec::new()).appended, 0);
         assert_eq!(sharded.generation(), 0);
         assert_eq!(sharded.shard_sizes(), sizes);
     }

@@ -1,5 +1,12 @@
 //! Error types for the PSP framework.
+//!
+//! [`PspError`] is the single top-level error surface: workflow errors,
+//! forwarded ISO/SAE-21434 errors, signal-cache validation errors
+//! ([`crate::engine::SignalCacheError`], via `From`) and the service
+//! daemon's request errors all fold into it, so every
+//! [`crate::service::ServiceResponse`] serializes exactly one error type.
 
+use crate::engine::SignalCacheError;
 use std::fmt;
 
 /// Errors produced by the PSP workflows.
@@ -25,6 +32,44 @@ pub enum PspError {
     },
     /// Forwarded error from the ISO/SAE-21434 substrate.
     Tara(iso21434::Iso21434Error),
+    /// A persisted signal cache failed validation against the serving corpus.
+    SignalCache(SignalCacheError),
+    /// A service request named a keyword database not in the registry.
+    UnknownDatabase {
+        /// The database name requested.
+        name: String,
+    },
+    /// A service request named a configuration not in the registry.
+    UnknownConfig {
+        /// The configuration name requested.
+        name: String,
+    },
+    /// A service request could not be decoded or was structurally invalid.
+    BadRequest {
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The service runtime has shut down and can accept no more work.
+    ServiceStopped,
+}
+
+impl PspError {
+    /// A stable kebab-case discriminant for the wire form of service errors
+    /// — clients match on this instead of parsing `Display` text.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PspError::EmptyEvidence { .. } => "empty-evidence",
+            PspError::UnknownScenario { .. } => "unknown-scenario",
+            PspError::InvalidFinancialInput { .. } => "invalid-financial-input",
+            PspError::Tara(_) => "tara",
+            PspError::SignalCache(_) => "signal-cache",
+            PspError::UnknownDatabase { .. } => "unknown-database",
+            PspError::UnknownConfig { .. } => "unknown-config",
+            PspError::BadRequest { .. } => "bad-request",
+            PspError::ServiceStopped => "service-stopped",
+        }
+    }
 }
 
 impl fmt::Display for PspError {
@@ -40,6 +85,15 @@ impl fmt::Display for PspError {
                 write!(f, "invalid financial input `{parameter}`: {detail}")
             }
             PspError::Tara(inner) => write!(f, "TARA error: {inner}"),
+            PspError::SignalCache(inner) => write!(f, "signal cache error: {inner}"),
+            PspError::UnknownDatabase { name } => {
+                write!(f, "no keyword database registered under `{name}`")
+            }
+            PspError::UnknownConfig { name } => {
+                write!(f, "no configuration registered under `{name}`")
+            }
+            PspError::BadRequest { detail } => write!(f, "bad request: {detail}"),
+            PspError::ServiceStopped => write!(f, "service runtime has shut down"),
         }
     }
 }
@@ -48,6 +102,7 @@ impl std::error::Error for PspError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             PspError::Tara(inner) => Some(inner),
+            PspError::SignalCache(inner) => Some(inner),
             _ => None,
         }
     }
@@ -56,6 +111,12 @@ impl std::error::Error for PspError {
 impl From<iso21434::Iso21434Error> for PspError {
     fn from(value: iso21434::Iso21434Error) -> Self {
         PspError::Tara(value)
+    }
+}
+
+impl From<SignalCacheError> for PspError {
+    fn from(value: SignalCacheError) -> Self {
+        PspError::SignalCache(value)
     }
 }
 
@@ -96,5 +157,55 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<PspError>();
+    }
+
+    #[test]
+    fn signal_cache_errors_fold_in_with_source() {
+        use std::error::Error;
+        let err: PspError = SignalCacheError::LexiconMismatch.into();
+        assert_eq!(err.kind(), "signal-cache");
+        assert!(err.to_string().contains("signal cache"));
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn service_variants_display_and_kind() {
+        let db = PspError::UnknownDatabase { name: "x".into() };
+        assert_eq!(db.kind(), "unknown-database");
+        assert!(db.to_string().contains("x"));
+        let config = PspError::UnknownConfig { name: "y".into() };
+        assert_eq!(config.kind(), "unknown-config");
+        assert!(config.to_string().contains("y"));
+        let bad = PspError::BadRequest {
+            detail: "not json".into(),
+        };
+        assert_eq!(bad.kind(), "bad-request");
+        assert!(bad.to_string().contains("not json"));
+        assert_eq!(PspError::ServiceStopped.kind(), "service-stopped");
+    }
+
+    #[test]
+    fn kinds_are_unique_per_variant() {
+        let kinds = [
+            PspError::EmptyEvidence { scene: "s".into() }.kind(),
+            PspError::UnknownScenario {
+                scenario: "s".into(),
+            }
+            .kind(),
+            PspError::InvalidFinancialInput {
+                parameter: "p",
+                detail: "d".into(),
+            }
+            .kind(),
+            PspError::Tara(iso21434::Iso21434Error::MissingAttackPath { threat: "t".into() })
+                .kind(),
+            PspError::SignalCache(SignalCacheError::LexiconMismatch).kind(),
+            PspError::UnknownDatabase { name: "n".into() }.kind(),
+            PspError::UnknownConfig { name: "n".into() }.kind(),
+            PspError::BadRequest { detail: "d".into() }.kind(),
+            PspError::ServiceStopped.kind(),
+        ];
+        let unique: std::collections::BTreeSet<_> = kinds.iter().collect();
+        assert_eq!(unique.len(), kinds.len());
     }
 }

@@ -34,7 +34,12 @@
 //! parallel with window/region pruning, and merges per-shard partial evidence
 //! into SAI lists bit-identical to the single-engine path;
 //! [`monitoring::ShardedMonitor`] runs the monitoring loop on that sharded
-//! engine.
+//! engine.  [`service::TaraService`] puts any of these engine shapes behind a
+//! protocol-agnostic request/response surface with snapshot isolation —
+//! concurrent score/sweep/matrix requests each run against one immutable,
+//! generation-stamped engine snapshot while ingest publishes the next
+//! generation — served either synchronously or on a built-in worker pool
+//! (see `examples/tara_daemon.rs` for the stdin line-JSON daemon).
 //!
 //! # Example
 //!
@@ -67,6 +72,7 @@ pub mod learning;
 pub mod monitoring;
 pub mod report;
 pub mod sai;
+pub mod service;
 pub mod timewindow;
 pub mod weights;
 pub mod workflow;
@@ -74,13 +80,14 @@ pub mod workflow;
 pub use classify::AttackOrigin;
 pub use config::{PspConfig, SaiWeights};
 pub use engine::{
-    CellId, LiveEngine, MatrixResults, MatrixSpec, SaiScorer, ScoringEngine, ShardedEngine,
-    StreamingScorer,
+    CellId, IngestReceipt, LiveEngine, MatrixResults, MatrixSpec, SaiScorer, ScoringEngine,
+    ShardedEngine, StreamingScorer, WindowAxis,
 };
 pub use error::PspError;
 pub use financial::{FinancialAssessment, FinancialInputs};
 pub use keyword_db::{KeywordDatabase, KeywordProfile};
 pub use report::PspReport;
 pub use sai::{SaiEntry, SaiList};
+pub use service::{ServiceRegistry, ServiceRequest, ServiceResponse, TaraService};
 pub use weights::{WeightGenerator, WeightMapping};
 pub use workflow::{PspOutcome, PspWorkflow};

@@ -20,7 +20,8 @@
 
 use crate::config::PspConfig;
 use crate::engine::{
-    LiveEngine, MatrixSpec, SaiScorer, ScoringEngine, ShardedEngine, StreamingScorer,
+    IngestReceipt, LiveEngine, MatrixSpec, SaiScorer, ScoringEngine, ShardedEngine,
+    StreamingScorer, WindowAxis,
 };
 use crate::keyword_db::KeywordDatabase;
 use crate::sai::SaiList;
@@ -87,23 +88,19 @@ pub struct MonitoringSeries {
 }
 
 /// The sliding-window plan shared by the snapshot and live evaluation paths:
-/// `(start, end)` year bounds plus the matching sweep windows.
-fn window_plan(
-    from_year: i32,
-    to_year: i32,
-    window_years: i32,
-) -> (Vec<(i32, i32)>, Vec<DateWindow>) {
+/// `(start, end)` year bounds plus the matching sweep axis.
+fn window_plan(from_year: i32, to_year: i32, window_years: i32) -> (Vec<(i32, i32)>, WindowAxis) {
     let window_years = window_years.max(1);
     let mut bounds = Vec::new();
-    let mut windows = Vec::new();
+    let mut axis = WindowAxis::new();
     let mut start = from_year;
     while start <= to_year {
         let end = (start + window_years - 1).min(to_year);
         bounds.push((start, end));
-        windows.push(DateWindow::years(start, end));
+        axis = axis.window(DateWindow::years(start, end));
         start += 1;
     }
-    (bounds, windows)
+    (bounds, axis)
 }
 
 /// Folds per-window SAI lists into the observation series — the shared tail of
@@ -158,10 +155,10 @@ impl MonitoringSeries {
     ) -> Self {
         // One engine for the whole series: the corpus is indexed and the
         // text-mining signals are computed once, then every window is
-        // answered through the prefix-summed sweep plan (`sai_sweep`).
+        // answered through the prefix-summed sweep plan (`sai_windows`).
         let engine = ScoringEngine::new(corpus);
-        let (bounds, windows) = window_plan(from_year, to_year, window_years);
-        let sai_lists = engine.sai_sweep(db, base_config, &windows);
+        let (bounds, axis) = window_plan(from_year, to_year, window_years);
+        let sai_lists = engine.sai_windows(db, base_config, &axis);
         Self {
             scenario: scenario.to_string(),
             observations: observations_from(&bounds, &sai_lists, scenario),
@@ -188,11 +185,11 @@ impl MonitoringSeries {
         window_years: i32,
     ) -> Vec<Self> {
         let engine = ScoringEngine::new(corpus);
-        let (bounds, windows) = window_plan(from_year, to_year, window_years);
+        let (bounds, axis) = window_plan(from_year, to_year, window_years);
         let spec = MatrixSpec::new()
             .scenario("monitor", db.clone())
             .config("base", base_config.clone())
-            .windows(&windows);
+            .window_axis(&axis);
         let sai_lists: Vec<SaiList> = engine
             .sai_matrix(&spec)
             .into_cells()
@@ -364,9 +361,10 @@ impl<E: StreamingScorer> LiveMonitor<E> {
     }
 
     /// Ingests a batch of posts into the engine (amortised O(batch); see
-    /// [`LiveEngine::ingest`] / [`ShardedEngine::ingest`]).  Returns the
-    /// number of posts appended.
-    pub fn ingest(&mut self, batch: impl IntoIterator<Item = Post>) -> usize {
+    /// [`LiveEngine::ingest`] / [`ShardedEngine::ingest`]).  Returns an
+    /// [`IngestReceipt`] stamping the appended count with the engine
+    /// generation that publishes the batch.
+    pub fn ingest(&mut self, batch: impl IntoIterator<Item = Post>) -> IngestReceipt {
         self.engine.ingest_batch(batch.into_iter().collect())
     }
 
@@ -376,8 +374,8 @@ impl<E: StreamingScorer> LiveMonitor<E> {
     /// engine's generation counter keys the plan).
     #[must_use]
     pub fn series(&self, from_year: i32, to_year: i32) -> MonitoringSeries {
-        let (bounds, windows) = window_plan(from_year, to_year, self.window_years);
-        let sai_lists = self.engine.sai_sweep(&self.db, &self.base_config, &windows);
+        let (bounds, axis) = window_plan(from_year, to_year, self.window_years);
+        let sai_lists = self.engine.sai_windows(&self.db, &self.base_config, &axis);
         MonitoringSeries {
             scenario: self.scenario.clone(),
             observations: observations_from(&bounds, &sai_lists, &self.scenario),

@@ -1,0 +1,598 @@
+//! The TARA service daemon core: a protocol-agnostic request/response layer
+//! over the scoring engines.
+//!
+//! The monitoring examples all hand-roll the same loop — ingest a batch,
+//! re-score, repeat — with the engine's `&mut self` forcing every consumer to
+//! serialize behind one borrow.  This module turns that inside out:
+//!
+//! * [`ServiceRequest`] / [`ServiceResponse`] are plain serializable enums —
+//!   the whole service surface, independent of any transport.  The stdin
+//!   line-JSON daemon (`examples/tara_daemon.rs`) is ~a page of glue over
+//!   [`wire`]; an embedded caller skips the wire format entirely and calls
+//!   [`TaraService::handle`] with the same types.
+//! * [`TaraService`] executes requests against an engine published through a
+//!   [`SnapshotPublisher`]: each request scores
+//!   one immutable generation end to end, while ingest builds the next
+//!   generation off to the side.  Readers never block on writers and every
+//!   response stamps the generation it was computed at.
+//! * [`TaraService::submit`] runs a request on the built-in
+//!   [`WorkerPool`] (plain threads + channels — no async
+//!   executor in the offline dependency closure) and hands back a
+//!   [`Ticket`] to wait on; [`TaraService::handle`] is the
+//!   synchronous spelling of the same computation.
+//!
+//! Scenario databases and scoring configurations are looked up by name in a
+//! [`ServiceRegistry`], so requests carry short names instead of inlined
+//! configuration blobs.  All failures fold into
+//! [`PspError`] and travel as
+//! [`ServiceResponse::Error`] — the service never panics on bad input.
+
+pub mod runtime;
+pub mod snapshot;
+pub mod wire;
+
+use crate::config::PspConfig;
+use crate::engine::{CellId, LiveEngine, MatrixSpec, SignalCacheFile, StreamingScorer, WindowAxis};
+use crate::error::PspError;
+use crate::keyword_db::KeywordDatabase;
+use crate::sai::SaiList;
+use runtime::{Ticket, WorkerPool};
+use serde::{Deserialize, Serialize};
+use snapshot::{EngineSnapshot, SnapshotPublisher};
+use socialsim::post::Post;
+use std::sync::Arc;
+
+/// Named keyword databases and scoring configurations the service can be
+/// asked for.  Requests reference entries by name; unknown names answer with
+/// `unknown-database` / `unknown-config` errors listing nothing sensitive.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceRegistry {
+    databases: Vec<(String, KeywordDatabase)>,
+    configs: Vec<(String, PspConfig)>,
+}
+
+impl ServiceRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a keyword database under `name` (last registration wins on
+    /// duplicate names).
+    #[must_use]
+    pub fn database(mut self, name: impl Into<String>, db: KeywordDatabase) -> Self {
+        let name = name.into();
+        self.databases.retain(|(existing, _)| *existing != name);
+        self.databases.push((name, db));
+        self
+    }
+
+    /// Registers a scoring configuration under `name` (last registration wins
+    /// on duplicate names).
+    #[must_use]
+    pub fn config(mut self, name: impl Into<String>, config: PspConfig) -> Self {
+        let name = name.into();
+        self.configs.retain(|(existing, _)| *existing != name);
+        self.configs.push((name, config));
+        self
+    }
+
+    /// Looks a database up by name.
+    ///
+    /// # Errors
+    ///
+    /// [`PspError::UnknownDatabase`] when the name is not registered.
+    pub fn lookup_database(&self, name: &str) -> Result<&KeywordDatabase, PspError> {
+        self.databases
+            .iter()
+            .find(|(registered, _)| registered == name)
+            .map(|(_, db)| db)
+            .ok_or_else(|| PspError::UnknownDatabase { name: name.into() })
+    }
+
+    /// Looks a configuration up by name.
+    ///
+    /// # Errors
+    ///
+    /// [`PspError::UnknownConfig`] when the name is not registered.
+    pub fn lookup_config(&self, name: &str) -> Result<&PspConfig, PspError> {
+        self.configs
+            .iter()
+            .find(|(registered, _)| registered == name)
+            .map(|(_, config)| config)
+            .ok_or_else(|| PspError::UnknownConfig { name: name.into() })
+    }
+
+    /// The registered database names, in registration order.
+    #[must_use]
+    pub fn database_names(&self) -> Vec<String> {
+        self.databases
+            .iter()
+            .map(|(name, _)| name.clone())
+            .collect()
+    }
+
+    /// The registered configuration names, in registration order.
+    #[must_use]
+    pub fn config_names(&self) -> Vec<String> {
+        self.configs.iter().map(|(name, _)| name.clone()).collect()
+    }
+}
+
+/// The wire form of a failed request: a stable machine-matchable `kind` (see
+/// [`PspError::kind`]) plus human-readable detail.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceError {
+    /// Stable kebab-case discriminant, e.g. `unknown-database`.
+    pub kind: String,
+    /// Human-readable description of the failure.
+    pub detail: String,
+}
+
+impl From<PspError> for ServiceError {
+    fn from(error: PspError) -> Self {
+        Self {
+            kind: error.kind().to_string(),
+            detail: error.to_string(),
+        }
+    }
+}
+
+/// A request to the TARA service.  Databases and configurations are referred
+/// to by their [`ServiceRegistry`] names.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ServiceRequest {
+    /// Score one (database, configuration) pair: the full SAI list at the
+    /// current generation.
+    Score {
+        /// Registered database name.
+        db: String,
+        /// Registered configuration name.
+        config: String,
+    },
+    /// Score one pair across a window axis (monitoring sweep): one SAI list
+    /// per axis entry.
+    Sweep {
+        /// Registered database name.
+        db: String,
+        /// Registered configuration name.
+        config: String,
+        /// The windows to resolve, in order.
+        windows: WindowAxis,
+    },
+    /// Resolve a (scenario × configuration × window) cross-product.
+    Matrix {
+        /// Registered database names, one per matrix scenario row.
+        scenarios: Vec<String>,
+        /// Registered configuration names, one per matrix configuration
+        /// column.
+        configs: Vec<String>,
+        /// The window grid; empty means each configuration's own window.
+        windows: WindowAxis,
+    },
+    /// Append a batch of posts, publishing the next engine generation.
+    Ingest {
+        /// The posts to append.
+        posts: Vec<Post>,
+    },
+    /// Export the memoised per-post signal cache at the current generation.
+    ExportCache,
+    /// Service liveness, corpus size and registry listing.
+    Status,
+}
+
+/// A response from the TARA service.  Every scoring response stamps the
+/// engine generation it was computed at, so callers can correlate results
+/// with ingests even when requests run concurrently.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ServiceResponse {
+    /// Answer to [`ServiceRequest::Score`].
+    Score {
+        /// Generation the list was computed at.
+        generation: u64,
+        /// The scored SAI list.
+        sai: SaiList,
+    },
+    /// Answer to [`ServiceRequest::Sweep`]: one list per axis entry, in axis
+    /// order.
+    Sweep {
+        /// Generation the lists were computed at.
+        generation: u64,
+        /// One SAI list per window.
+        lists: Vec<SaiList>,
+    },
+    /// Answer to [`ServiceRequest::Matrix`]: cells in deterministic
+    /// [`CellId`] order (scenario-major, then configuration, then window).
+    Matrix {
+        /// Generation the cells were computed at.
+        generation: u64,
+        /// The resolved cells.
+        cells: Vec<(CellId, SaiList)>,
+    },
+    /// Answer to [`ServiceRequest::Ingest`].
+    Ingested {
+        /// Number of posts appended.
+        appended: usize,
+        /// Generation the batch is published under.
+        generation: u64,
+    },
+    /// Answer to [`ServiceRequest::ExportCache`].
+    Cache {
+        /// Generation the cache was exported at.
+        generation: u64,
+        /// The persistable signal cache.
+        cache: SignalCacheFile,
+    },
+    /// Answer to [`ServiceRequest::Status`].
+    Status {
+        /// Posts currently served.
+        posts: usize,
+        /// Current engine generation.
+        generation: u64,
+        /// Registered database names.
+        databases: Vec<String>,
+        /// Registered configuration names.
+        configs: Vec<String>,
+        /// Worker threads in the service pool.
+        workers: usize,
+    },
+    /// The request failed; no other response was produced.
+    Error {
+        /// What went wrong.
+        error: ServiceError,
+    },
+}
+
+/// Everything a request needs, shared between the synchronous path and the
+/// pool's workers.
+#[derive(Debug)]
+struct ServiceState<E> {
+    publisher: SnapshotPublisher<E>,
+    registry: ServiceRegistry,
+    workers: usize,
+}
+
+/// The TARA service: request execution over a snapshot-published engine.
+///
+/// Generic over the engine shape — anything [`StreamingScorer`] `+ Clone`
+/// serves, with [`LiveEngine`] as the default; pass a
+/// [`ShardedEngine`](crate::engine::ShardedEngine) to serve from per-shard
+/// indexes with bit-identical responses.
+///
+/// ```
+/// use psp::config::PspConfig;
+/// use psp::keyword_db::KeywordDatabase;
+/// use psp::service::{ServiceRegistry, ServiceRequest, ServiceResponse, TaraService};
+/// use psp::engine::LiveEngine;
+/// use socialsim::scenario;
+///
+/// let registry = ServiceRegistry::new()
+///     .database("excavator", KeywordDatabase::excavator_seed())
+///     .config("excavator", PspConfig::excavator_europe());
+/// let service = TaraService::new(LiveEngine::new(scenario::excavator_europe(7)), registry);
+/// let response = service.handle(ServiceRequest::Score {
+///     db: "excavator".into(),
+///     config: "excavator".into(),
+/// });
+/// match response {
+///     ServiceResponse::Score { generation, sai } => {
+///         assert_eq!(generation, 0);
+///         assert!(!sai.is_empty());
+///     }
+///     other => panic!("unexpected response: {other:?}"),
+/// }
+/// ```
+#[derive(Debug)]
+pub struct TaraService<E = LiveEngine>
+where
+    E: StreamingScorer + Clone + Send + Sync + 'static,
+{
+    state: Arc<ServiceState<E>>,
+    pool: WorkerPool,
+}
+
+impl<E: StreamingScorer + Clone + Send + Sync + 'static> TaraService<E> {
+    /// Builds a service over `engine` with one worker per available core.
+    #[must_use]
+    pub fn new(engine: E, registry: ServiceRegistry) -> Self {
+        let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        Self::with_workers(engine, registry, workers)
+    }
+
+    /// Builds a service with an explicit worker-pool size (clamped to at
+    /// least one).
+    #[must_use]
+    pub fn with_workers(engine: E, registry: ServiceRegistry, workers: usize) -> Self {
+        let workers = workers.max(1);
+        Self {
+            state: Arc::new(ServiceState {
+                publisher: SnapshotPublisher::new(engine),
+                registry,
+                workers,
+            }),
+            pool: WorkerPool::new(workers),
+        }
+    }
+
+    /// Number of worker threads serving [`submit`](Self::submit) requests.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.state.workers
+    }
+
+    /// The currently published engine generation, for callers that want to
+    /// score directly (the scoring entry points all deref from the
+    /// snapshot).
+    #[must_use]
+    pub fn snapshot(&self) -> EngineSnapshot<E> {
+        self.state.publisher.snapshot()
+    }
+
+    /// Executes a request synchronously on the calling thread.  Never panics
+    /// on bad input: failures come back as [`ServiceResponse::Error`].
+    #[must_use]
+    pub fn handle(&self, request: ServiceRequest) -> ServiceResponse {
+        self.state.respond(request)
+    }
+
+    /// Enqueues a request on the worker pool and returns a [`Ticket`] to
+    /// wait on.  Submissions from one thread are answered in submission
+    /// order only when the pool has a single worker; correlate by
+    /// generation (or by wire id, at the transport layer) otherwise.
+    #[must_use]
+    pub fn submit(&self, request: ServiceRequest) -> Ticket {
+        let (sender, ticket) = Ticket::new();
+        let state = Arc::clone(&self.state);
+        // An Err means the pool already shut down; the closure (and with it
+        // `sender`) is dropped, which resolves the ticket to a
+        // `service-stopped` error response.
+        let _ = self.pool.execute(move || {
+            let _ = sender.send(state.respond(request));
+        });
+        ticket
+    }
+}
+
+impl<E: StreamingScorer + Clone + Send + Sync + 'static> ServiceState<E> {
+    fn respond(&self, request: ServiceRequest) -> ServiceResponse {
+        self.try_respond(request)
+            .unwrap_or_else(|error| ServiceResponse::Error {
+                error: error.into(),
+            })
+    }
+
+    /// Executes one request against one snapshot.  The snapshot is taken
+    /// once, first, and everything — including the stamped generation — is
+    /// read from it, so a concurrent ingest can never tear a response.
+    fn try_respond(&self, request: ServiceRequest) -> Result<ServiceResponse, PspError> {
+        match request {
+            ServiceRequest::Score { db, config } => {
+                let db = self.registry.lookup_database(&db)?;
+                let config = self.registry.lookup_config(&config)?;
+                let snapshot = self.publisher.snapshot();
+                Ok(ServiceResponse::Score {
+                    generation: snapshot.generation(),
+                    sai: snapshot.sai_list(db, config),
+                })
+            }
+            ServiceRequest::Sweep {
+                db,
+                config,
+                windows,
+            } => {
+                let db = self.registry.lookup_database(&db)?;
+                let config = self.registry.lookup_config(&config)?;
+                let snapshot = self.publisher.snapshot();
+                Ok(ServiceResponse::Sweep {
+                    generation: snapshot.generation(),
+                    lists: snapshot.sai_windows(db, config, &windows),
+                })
+            }
+            ServiceRequest::Matrix {
+                scenarios,
+                configs,
+                windows,
+            } => {
+                if scenarios.is_empty() || configs.is_empty() {
+                    return Err(PspError::BadRequest {
+                        detail: "matrix requests need at least one scenario and one configuration"
+                            .into(),
+                    });
+                }
+                let mut spec = MatrixSpec::new();
+                for name in &scenarios {
+                    spec =
+                        spec.scenario(name.clone(), self.registry.lookup_database(name)?.clone());
+                }
+                for name in &configs {
+                    spec = spec.config(name.clone(), self.registry.lookup_config(name)?.clone());
+                }
+                spec = spec.window_axis(&windows);
+                let snapshot = self.publisher.snapshot();
+                Ok(ServiceResponse::Matrix {
+                    generation: snapshot.generation(),
+                    cells: snapshot.sai_matrix(&spec).into_cells(),
+                })
+            }
+            ServiceRequest::Ingest { posts } => {
+                let receipt = self.publisher.ingest(posts);
+                Ok(ServiceResponse::Ingested {
+                    appended: receipt.appended,
+                    generation: receipt.generation,
+                })
+            }
+            ServiceRequest::ExportCache => {
+                let snapshot = self.publisher.snapshot();
+                Ok(ServiceResponse::Cache {
+                    generation: snapshot.generation(),
+                    cache: snapshot.export_signal_cache(),
+                })
+            }
+            ServiceRequest::Status => {
+                let snapshot = self.publisher.snapshot();
+                Ok(ServiceResponse::Status {
+                    posts: snapshot.post_count(),
+                    generation: snapshot.generation(),
+                    databases: self.registry.database_names(),
+                    configs: self.registry.config_names(),
+                    workers: self.workers,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socialsim::scenario;
+
+    fn registry() -> ServiceRegistry {
+        ServiceRegistry::new()
+            .database("excavator", KeywordDatabase::excavator_seed())
+            .config("excavator", PspConfig::excavator_europe())
+    }
+
+    fn service() -> TaraService {
+        TaraService::with_workers(
+            LiveEngine::new(scenario::excavator_europe(7)),
+            registry(),
+            2,
+        )
+    }
+
+    #[test]
+    fn score_matches_a_standalone_engine_and_stamps_the_generation() {
+        let service = service();
+        let reference = LiveEngine::new(scenario::excavator_europe(7)).sai_list(
+            &KeywordDatabase::excavator_seed(),
+            &PspConfig::excavator_europe(),
+        );
+        match service.handle(ServiceRequest::Score {
+            db: "excavator".into(),
+            config: "excavator".into(),
+        }) {
+            ServiceResponse::Score { generation, sai } => {
+                assert_eq!(generation, 0);
+                assert_eq!(sai, reference);
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_names_answer_with_typed_errors_not_panics() {
+        let service = service();
+        match service.handle(ServiceRequest::Score {
+            db: "nope".into(),
+            config: "excavator".into(),
+        }) {
+            ServiceResponse::Error { error } => {
+                assert_eq!(error.kind, "unknown-database");
+                assert!(error.detail.contains("nope"));
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+        match service.handle(ServiceRequest::Sweep {
+            db: "excavator".into(),
+            config: "missing".into(),
+            windows: WindowAxis::default(),
+        }) {
+            ServiceResponse::Error { error } => assert_eq!(error.kind, "unknown-config"),
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_matrix_requests_are_rejected_as_bad_requests() {
+        let service = service();
+        match service.handle(ServiceRequest::Matrix {
+            scenarios: Vec::new(),
+            configs: vec!["excavator".into()],
+            windows: WindowAxis::default(),
+        }) {
+            ServiceResponse::Error { error } => assert_eq!(error.kind, "bad-request"),
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ingest_advances_the_generation_seen_by_later_requests() {
+        let service = service();
+        let batch = scenario::excavator_europe(8).posts().to_vec();
+        let appended = batch.len();
+        match service.handle(ServiceRequest::Ingest { posts: batch }) {
+            ServiceResponse::Ingested {
+                appended: got,
+                generation,
+            } => {
+                assert_eq!(got, appended);
+                assert_eq!(generation, 1);
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+        match service.handle(ServiceRequest::Status) {
+            ServiceResponse::Status {
+                posts,
+                generation,
+                databases,
+                configs,
+                workers,
+            } => {
+                assert!(posts > 0);
+                assert_eq!(generation, 1);
+                assert_eq!(databases, vec!["excavator".to_string()]);
+                assert_eq!(configs, vec!["excavator".to_string()]);
+                assert_eq!(workers, 2);
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn submitted_requests_answer_through_tickets() {
+        let service = service();
+        let tickets: Vec<_> = (0..4)
+            .map(|_| service.submit(ServiceRequest::Status))
+            .collect();
+        for ticket in tickets {
+            match ticket.wait() {
+                ServiceResponse::Status { generation, .. } => assert_eq!(generation, 0),
+                other => panic!("unexpected response: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn registry_re_registration_replaces_the_entry() {
+        let registry = ServiceRegistry::new()
+            .config("c", PspConfig::excavator_europe())
+            .config("c", PspConfig::passenger_car_europe());
+        assert_eq!(registry.config_names(), vec!["c".to_string()]);
+        assert_eq!(
+            registry.lookup_config("c").unwrap(),
+            &PspConfig::passenger_car_europe()
+        );
+    }
+
+    #[test]
+    fn requests_and_responses_round_trip_through_json() {
+        let request = ServiceRequest::Sweep {
+            db: "excavator".into(),
+            config: "excavator".into(),
+            windows: WindowAxis::new().window(socialsim::time::DateWindow::years(2020, 2022)),
+        };
+        let json = serde_json::to_string(&request).unwrap();
+        assert_eq!(request, serde_json::from_str(&json).unwrap());
+
+        let response = ServiceResponse::Error {
+            error: ServiceError {
+                kind: "bad-request".into(),
+                detail: "because".into(),
+            },
+        };
+        let json = serde_json::to_string(&response).unwrap();
+        assert_eq!(response, serde_json::from_str(&json).unwrap());
+    }
+}

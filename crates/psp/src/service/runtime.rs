@@ -1,0 +1,167 @@
+//! The hand-rolled thread-pool + channel runtime the service runs on.
+//!
+//! Offline constraint: no async executor is available, and the honest
+//! offline alternative (per the roadmap) is plain threads and channels.  A
+//! [`WorkerPool`] owns N worker threads draining one shared job queue; a
+//! submitted request runs as one job and answers through a one-shot channel
+//! ([`Ticket`]).  Dropping the pool closes the queue and joins every worker,
+//! so shutdown is deterministic — in-flight jobs finish, queued jobs run,
+//! nothing is leaked.
+
+use super::ServiceResponse;
+use crate::error::PspError;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// One unit of work for the pool.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size worker pool over one shared job queue.
+#[derive(Debug)]
+pub struct WorkerPool {
+    /// `None` once shutdown has begun; dropping the sender closes the queue.
+    sender: Mutex<Option<mpsc::Sender<Job>>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `threads` workers (clamped to at least one) draining a shared
+    /// queue.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..threads.max(1))
+            .map(|index| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("tara-worker-{index}"))
+                    .spawn(move || loop {
+                        // Take the next job while holding the queue lock, then
+                        // release the lock before running it so other workers
+                        // keep draining.
+                        let job = {
+                            let queue = receiver.lock().expect("worker queue lock poisoned");
+                            queue.recv()
+                        };
+                        match job {
+                            Ok(job) => job(),
+                            // Sender dropped: queue drained, shut down.
+                            Err(mpsc::RecvError) => break,
+                        }
+                    })
+                    .expect("spawning a service worker thread failed")
+            })
+            .collect();
+        Self {
+            sender: Mutex::new(Some(sender)),
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues a job for the next free worker.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PspError::ServiceStopped`] when the pool has shut down.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) -> Result<(), PspError> {
+        let sender = self.sender.lock().expect("pool sender lock poisoned");
+        match sender.as_ref() {
+            Some(sender) => sender
+                .send(Box::new(job))
+                .map_err(|_| PspError::ServiceStopped),
+            None => Err(PspError::ServiceStopped),
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Close the queue, then join: each worker drains remaining jobs and
+        // exits on RecvError.
+        if let Ok(mut sender) = self.sender.lock() {
+            sender.take();
+        }
+        for worker in self.workers.drain(..) {
+            // A worker that panicked already reported; don't double-panic in
+            // the destructor.
+            let _ = worker.join();
+        }
+    }
+}
+
+/// The pending response of one submitted request — a one-shot channel the
+/// pool's worker answers on.
+#[derive(Debug)]
+pub struct Ticket {
+    receiver: mpsc::Receiver<ServiceResponse>,
+}
+
+impl Ticket {
+    /// Pairs a ticket with the sender its job answers on.
+    pub(super) fn new() -> (mpsc::Sender<ServiceResponse>, Self) {
+        let (sender, receiver) = mpsc::channel();
+        (sender, Self { receiver })
+    }
+
+    /// Blocks until the response arrives.  If the job was dropped unanswered
+    /// (pool shut down before it ran), this resolves to a
+    /// [`PspError::ServiceStopped`] error response instead of hanging.
+    #[must_use]
+    pub fn wait(self) -> ServiceResponse {
+        self.receiver
+            .recv()
+            .unwrap_or_else(|_| ServiceResponse::Error {
+                error: PspError::ServiceStopped.into(),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn jobs_run_and_drop_joins_cleanly() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.worker_count(), 3);
+        for _ in 0..20 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            })
+            .expect("pool accepts jobs");
+        }
+        drop(pool); // joins workers after the queue drains
+        assert_eq!(counter.load(Ordering::SeqCst), 20);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.worker_count(), 1);
+        let (sender, receiver) = mpsc::channel();
+        pool.execute(move || sender.send(7_usize).expect("receiver alive"))
+            .expect("pool accepts jobs");
+        assert_eq!(receiver.recv().unwrap(), 7);
+    }
+
+    #[test]
+    fn unanswered_tickets_resolve_to_service_stopped() {
+        let (sender, ticket) = Ticket::new();
+        drop(sender);
+        match ticket.wait() {
+            ServiceResponse::Error { error } => assert_eq!(error.kind, "service-stopped"),
+            other => panic!("expected an error response, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! The line-JSON wire format: one request or response per line, each tagged
+//! with a caller-chosen correlation id.
+//!
+//! This is deliberately thin — the service surface is
+//! [`ServiceRequest`]/[`ServiceResponse`]; the wire layer only adds the `id`
+//! envelope and the rule that *every* line in produces exactly one line out,
+//! even when the line cannot be parsed (a `bad-request` error response with
+//! the id recovered when possible, `0` otherwise).  Any framed transport can
+//! reuse it; `examples/tara_daemon.rs` runs it over stdin/stdout.
+
+use super::{ServiceRequest, ServiceResponse};
+use crate::error::PspError;
+use serde::{Deserialize, Serialize};
+
+/// One request line: a correlation id and the request itself.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireRequest {
+    /// Caller-chosen correlation id, echoed on the response.
+    pub id: u64,
+    /// The request to execute.
+    pub request: ServiceRequest,
+}
+
+/// One response line, carrying the id of the request it answers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireResponse {
+    /// The correlation id of the answered request.
+    pub id: u64,
+    /// The response.
+    pub response: ServiceResponse,
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// [`PspError::BadRequest`] when the line is not a JSON [`WireRequest`]; the
+/// detail carries the parser's message so clients can see what was wrong.
+pub fn decode_request(line: &str) -> Result<WireRequest, PspError> {
+    serde_json::from_str(line).map_err(|error| PspError::BadRequest {
+        detail: format!("unparseable request line: {error}"),
+    })
+}
+
+/// Encodes one response line (no trailing newline).
+///
+/// Serialization of a well-formed response cannot fail on this surface
+/// (every payload type round-trips and scores are finite); if it ever does,
+/// the failure itself is encoded as an error response so the one-line-out
+/// invariant holds.
+#[must_use]
+pub fn encode_response(response: &WireResponse) -> String {
+    serde_json::to_string(response).unwrap_or_else(|error| {
+        let fallback = WireResponse {
+            id: response.id,
+            response: ServiceResponse::Error {
+                error: PspError::BadRequest {
+                    detail: format!("response failed to serialize: {error}"),
+                }
+                .into(),
+            },
+        };
+        serde_json::to_string(&fallback).expect("error responses always serialize")
+    })
+}
+
+/// A convenience for transports: the `bad-request` response line for an
+/// unparseable input line, with id `0` (no id could be recovered).
+#[must_use]
+pub fn error_line(error: PspError) -> String {
+    encode_response(&WireResponse {
+        id: 0,
+        response: ServiceResponse::Error {
+            error: error.into(),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_lines_round_trip() {
+        let request = WireRequest {
+            id: 42,
+            request: ServiceRequest::Status,
+        };
+        let line = serde_json::to_string(&request).unwrap();
+        assert_eq!(decode_request(&line).unwrap(), request);
+    }
+
+    #[test]
+    fn garbage_lines_decode_to_bad_request() {
+        let error = decode_request("{not json").unwrap_err();
+        assert_eq!(error.kind(), "bad-request");
+        let line = error_line(error);
+        assert!(line.contains("\"bad-request\""));
+        assert!(line.contains("\"id\":0"));
+    }
+
+    #[test]
+    fn responses_encode_with_their_id() {
+        let response = WireResponse {
+            id: 7,
+            response: ServiceResponse::Ingested {
+                appended: 3,
+                generation: 1,
+            },
+        };
+        let line = encode_response(&response);
+        assert_eq!(
+            serde_json::from_str::<WireResponse>(&line).unwrap(),
+            response
+        );
+        assert!(line.contains("\"id\":7"));
+    }
+}

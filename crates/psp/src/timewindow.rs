@@ -6,7 +6,7 @@
 //! are more likely to opt for a local attack via OBD."
 
 use crate::config::PspConfig;
-use crate::engine::ScoringEngine;
+use crate::engine::{ScoringEngine, WindowAxis};
 use crate::keyword_db::KeywordDatabase;
 use crate::weights::WeightGenerator;
 use iso21434::feasibility::attack_vector::AttackVectorTable;
@@ -80,7 +80,11 @@ pub fn compare_windows(
         scenario,
         base_config.window,
         recent_window,
-        engine.sai_sweep_opt(db, base_config, &[base_config.window, Some(recent_window)]),
+        engine.sai_windows(
+            db,
+            base_config,
+            &WindowAxis::spans(&[base_config.window, Some(recent_window)]),
+        ),
     )
 }
 
@@ -106,7 +110,11 @@ pub fn compare_windows_live<E: crate::engine::SaiScorer>(
         scenario,
         base_config.window,
         recent_window,
-        engine.sai_sweep_opt(db, base_config, &[base_config.window, Some(recent_window)]),
+        engine.sai_windows(
+            db,
+            base_config,
+            &WindowAxis::spans(&[base_config.window, Some(recent_window)]),
+        ),
     )
 }
 

@@ -18,6 +18,7 @@
 use psp_suite::iso21434::controls::{anti_tampering_catalogue, ControlPlan};
 use psp_suite::market::datasets;
 use psp_suite::psp::config::PspConfig;
+use psp_suite::psp::engine::WindowAxis;
 use psp_suite::psp::financial::{FinancialAssessment, FinancialInputs};
 use psp_suite::psp::keyword_db::KeywordDatabase;
 use psp_suite::psp::monitoring::{LiveMonitor, MonitoringSeries};
@@ -54,7 +55,7 @@ fn main() {
     println!("ECM reprogramming, 2-year sliding windows, live ingestion:");
     let mut detected: Option<i32> = None;
     for (year, batch) in by_year {
-        let appended = monitor.ingest(batch);
+        let receipt = monitor.ingest(batch);
         let series = monitor.series(2015, year);
         let latest = series
             .observations
@@ -64,9 +65,10 @@ fn main() {
             .dominant
             .map_or("no evidence".to_string(), |v| v.to_string());
         println!(
-            "  [{year}] +{appended:<4} posts (total {:<5}, gen {:>2})  window {}-{}: posts={:<5} dominant={}",
+            "  [{year}] +{:<4} posts (total {:<5}, gen {:>2})  window {}-{}: posts={:<5} dominant={}",
+            receipt.appended,
             monitor.post_count(),
-            monitor.engine().generation(),
+            receipt.generation,
             latest.from_year,
             latest.to_year,
             latest.posts,
@@ -105,13 +107,14 @@ fn main() {
         monitor.post_count()
     );
 
-    // The series rides the sweep plane (`sai_sweep`): every window resolves
+    // The series rides the sweep plane (`sai_windows`): every window resolves
     // against prefix-summed columns instead of re-filtering the candidate
     // set.  Smoke-check that path against per-window batch scoring.
     let windows: Vec<DateWindow> = (2015..=2023)
         .map(|y| DateWindow::years(y, (y + 1).min(2023)))
         .collect();
-    let swept = monitor.engine().sai_sweep(&db, &config, &windows);
+    let axis = WindowAxis::each(&windows);
+    let swept = monitor.engine().sai_windows(&db, &config, &axis);
     let per_window: Vec<PspConfig> = windows
         .iter()
         .map(|w| config.clone().with_window(*w))
@@ -122,8 +125,8 @@ fn main() {
         "sweep plan diverged from per-window batch scoring"
     );
     println!(
-        "sai_sweep over {} windows == per-window sai_lists on the warm engine: bit-exact",
-        windows.len()
+        "sai_windows over {} windows == per-window sai_lists on the warm engine: bit-exact",
+        axis.len()
     );
 
     // Part 2: size a control plan against the financial investment bound of the

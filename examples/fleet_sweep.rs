@@ -19,7 +19,7 @@
 use psp_suite::market::datasets;
 use psp_suite::market::share::MarketStructure;
 use psp_suite::psp::config::{PspConfig, SaiWeights};
-use psp_suite::psp::engine::{MatrixSpec, SaiScorer, ScoringEngine, ShardedEngine};
+use psp_suite::psp::engine::{MatrixSpec, SaiScorer, ScoringEngine, ShardedEngine, WindowAxis};
 use psp_suite::psp::financial::{rate_financial_feasibility, FinancialAssessment, FinancialInputs};
 use psp_suite::psp::keyword_db::KeywordDatabase;
 use psp_suite::psp::learning::learn_keywords;
@@ -209,7 +209,7 @@ fn main() {
         (0..windows.len())
             .map(|w| fleet_cells.get(0, 0, w).expect("cell resolved").clone())
             .collect::<Vec<_>>(),
-        sharded.sai_sweep(&car_db, base, &windows),
+        sharded.sai_windows(&car_db, base, &WindowAxis::each(&windows)),
         "matrix row diverged from the sharded sweep"
     );
     let single = ScoringEngine::new(&fleet);

@@ -1,0 +1,204 @@
+//! The TARA service daemon: the PSP scoring engines served as a long-running
+//! process speaking line-JSON over stdin/stdout.
+//!
+//! Each input line is a `WireRequest` (`{"id":N,"request":{...}}`); each
+//! produces exactly one `WireResponse` line, unparseable input included.
+//! Requests run on the service's worker pool over snapshot-isolated engine
+//! generations: scoring requests never block behind an ingest, and every
+//! response stamps the generation it was computed at.
+//!
+//! ```text
+//! cargo run --release --example tara_daemon            # serve stdin
+//! cargo run --release --example tara_daemon -- --demo  # scripted transcript
+//! echo '{"id":1,"request":"Status"}' | cargo run --release --example tara_daemon
+//! ```
+//!
+//! The registry serves the two paper scenes: databases/configs are named
+//! `excavator` and `passenger-car`.
+
+use psp_suite::psp::config::PspConfig;
+use psp_suite::psp::engine::{LiveEngine, WindowAxis};
+use psp_suite::psp::keyword_db::KeywordDatabase;
+use psp_suite::psp::service::wire::{decode_request, encode_response, error_line, WireResponse};
+use psp_suite::psp::service::{ServiceRegistry, ServiceRequest, ServiceResponse, TaraService};
+use psp_suite::socialsim::scenario;
+use psp_suite::socialsim::time::DateWindow;
+use std::collections::VecDeque;
+use std::io::{BufRead, Write};
+
+fn build_service() -> TaraService {
+    let registry = ServiceRegistry::new()
+        .database("excavator", KeywordDatabase::excavator_seed())
+        .database("passenger-car", KeywordDatabase::passenger_car_seed())
+        .config("excavator", PspConfig::excavator_europe())
+        .config("passenger-car", PspConfig::passenger_car_europe());
+    TaraService::new(LiveEngine::new(scenario::excavator_europe(7)), registry)
+}
+
+fn main() {
+    if std::env::args().any(|arg| arg == "--demo") {
+        demo();
+    } else {
+        serve();
+    }
+}
+
+/// Serves stdin until EOF with bounded pipelining: up to one request per
+/// worker rides the pool at a time, responses flush in input order so the
+/// transcript stays deterministic for piped callers.
+fn serve() {
+    let service = build_service();
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut pending: VecDeque<(u64, psp_suite::psp::service::runtime::Ticket)> = VecDeque::new();
+
+    eprintln!(
+        "tara_daemon: serving line-JSON on stdin ({} workers); send {{\"id\":1,\"request\":\"Status\"}}",
+        service.workers()
+    );
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(_) => break,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match decode_request(&line) {
+            Ok(wire) => pending.push_back((wire.id, service.submit(wire.request))),
+            Err(error) => {
+                // Unparseable line: answer immediately, in order, id 0.
+                flush(&mut out, &mut pending, 0);
+                writeln!(out, "{}", error_line(error)).expect("stdout writable");
+            }
+        }
+        let workers = service.workers();
+        flush(&mut out, &mut pending, workers);
+    }
+    flush(&mut out, &mut pending, 0);
+}
+
+/// Waits out queued tickets until at most `keep` remain, writing their
+/// responses in submission order.
+fn flush(
+    out: &mut impl Write,
+    pending: &mut VecDeque<(u64, psp_suite::psp::service::runtime::Ticket)>,
+    keep: usize,
+) {
+    while pending.len() > keep {
+        let (id, ticket) = pending.pop_front().expect("len checked");
+        let line = encode_response(&WireResponse {
+            id,
+            response: ticket.wait(),
+        });
+        writeln!(out, "{line}").expect("stdout writable");
+    }
+}
+
+/// A deterministic scripted transcript — what the daemon does, without
+/// needing a driver on stdin.  Used as the CI smoke test.
+fn demo() {
+    let service = build_service();
+    println!(
+        "tara_daemon demo: excavator scene, {} workers",
+        service.workers()
+    );
+
+    let script: Vec<(&str, ServiceRequest)> = vec![
+        ("status", ServiceRequest::Status),
+        (
+            "score excavator",
+            ServiceRequest::Score {
+                db: "excavator".into(),
+                config: "excavator".into(),
+            },
+        ),
+        (
+            "ingest next batch",
+            ServiceRequest::Ingest {
+                posts: scenario::excavator_europe(8).posts().to_vec(),
+            },
+        ),
+        (
+            "score excavator again",
+            ServiceRequest::Score {
+                db: "excavator".into(),
+                config: "excavator".into(),
+            },
+        ),
+        (
+            "sweep three windows",
+            ServiceRequest::Sweep {
+                db: "excavator".into(),
+                config: "excavator".into(),
+                windows: WindowAxis::new()
+                    .full_history()
+                    .window(DateWindow::years(2019, 2021))
+                    .window(DateWindow::years(2021, 2023)),
+            },
+        ),
+        (
+            "unknown database",
+            ServiceRequest::Score {
+                db: "tractor".into(),
+                config: "excavator".into(),
+            },
+        ),
+    ];
+    for (label, request) in script {
+        let response = service.handle(request);
+        println!("  {label:<24} -> {}", describe(&response));
+    }
+
+    // The same requests ride the worker pool: submit a burst, then wait the
+    // tickets in order.
+    let tickets: Vec<_> = (0..4)
+        .map(|_| service.submit(ServiceRequest::Status))
+        .collect();
+    for (n, ticket) in tickets.into_iter().enumerate() {
+        println!("  pooled status #{n:<13} -> {}", describe(&ticket.wait()));
+    }
+    println!("demo complete");
+}
+
+/// One-line summary of a response for the demo transcript (full payloads are
+/// wire-format concerns; the demo shows shapes and generations).
+fn describe(response: &ServiceResponse) -> String {
+    match response {
+        ServiceResponse::Score { generation, sai } => {
+            let top = sai.top().map_or("none".to_string(), |e| {
+                format!("{} (SAI {:.0})", e.keyword, e.sai)
+            });
+            format!("gen {generation}: {} entries, top {top}", sai.len())
+        }
+        ServiceResponse::Sweep { generation, lists } => {
+            format!("gen {generation}: {} windows scored", lists.len())
+        }
+        ServiceResponse::Matrix { generation, cells } => {
+            format!("gen {generation}: {} cells", cells.len())
+        }
+        ServiceResponse::Ingested {
+            appended,
+            generation,
+        } => format!("+{appended} posts -> gen {generation}"),
+        ServiceResponse::Cache { generation, cache } => {
+            format!(
+                "gen {generation}: {} cached signal rows",
+                cache.post_ids.len()
+            )
+        }
+        ServiceResponse::Status {
+            posts,
+            generation,
+            databases,
+            configs,
+            workers,
+        } => format!(
+            "gen {generation}: {posts} posts, {} dbs, {} configs, {workers} workers",
+            databases.len(),
+            configs.len()
+        ),
+        ServiceResponse::Error { error } => format!("error [{}] {}", error.kind, error.detail),
+    }
+}

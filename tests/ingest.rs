@@ -75,8 +75,9 @@ fn ingestion_only_pays_for_the_batch() {
     let config = PspConfig::excavator_europe();
     let mut live = LiveEngine::new(seed);
     let before = live.sai_list(&db, &config);
-    let appended = live.ingest(Vec::new());
-    assert_eq!(appended, 0);
+    let receipt = live.ingest(Vec::new());
+    assert_eq!(receipt.appended, 0);
+    assert_eq!(receipt.generation, 0);
     assert_eq!(live.generation(), 0);
     assert_eq!(live.sai_list(&db, &config), before);
 }

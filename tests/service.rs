@@ -1,0 +1,329 @@
+//! Concurrency suite for the TARA service: snapshot isolation under load.
+//!
+//! The property being pinned: a response computed while ingest runs is
+//! **bit-identical** to what a standalone engine that stopped at the
+//! response's stamped generation would produce.  No torn reads, no partially
+//! visible batches, no drift between the snapshot path and a cold engine —
+//! on both engine shapes, across forced shim thread counts, through both the
+//! synchronous `handle` path and the worker-pool `submit` path.
+
+use psp_suite::psp::config::PspConfig;
+use psp_suite::psp::engine::{CellId, MatrixSpec, ShardedEngine, StreamingScorer, WindowAxis};
+use psp_suite::psp::keyword_db::KeywordDatabase;
+use psp_suite::psp::sai::SaiList;
+use psp_suite::psp::service::{ServiceRegistry, ServiceRequest, ServiceResponse, TaraService};
+use psp_suite::psp::LiveEngine;
+use psp_suite::socialsim::corpus::Corpus;
+use psp_suite::socialsim::post::Post;
+use psp_suite::socialsim::scenario;
+use psp_suite::socialsim::time::DateWindow;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Runs `f` under a forced shim thread count; a no-op pass-through when the
+/// real rayon is swapped in.
+fn with_threads<T>(threads: usize, f: impl FnOnce() -> T) -> T {
+    #[cfg(feature = "shim-rayon")]
+    {
+        rayon::with_thread_count(threads, f)
+    }
+    #[cfg(not(feature = "shim-rayon"))]
+    {
+        let _ = threads;
+        f()
+    }
+}
+
+/// The sweep axis every test asks for: full history plus two paper windows.
+fn axis() -> WindowAxis {
+    WindowAxis::new()
+        .full_history()
+        .window(DateWindow::years(2019, 2021))
+        .window(DateWindow::years(2021, 2023))
+}
+
+/// Per-generation reference answers, computed on standalone engines of the
+/// same shape the service serves.
+struct References {
+    score: Vec<SaiList>,
+    sweep: Vec<Vec<SaiList>>,
+    matrix: Vec<Vec<(CellId, SaiList)>>,
+}
+
+fn matrix_spec(db: &KeywordDatabase, config: &PspConfig) -> MatrixSpec {
+    MatrixSpec::new()
+        .scenario("excavator", db.clone())
+        .config("excavator", config.clone())
+        .window_axis(&axis())
+}
+
+fn references<E: StreamingScorer>(
+    make: impl Fn() -> E,
+    chunks: &[Vec<Post>],
+    db: &KeywordDatabase,
+    config: &PspConfig,
+) -> References {
+    let spec = matrix_spec(db, config);
+    let mut refs = References {
+        score: Vec::new(),
+        sweep: Vec::new(),
+        matrix: Vec::new(),
+    };
+    for generation in 0..=chunks.len() {
+        let mut engine = make();
+        for chunk in &chunks[..generation] {
+            engine.ingest_batch(chunk.clone());
+        }
+        assert_eq!(engine.generation(), generation as u64);
+        refs.score.push(engine.sai_list(db, config));
+        refs.sweep.push(engine.sai_windows(db, config, &axis()));
+        refs.matrix.push(engine.sai_matrix(&spec).into_cells());
+    }
+    refs
+}
+
+/// The stress harness: `readers` reader threads hammer Score/Sweep/Matrix
+/// through the synchronous path while the main thread ingests one batch at a
+/// time.  Every response must equal the same-shape standalone reference at
+/// its stamped generation.
+fn stress_snapshot_isolation<E>(make: impl Fn() -> E + Sync)
+where
+    E: StreamingScorer + Clone + Send + Sync + 'static,
+{
+    let posts = scenario::excavator_europe(42).posts().to_vec();
+    let chunks: Vec<Vec<Post>> = posts.chunks(520).map(<[Post]>::to_vec).collect();
+    let db = KeywordDatabase::excavator_seed();
+    let config = PspConfig::excavator_europe();
+    let refs = references(&make, &chunks, &db, &config);
+
+    let registry = ServiceRegistry::new()
+        .database("excavator", db.clone())
+        .config("excavator", config.clone());
+    let service = TaraService::with_workers(make(), registry, 2);
+
+    let done = AtomicBool::new(false);
+    let checked = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for reader in 0..3_usize {
+            let (service, refs, done, checked) = (&service, &refs, &done, &checked);
+            scope.spawn(move || {
+                with_threads(1 + reader % 3, || {
+                    let mut rounds = 0_usize;
+                    // Keep reading until the writer finishes, then one final
+                    // round against the settled engine.
+                    while rounds == 0 || !done.load(Ordering::SeqCst) {
+                        rounds += 1;
+                        match reader % 3 {
+                            0 => match service.handle(ServiceRequest::Score {
+                                db: "excavator".into(),
+                                config: "excavator".into(),
+                            }) {
+                                ServiceResponse::Score { generation, sai } => {
+                                    assert_eq!(sai, refs.score[generation as usize]);
+                                }
+                                other => panic!("unexpected response: {other:?}"),
+                            },
+                            1 => match service.handle(ServiceRequest::Sweep {
+                                db: "excavator".into(),
+                                config: "excavator".into(),
+                                windows: axis(),
+                            }) {
+                                ServiceResponse::Sweep { generation, lists } => {
+                                    assert_eq!(lists, refs.sweep[generation as usize]);
+                                }
+                                other => panic!("unexpected response: {other:?}"),
+                            },
+                            _ => match service.handle(ServiceRequest::Matrix {
+                                scenarios: vec!["excavator".into()],
+                                configs: vec!["excavator".into()],
+                                windows: axis(),
+                            }) {
+                                ServiceResponse::Matrix { generation, cells } => {
+                                    assert_eq!(cells, refs.matrix[generation as usize]);
+                                }
+                                other => panic!("unexpected response: {other:?}"),
+                            },
+                        }
+                    }
+                    checked.fetch_add(rounds, Ordering::SeqCst);
+                });
+            });
+        }
+
+        // The writer: publish one generation per batch, yielding so readers
+        // get scheduled between (and during) publications.
+        for (n, chunk) in chunks.iter().enumerate() {
+            match service.handle(ServiceRequest::Ingest {
+                posts: chunk.clone(),
+            }) {
+                ServiceResponse::Ingested {
+                    appended,
+                    generation,
+                } => {
+                    assert_eq!(appended, chunk.len());
+                    assert_eq!(generation, n as u64 + 1);
+                }
+                other => panic!("unexpected response: {other:?}"),
+            }
+            std::thread::yield_now();
+        }
+        done.store(true, Ordering::SeqCst);
+    });
+    assert!(checked.load(Ordering::SeqCst) >= 3, "every reader ran");
+
+    // After the dust settles the service serves the final generation, and the
+    // pooled path answers with the same bits as the synchronous path.
+    match service.handle(ServiceRequest::Status) {
+        ServiceResponse::Status {
+            posts: served,
+            generation,
+            ..
+        } => {
+            assert_eq!(served, posts.len());
+            assert_eq!(generation, chunks.len() as u64);
+        }
+        other => panic!("unexpected response: {other:?}"),
+    }
+    let tickets: Vec<_> = (0..3)
+        .map(|n| {
+            service.submit(match n {
+                0 => ServiceRequest::Score {
+                    db: "excavator".into(),
+                    config: "excavator".into(),
+                },
+                1 => ServiceRequest::Sweep {
+                    db: "excavator".into(),
+                    config: "excavator".into(),
+                    windows: axis(),
+                },
+                _ => ServiceRequest::Matrix {
+                    scenarios: vec!["excavator".into()],
+                    configs: vec!["excavator".into()],
+                    windows: axis(),
+                },
+            })
+        })
+        .collect();
+    for ticket in tickets {
+        match ticket.wait() {
+            ServiceResponse::Score { generation, sai } => {
+                assert_eq!(sai, refs.score[generation as usize]);
+            }
+            ServiceResponse::Sweep { generation, lists } => {
+                assert_eq!(lists, refs.sweep[generation as usize]);
+            }
+            ServiceResponse::Matrix { generation, cells } => {
+                assert_eq!(cells, refs.matrix[generation as usize]);
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn concurrent_responses_are_bit_exact_on_the_live_engine() {
+    stress_snapshot_isolation(|| LiveEngine::new(Corpus::new()));
+}
+
+#[test]
+fn concurrent_responses_are_bit_exact_on_the_sharded_engine() {
+    stress_snapshot_isolation(|| {
+        ShardedEngine::new(
+            Corpus::new(),
+            psp_suite::socialsim::index::ShardSpec::yearly(),
+        )
+    });
+}
+
+#[test]
+fn a_snapshot_taken_before_ingest_keeps_answering_its_generation() {
+    let db = KeywordDatabase::excavator_seed();
+    let config = PspConfig::excavator_europe();
+    let registry = ServiceRegistry::new()
+        .database("excavator", db.clone())
+        .config("excavator", config.clone());
+    let service =
+        TaraService::with_workers(LiveEngine::new(scenario::excavator_europe(7)), registry, 1);
+
+    let pinned = service.snapshot();
+    let before = pinned.sai_list(&db, &config);
+    match service.handle(ServiceRequest::Ingest {
+        posts: scenario::excavator_europe(8).posts().to_vec(),
+    }) {
+        ServiceResponse::Ingested { generation, .. } => assert_eq!(generation, 1),
+        other => panic!("unexpected response: {other:?}"),
+    }
+    // The pinned snapshot still serves generation 0 bit-for-bit...
+    assert_eq!(pinned.generation(), 0);
+    assert_eq!(pinned.sai_list(&db, &config), before);
+    assert_eq!(
+        before,
+        LiveEngine::new(scenario::excavator_europe(7)).sai_list(&db, &config)
+    );
+    // ...while the service has moved on.
+    match service.handle(ServiceRequest::Score {
+        db: "excavator".into(),
+        config: "excavator".into(),
+    }) {
+        ServiceResponse::Score { generation, sai } => {
+            assert_eq!(generation, 1);
+            assert_ne!(sai, before);
+        }
+        other => panic!("unexpected response: {other:?}"),
+    }
+}
+
+#[test]
+fn the_wire_layer_round_trips_every_request_shape() {
+    use psp_suite::psp::service::wire::{
+        decode_request, encode_response, WireRequest, WireResponse,
+    };
+
+    let requests = vec![
+        ServiceRequest::Status,
+        ServiceRequest::ExportCache,
+        ServiceRequest::Score {
+            db: "excavator".into(),
+            config: "excavator".into(),
+        },
+        ServiceRequest::Sweep {
+            db: "excavator".into(),
+            config: "excavator".into(),
+            windows: axis(),
+        },
+        ServiceRequest::Matrix {
+            scenarios: vec!["excavator".into()],
+            configs: vec!["excavator".into()],
+            windows: axis(),
+        },
+        ServiceRequest::Ingest {
+            posts: scenario::excavator_europe(8).posts()[..3].to_vec(),
+        },
+    ];
+    let registry = ServiceRegistry::new()
+        .database("excavator", KeywordDatabase::excavator_seed())
+        .config("excavator", PspConfig::excavator_europe());
+    let service =
+        TaraService::with_workers(LiveEngine::new(scenario::excavator_europe(7)), registry, 1);
+
+    for (id, request) in requests.into_iter().enumerate() {
+        let id = id as u64 + 1;
+        let line = serde_json::to_string(&WireRequest {
+            id,
+            request: request.clone(),
+        })
+        .unwrap();
+        let decoded = decode_request(&line).unwrap();
+        assert_eq!(decoded.id, id);
+        assert_eq!(decoded.request, request);
+
+        // Execute and round-trip the response line too: everything the
+        // service can answer must survive the wire.
+        let response = service.handle(decoded.request);
+        let wire = WireResponse { id, response };
+        let encoded = encode_response(&wire);
+        assert_eq!(
+            serde_json::from_str::<WireResponse>(&encoded).unwrap(),
+            wire
+        );
+    }
+}

@@ -1,4 +1,4 @@
-//! Integration and property suite for the sweep plane (`sai_sweep`): the
+//! Integration and property suite for the sweep plane (`sai_windows`): the
 //! prefix-summed columnar window sweep must be **bit-identical** to scoring
 //! each window through the batch `sai_lists` path, to one `sai_list` call per
 //! window, and to the naive `SaiList::compute_naive` oracle — on all three
@@ -11,7 +11,7 @@
 
 use proptest::prelude::*;
 use psp_suite::psp::config::PspConfig;
-use psp_suite::psp::engine::{LiveEngine, SaiScorer, ScoringEngine, ShardedEngine};
+use psp_suite::psp::engine::{LiveEngine, SaiScorer, ScoringEngine, ShardedEngine, WindowAxis};
 use psp_suite::psp::keyword_db::KeywordDatabase;
 use psp_suite::psp::sai::SaiList;
 use psp_suite::socialsim::corpus::Corpus;
@@ -46,7 +46,7 @@ fn assert_sweep_exact<E: SaiScorer>(
     base: &PspConfig,
     windows: &[DateWindow],
 ) {
-    let swept = engine.sai_sweep(db, base, windows);
+    let swept = engine.sai_windows(db, base, &WindowAxis::each(windows));
     assert_eq!(swept.len(), windows.len());
     let configs = windowed_configs(base, windows);
     assert_eq!(
@@ -115,7 +115,7 @@ fn weight_presets_share_one_plan_without_changing_results() {
     ] {
         let base = PspConfig::passenger_car_europe().with_weights(weights);
         assert_eq!(
-            engine.sai_sweep(&db, &base, &windows),
+            engine.sai_windows(&db, &base, &WindowAxis::each(&windows)),
             engine.sai_lists(&db, &windowed_configs(&base, &windows)),
             "weights {weights:?}"
         );
@@ -171,7 +171,11 @@ fn backdated_posts_keep_the_fold_in_post_id_order() {
 
     // The full-history window returns the prices in ascending post-id order,
     // not date order.
-    let all = &engine.sai_sweep(&db, &base, &[DateWindow::years(2015, 2025)])[0];
+    let all = &engine.sai_windows(
+        &db,
+        &base,
+        &WindowAxis::each(&[DateWindow::years(2015, 2025)]),
+    )[0];
     let dpf = all.entry("dpfdelete").expect("scored");
     assert_eq!(
         dpf.prices,
@@ -198,7 +202,7 @@ fn posts_sharing_one_date_stay_in_id_order_across_window_bounds() {
         DateWindow::years(2020, 2021),
     ];
     assert_sweep_exact(&engine, &corpus, &db, &base, &windows);
-    let swept = engine.sai_sweep(&db, &base, &windows);
+    let swept = engine.sai_windows(&db, &base, &WindowAxis::each(&windows));
     let dpf = swept[0].entry("dpfdelete").expect("scored");
     assert_eq!(dpf.posts, 5);
     assert_eq!(dpf.prices, vec![400.0, 401.0, 402.0, 403.0, 404.0]);
@@ -221,7 +225,7 @@ fn inverted_windows_report_zero_evidence_like_the_batch_path() {
         Box::new(ScoringEngine::new(&corpus)) as Box<dyn SaiScorer + '_>,
         Box::new(ShardedEngine::new(corpus.clone(), ShardSpec::yearly())),
     ] {
-        let swept = engine.sai_sweep(&db, &base, &windows);
+        let swept = engine.sai_windows(&db, &base, &WindowAxis::each(&windows));
         assert_eq!(
             swept,
             engine.sai_lists(&db, &windowed_configs(&base, &windows))
@@ -243,7 +247,7 @@ fn full_history_entries_ride_the_same_plan_as_windows() {
         Box::new(ScoringEngine::new(&corpus)) as Box<dyn SaiScorer + '_>,
         Box::new(ShardedEngine::new(corpus.clone(), ShardSpec::yearly())),
     ] {
-        let swept = engine.sai_sweep_opt(&db, &base, &[None, Some(recent), None]);
+        let swept = engine.sai_windows(&db, &base, &WindowAxis::spans(&[None, Some(recent), None]));
         assert_eq!(swept[0], engine.sai_list(&db, &base));
         assert_eq!(swept[2], swept[0]);
         assert_eq!(
@@ -268,8 +272,8 @@ fn sharded_sweep_prunes_without_changing_results_after_ingest() {
         grown.extend(chunk.to_vec());
         let cold = ScoringEngine::new(&grown);
         assert_eq!(
-            sharded.sai_sweep(&db, &base, &windows),
-            cold.sai_sweep(&db, &base, &windows),
+            sharded.sai_windows(&db, &base, &WindowAxis::each(&windows)),
+            cold.sai_windows(&db, &base, &WindowAxis::each(&windows)),
             "sweep diverged after ingesting {} posts",
             grown.len()
         );
@@ -292,7 +296,7 @@ proptest! {
         let configs = windowed_configs(&base, &windows);
 
         let single = ScoringEngine::new(&corpus);
-        let swept = single.sai_sweep(&db, &base, &windows);
+        let swept = single.sai_windows(&db, &base, &WindowAxis::each(&windows));
         prop_assert_eq!(&swept, &single.sai_lists(&db, &configs));
         for (config, list) in configs.iter().zip(&swept) {
             prop_assert_eq!(list, &SaiList::compute_naive(&corpus, &db, config));
@@ -314,8 +318,8 @@ proptest! {
         let sharded = ShardedEngine::new(corpus.clone(), spec);
         let single = ScoringEngine::new(&corpus);
         prop_assert_eq!(
-            sharded.sai_sweep(&db, &base, &windows),
-            single.sai_sweep(&db, &base, &windows)
+            sharded.sai_windows(&db, &base, &WindowAxis::each(&windows)),
+            single.sai_windows(&db, &base, &WindowAxis::each(&windows))
         );
     }
 
@@ -336,12 +340,12 @@ proptest! {
         for batch in posts.chunks(chunk) {
             // Sweep *before* ingesting the next batch: caches a plan that the
             // ingest must invalidate.
-            let _ = live.sai_sweep(&db, &base, &windows);
+            let _ = live.sai_windows(&db, &base, &WindowAxis::each(&windows));
             live.ingest(batch.to_vec());
         }
         prop_assert_eq!(
-            live.sai_sweep(&db, &base, &windows),
-            ScoringEngine::new(&corpus).sai_sweep(&db, &base, &windows)
+            live.sai_windows(&db, &base, &WindowAxis::each(&windows)),
+            ScoringEngine::new(&corpus).sai_windows(&db, &base, &WindowAxis::each(&windows))
         );
     }
 
@@ -353,7 +357,7 @@ proptest! {
         let filtered = base.with_poisoning_filter(0.25);
         let windows = [DateWindow::years(2016, 2018), DateWindow::years(2019, 2023)];
         let engine = ScoringEngine::new(&corpus);
-        let swept = engine.sai_sweep(&db, &filtered, &windows);
+        let swept = engine.sai_windows(&db, &filtered, &WindowAxis::each(&windows));
         for (config, list) in windowed_configs(&filtered, &windows).iter().zip(&swept) {
             prop_assert_eq!(list, &SaiList::compute_naive(&corpus, &db, config));
         }
@@ -463,16 +467,25 @@ mod thread_count_independence {
         let windows: Vec<DateWindow> = (2016..2024).map(|y| DateWindow::years(y, y)).collect();
 
         let reference = rayon::with_thread_count(1, || {
-            ScoringEngine::new(&corpus).sai_sweep(&db, &base, &windows)
+            ScoringEngine::new(&corpus).sai_windows(&db, &base, &WindowAxis::each(&windows))
         });
         for threads in [1, 2, 3, 8] {
-            let (single, live, sharded) = rayon::with_thread_count(threads, || {
-                let single = ScoringEngine::new(&corpus).sai_sweep(&db, &base, &windows);
-                let live = LiveEngine::new(corpus.clone()).sai_sweep(&db, &base, &windows);
-                let sharded = ShardedEngine::new(corpus.clone(), ShardSpec::yearly())
-                    .sai_sweep(&db, &base, &windows);
-                (single, live, sharded)
-            });
+            let (single, live, sharded) =
+                rayon::with_thread_count(threads, || {
+                    let single = ScoringEngine::new(&corpus).sai_windows(
+                        &db,
+                        &base,
+                        &WindowAxis::each(&windows),
+                    );
+                    let live = LiveEngine::new(corpus.clone()).sai_windows(
+                        &db,
+                        &base,
+                        &WindowAxis::each(&windows),
+                    );
+                    let sharded = ShardedEngine::new(corpus.clone(), ShardSpec::yearly())
+                        .sai_windows(&db, &base, &WindowAxis::each(&windows));
+                    (single, live, sharded)
+                });
             assert_eq!(single, reference, "single sweep at {threads} threads");
             assert_eq!(live, reference, "live sweep at {threads} threads");
             assert_eq!(sharded, reference, "sharded sweep at {threads} threads");
