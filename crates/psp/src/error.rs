@@ -51,6 +51,13 @@ pub enum PspError {
     },
     /// The service runtime has shut down and can accept no more work.
     ServiceStopped,
+    /// A request panicked while being served.  The worker caught the unwind
+    /// and survived; the panic message travels as detail so the client sees a
+    /// structured failure instead of a hung ticket.
+    Internal {
+        /// The panic payload, when it was a string.
+        detail: String,
+    },
 }
 
 impl PspError {
@@ -68,6 +75,7 @@ impl PspError {
             PspError::UnknownConfig { .. } => "unknown-config",
             PspError::BadRequest { .. } => "bad-request",
             PspError::ServiceStopped => "service-stopped",
+            PspError::Internal { .. } => "internal-error",
         }
     }
 }
@@ -94,6 +102,9 @@ impl fmt::Display for PspError {
             }
             PspError::BadRequest { detail } => write!(f, "bad request: {detail}"),
             PspError::ServiceStopped => write!(f, "service runtime has shut down"),
+            PspError::Internal { detail } => {
+                write!(f, "internal service error (request panicked): {detail}")
+            }
         }
     }
 }
@@ -182,6 +193,12 @@ mod tests {
         assert_eq!(bad.kind(), "bad-request");
         assert!(bad.to_string().contains("not json"));
         assert_eq!(PspError::ServiceStopped.kind(), "service-stopped");
+        let internal = PspError::Internal {
+            detail: "index out of bounds".into(),
+        };
+        assert_eq!(internal.kind(), "internal-error");
+        assert!(internal.to_string().contains("index out of bounds"));
+        assert!(internal.to_string().contains("panicked"));
     }
 
     #[test]
@@ -204,6 +221,7 @@ mod tests {
             PspError::UnknownConfig { name: "n".into() }.kind(),
             PspError::BadRequest { detail: "d".into() }.kind(),
             PspError::ServiceStopped.kind(),
+            PspError::Internal { detail: "d".into() }.kind(),
         ];
         let unique: std::collections::BTreeSet<_> = kinds.iter().collect();
         assert_eq!(unique.len(), kinds.len());

@@ -156,7 +156,34 @@ impl MonitoringSeries {
         // One engine for the whole series: the corpus is indexed and the
         // text-mining signals are computed once, then every window is
         // answered through the prefix-summed sweep plan (`sai_windows`).
-        let engine = ScoringEngine::new(corpus);
+        Self::run_on(
+            &ScoringEngine::new(corpus),
+            db,
+            base_config,
+            scenario,
+            from_year,
+            to_year,
+            window_years,
+        )
+    }
+
+    /// Runs the windowed analysis on an already-built engine of any shape —
+    /// the entry point warm callers share: [`LiveMonitor::series`] runs it
+    /// on its streaming engine, and the service's monitor subscriptions run
+    /// it on the snapshot published by each ingest, so a subscription delta
+    /// is by construction the same computation as a cold
+    /// [`run`](Self::run) over the same corpus (bit-identical; pinned in
+    /// `tests/service.rs`).
+    #[must_use]
+    pub fn run_on<E: SaiScorer + ?Sized>(
+        engine: &E,
+        db: &KeywordDatabase,
+        base_config: &PspConfig,
+        scenario: &str,
+        from_year: i32,
+        to_year: i32,
+        window_years: i32,
+    ) -> Self {
         let (bounds, axis) = window_plan(from_year, to_year, window_years);
         let sai_lists = engine.sai_windows(db, base_config, &axis);
         Self {
@@ -374,12 +401,15 @@ impl<E: StreamingScorer> LiveMonitor<E> {
     /// engine's generation counter keys the plan).
     #[must_use]
     pub fn series(&self, from_year: i32, to_year: i32) -> MonitoringSeries {
-        let (bounds, axis) = window_plan(from_year, to_year, self.window_years);
-        let sai_lists = self.engine.sai_windows(&self.db, &self.base_config, &axis);
-        MonitoringSeries {
-            scenario: self.scenario.clone(),
-            observations: observations_from(&bounds, &sai_lists, &self.scenario),
-        }
+        MonitoringSeries::run_on(
+            &self.engine,
+            &self.db,
+            &self.base_config,
+            &self.scenario,
+            from_year,
+            to_year,
+            self.window_years,
+        )
     }
 
     /// The SAI movement alerts of the current series — see

@@ -26,8 +26,33 @@
 //! configuration blobs.  All failures fold into
 //! [`PspError`] and travel as
 //! [`ServiceResponse::Error`] — the service never panics on bad input.
+//!
+//! The serving plane is hardened for production traffic:
+//!
+//! * **Panic resilience** — every pooled request runs under `catch_unwind`;
+//!   a panicking request answers its [`Ticket`] with a structured
+//!   `internal-error` response and the worker thread survives, so the pool
+//!   never silently shrinks (see [`runtime`]).
+//! * **Deadlines & cancellation** — [`TaraService::submit_with_deadline`]
+//!   attaches a [`CancelToken`] that sweeps and
+//!   matrices check cooperatively between windows/cells; an overrun answers
+//!   [`ServiceResponse::Expired`] instead of burning a worker, and
+//!   [`Ticket::wait_timeout`] bounds the client-side wait.  `Status`
+//!   reports queued/in-flight depth.
+//! * **Subscriptions** — [`ServiceRequest::Subscribe`] (or the embedded
+//!   [`TaraService::subscribe`]) registers a [`MonitorSpec`]; after every
+//!   successful ingest publication the service pushes a
+//!   [`ServiceEvent::MonitorDelta`] — the re-evaluated
+//!   [`MonitoringSeries`] plus its `sai_alerts` firings, computed on the
+//!   just-published snapshot — replacing poll-by-`Sweep`.
+//! * **Scheduled sweeps** — [`ServiceRequest::Schedule`] (or
+//!   [`TaraService::schedule`]) re-runs a read-only request at a fixed
+//!   interval against the latest snapshot on a dedicated scheduler thread,
+//!   delivering [`ServiceEvent::ScheduledRun`]s through the same event
+//!   channels.
 
 pub mod runtime;
+mod scheduler;
 pub mod snapshot;
 pub mod wire;
 
@@ -35,12 +60,28 @@ use crate::config::PspConfig;
 use crate::engine::{CellId, LiveEngine, MatrixSpec, SignalCacheFile, StreamingScorer, WindowAxis};
 use crate::error::PspError;
 use crate::keyword_db::KeywordDatabase;
+use crate::monitoring::{MonitoringSeries, SaiAlert};
 use crate::sai::SaiList;
-use runtime::{Ticket, WorkerPool};
+use runtime::{CancelToken, PoolMetrics, Ticket, WorkerPool};
+use scheduler::SchedulerQueue;
 use serde::{Deserialize, Serialize};
 use snapshot::{EngineSnapshot, SnapshotPublisher};
 use socialsim::post::Post;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+/// Renders a caught panic payload as the `detail` of an `internal-error`
+/// response (panics carry `&str` or `String` payloads in practice).
+pub(crate) fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_string()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "request panicked with a non-string payload".to_string()
+    }
+}
 
 /// Named keyword databases and scoring configurations the service can be
 /// asked for.  Requests reference entries by name; unknown names answer with
@@ -178,8 +219,75 @@ pub enum ServiceRequest {
     },
     /// Export the memoised per-post signal cache at the current generation.
     ExportCache,
-    /// Service liveness, corpus size and registry listing.
+    /// Service liveness, corpus size, registry listing and pool depth.
     Status,
+    /// Register a monitor subscription: after every successful ingest
+    /// publication, the service pushes a [`ServiceEvent::MonitorDelta`] with
+    /// the re-evaluated series and alert firings for this spec.
+    Subscribe {
+        /// What to monitor and where to alert.
+        spec: MonitorSpec,
+    },
+    /// Remove a monitor subscription by id.
+    Unsubscribe {
+        /// The id returned by [`ServiceResponse::Subscribed`].
+        id: u64,
+    },
+    /// Register a recurring job: re-run a read-only request every
+    /// `every_ms` milliseconds against the latest snapshot, delivering each
+    /// result as a [`ServiceEvent::ScheduledRun`].  Mutating or
+    /// registration requests (`Ingest`, `Subscribe`, `Schedule`, …) cannot
+    /// be scheduled.
+    Schedule {
+        /// Interval between runs, in milliseconds (clamped to ≥ 1).
+        every_ms: u64,
+        /// The read-only request to re-run.
+        request: Box<ServiceRequest>,
+    },
+    /// Remove a scheduled job by id.
+    Unschedule {
+        /// The id returned by [`ServiceResponse::Scheduled`].
+        id: u64,
+    },
+}
+
+impl ServiceRequest {
+    /// Whether this request may be driven by the scheduler: read-only
+    /// snapshot consumers only, so a recurring job can never mutate the
+    /// engine or recursively register more work.
+    #[must_use]
+    pub fn is_schedulable(&self) -> bool {
+        matches!(
+            self,
+            ServiceRequest::Score { .. }
+                | ServiceRequest::Sweep { .. }
+                | ServiceRequest::Matrix { .. }
+                | ServiceRequest::ExportCache
+                | ServiceRequest::Status
+        )
+    }
+}
+
+/// What one monitor subscription watches: the monitoring-series shape
+/// ([`MonitoringSeries::run`]) plus the alert threshold its
+/// [`MonitoringSeries::sai_alerts`] fire at.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonitorSpec {
+    /// Registered database name.
+    pub db: String,
+    /// Registered configuration name.
+    pub config: String,
+    /// The scenario whose SAI mass is folded into observations.
+    pub scenario: String,
+    /// First window start year (inclusive).
+    pub from_year: i32,
+    /// Last window start year (inclusive).
+    pub to_year: i32,
+    /// Window length in years (clamped to ≥ 1, as in monitoring runs).
+    pub window_years: i32,
+    /// Relative SAI-movement threshold for alert firings (0.25 = "moved by
+    /// more than 25% between consecutive windows").
+    pub alert_threshold: f64,
 }
 
 /// A response from the TARA service.  Every scoring response stamps the
@@ -236,6 +344,47 @@ pub enum ServiceResponse {
         configs: Vec<String>,
         /// Worker threads in the service pool.
         workers: usize,
+        /// Requests accepted but not yet picked up by a worker.
+        queued: usize,
+        /// Requests currently executing on a worker.
+        in_flight: usize,
+        /// Requests that panicked (and were caught) since startup.
+        panicked: usize,
+        /// Live monitor subscriptions.
+        subscriptions: usize,
+        /// Recurring scheduled jobs.
+        scheduled: usize,
+    },
+    /// Answer to [`ServiceRequest::Subscribe`].
+    Subscribed {
+        /// Subscription id (pass to `Unsubscribe`; stamps every delta).
+        id: u64,
+        /// Generation published when the subscription was registered.
+        generation: u64,
+    },
+    /// Answer to [`ServiceRequest::Unsubscribe`].
+    Unsubscribed {
+        /// The removed subscription id.
+        id: u64,
+    },
+    /// Answer to [`ServiceRequest::Schedule`].
+    Scheduled {
+        /// Job id (pass to `Unschedule`; stamps every scheduled run).
+        id: u64,
+        /// The effective interval in milliseconds.
+        every_ms: u64,
+    },
+    /// Answer to [`ServiceRequest::Unschedule`].
+    Unscheduled {
+        /// The removed job id.
+        id: u64,
+    },
+    /// The request's deadline passed before it finished: either it sat in
+    /// the queue too long, or a cooperative check point between sweep
+    /// windows / matrix cells observed the expiry.  No result was produced.
+    Expired {
+        /// Milliseconds between submission and the expiry being observed.
+        waited_ms: u64,
     },
     /// The request failed; no other response was produced.
     Error {
@@ -244,13 +393,95 @@ pub enum ServiceResponse {
     },
 }
 
-/// Everything a request needs, shared between the synchronous path and the
-/// pool's workers.
+/// A push event delivered outside the request/response cycle: monitor
+/// deltas after ingest publications, and the results of scheduled runs.
+/// Events from request-registered subscriptions are drained with
+/// [`TaraService::poll_events`]; embedded callers get a dedicated channel
+/// via [`TaraService::subscribe`] / [`TaraService::schedule`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ServiceEvent {
+    /// A monitor subscription re-evaluated after an ingest publication.
+    /// The series is computed on the just-published snapshot, so it is
+    /// bit-identical to a cold monitoring run over the corpus at the
+    /// stamped generation (pinned in `tests/service.rs`).
+    MonitorDelta {
+        /// The subscription this delta answers.
+        subscription: u64,
+        /// The generation the series was computed at.
+        generation: u64,
+        /// The re-evaluated monitoring series.
+        series: MonitoringSeries,
+        /// The alert firings of the series at the subscription's threshold.
+        alerts: Vec<SaiAlert>,
+    },
+    /// One run of a scheduled job.
+    ScheduledRun {
+        /// The job this run answers.
+        job: u64,
+        /// The result, exactly as the equivalent direct request would
+        /// answer (including `Error` responses).
+        response: ServiceResponse,
+    },
+}
+
+/// The receiving half of an embedded subscription or scheduled job: a
+/// dedicated event channel plus the registration id.
+#[derive(Debug)]
+pub struct Subscription {
+    id: u64,
+    receiver: mpsc::Receiver<ServiceEvent>,
+}
+
+impl Subscription {
+    /// The registration id (matches the `subscription` / `job` stamp on
+    /// every delivered event; pass to `Unsubscribe` / `Unschedule`).
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// A pending event, if one is queued (never blocks).
+    #[must_use]
+    pub fn try_recv(&self) -> Option<ServiceEvent> {
+        self.receiver.try_recv().ok()
+    }
+
+    /// Waits up to `timeout` for the next event; `None` on timeout or when
+    /// the service has shut down.
+    #[must_use]
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<ServiceEvent> {
+        self.receiver.recv_timeout(timeout).ok()
+    }
+}
+
+/// One registered monitor subscription: its spec plus the sending half of
+/// its event channel.
+#[derive(Debug)]
+struct Subscriber {
+    id: u64,
+    spec: MonitorSpec,
+    sender: mpsc::Sender<ServiceEvent>,
+}
+
+/// Everything a request needs, shared between the synchronous path, the
+/// pool's workers and the scheduler thread.
 #[derive(Debug)]
 struct ServiceState<E> {
     publisher: SnapshotPublisher<E>,
     registry: ServiceRegistry,
     workers: usize,
+    /// Shared with the worker pool so `Status` reports live depths.
+    metrics: Arc<PoolMetrics>,
+    /// Monitor subscriptions, notified after every successful ingest.
+    subscriptions: Mutex<Vec<Subscriber>>,
+    /// Event receivers owned by request-path registrations (wire clients
+    /// have no process to hand a channel to); drained by
+    /// [`TaraService::poll_events`].
+    retained: Mutex<Vec<(u64, mpsc::Receiver<ServiceEvent>)>>,
+    /// One id space for subscriptions and scheduled jobs.
+    next_id: AtomicU64,
+    /// The scheduler's timetable (the thread itself lives on the service).
+    scheduler: SchedulerQueue,
 }
 
 /// The TARA service: request execution over a snapshot-published engine.
@@ -290,6 +521,8 @@ where
 {
     state: Arc<ServiceState<E>>,
     pool: WorkerPool,
+    /// The `tara-scheduler` thread; signalled and joined on drop.
+    scheduler: Option<std::thread::JoinHandle<()>>,
 }
 
 impl<E: StreamingScorer + Clone + Send + Sync + 'static> TaraService<E> {
@@ -305,13 +538,28 @@ impl<E: StreamingScorer + Clone + Send + Sync + 'static> TaraService<E> {
     #[must_use]
     pub fn with_workers(engine: E, registry: ServiceRegistry, workers: usize) -> Self {
         let workers = workers.max(1);
+        let metrics = Arc::new(PoolMetrics::default());
+        let state = Arc::new(ServiceState {
+            publisher: SnapshotPublisher::new(engine),
+            registry,
+            workers,
+            metrics: Arc::clone(&metrics),
+            subscriptions: Mutex::new(Vec::new()),
+            retained: Mutex::new(Vec::new()),
+            next_id: AtomicU64::new(1),
+            scheduler: SchedulerQueue::default(),
+        });
+        let scheduler = {
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name("tara-scheduler".into())
+                .spawn(move || scheduler::run(&state.scheduler, |request| state.respond(request)))
+                .expect("spawning the scheduler thread failed")
+        };
         Self {
-            state: Arc::new(ServiceState {
-                publisher: SnapshotPublisher::new(engine),
-                registry,
-                workers,
-            }),
-            pool: WorkerPool::new(workers),
+            state,
+            pool: WorkerPool::with_metrics(workers, metrics),
+            scheduler: Some(scheduler),
         }
     }
 
@@ -336,27 +584,152 @@ impl<E: StreamingScorer + Clone + Send + Sync + 'static> TaraService<E> {
         self.state.respond(request)
     }
 
+    /// Executes a request synchronously under a caller-held [`CancelToken`]:
+    /// cancellation (or the token's deadline) is observed between sweep
+    /// windows and matrix cells and answers [`ServiceResponse::Expired`].
+    #[must_use]
+    pub fn handle_with_token(
+        &self,
+        request: ServiceRequest,
+        token: &CancelToken,
+    ) -> ServiceResponse {
+        self.state.respond_with(request, token)
+    }
+
     /// Enqueues a request on the worker pool and returns a [`Ticket`] to
     /// wait on.  Submissions from one thread are answered in submission
     /// order only when the pool has a single worker; correlate by
     /// generation (or by wire id, at the transport layer) otherwise.
     #[must_use]
     pub fn submit(&self, request: ServiceRequest) -> Ticket {
+        self.submit_with_token(request, CancelToken::disabled())
+    }
+
+    /// Enqueues a request that expires `deadline` after submission: if it is
+    /// still queued when the deadline passes — or a cooperative check point
+    /// between sweep windows / matrix cells observes the expiry — the ticket
+    /// answers [`ServiceResponse::Expired`] instead of a result.  Pair with
+    /// [`Ticket::wait_timeout`] to bound the client-side wait too.
+    #[must_use]
+    pub fn submit_with_deadline(&self, request: ServiceRequest, deadline: Duration) -> Ticket {
+        self.submit_with_token(request, CancelToken::with_deadline(deadline))
+    }
+
+    /// Enqueues a request carrying an explicit token, so the caller can
+    /// [`cancel`](CancelToken::cancel) it while it is queued or running.
+    #[must_use]
+    pub fn submit_with_token(&self, request: ServiceRequest, token: CancelToken) -> Ticket {
         let (sender, ticket) = Ticket::new();
         let state = Arc::clone(&self.state);
         // An Err means the pool already shut down; the closure (and with it
         // `sender`) is dropped, which resolves the ticket to a
         // `service-stopped` error response.
         let _ = self.pool.execute(move || {
-            let _ = sender.send(state.respond(request));
+            // A panicking request must still answer its ticket: catch the
+            // unwind here (before it reaches the pool's keep-alive backstop,
+            // which can only drop the sender) and resolve to a structured
+            // `internal-error` response.
+            let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                state.respond_with(request, &token)
+            }))
+            .unwrap_or_else(|payload| {
+                state.metrics.record_panic();
+                ServiceResponse::Error {
+                    error: PspError::Internal {
+                        detail: panic_detail(payload.as_ref()),
+                    }
+                    .into(),
+                }
+            });
+            let _ = sender.send(response);
         });
         ticket
+    }
+
+    /// Registers a monitor subscription with a dedicated event channel (the
+    /// embedded-caller form of [`ServiceRequest::Subscribe`]): after every
+    /// successful ingest publication the returned [`Subscription`] receives
+    /// a [`ServiceEvent::MonitorDelta`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the spec names an unregistered database or
+    /// configuration.
+    pub fn subscribe(&self, spec: MonitorSpec) -> Result<Subscription, PspError> {
+        let (id, _generation, receiver) = self.state.register_monitor(spec)?;
+        Ok(Subscription { id, receiver })
+    }
+
+    /// Registers a recurring job with a dedicated event channel (the
+    /// embedded-caller form of [`ServiceRequest::Schedule`]): `request` is
+    /// re-run every `every` against the latest snapshot, each result
+    /// arriving as a [`ServiceEvent::ScheduledRun`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `request` is not schedulable (only read-only
+    /// snapshot consumers are).
+    pub fn schedule(
+        &self,
+        request: ServiceRequest,
+        every: Duration,
+    ) -> Result<Subscription, PspError> {
+        let (id, receiver) = self.state.register_schedule(request, every)?;
+        Ok(Subscription { id, receiver })
+    }
+
+    /// Drains every pending event of request-path registrations (wire
+    /// clients' `Subscribe` / `Schedule`, whose channels the service
+    /// retains).  Dedicated [`Subscription`] channels are not drained here.
+    #[must_use]
+    pub fn poll_events(&self) -> Vec<ServiceEvent> {
+        let mut retained = self
+            .state
+            .retained
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let mut events = Vec::new();
+        retained.retain(|(_, receiver)| loop {
+            match receiver.try_recv() {
+                Ok(event) => events.push(event),
+                Err(mpsc::TryRecvError::Empty) => break true,
+                // Sender gone: the registration was removed; drop the stub.
+                Err(mpsc::TryRecvError::Disconnected) => break false,
+            }
+        });
+        events
+    }
+
+    /// Queue-depth and panic counters of the worker pool, observed now.
+    #[must_use]
+    pub fn pool_stats(&self) -> runtime::PoolStats {
+        self.pool.stats()
+    }
+}
+
+impl<E: StreamingScorer + Clone + Send + Sync + 'static> Drop for TaraService<E> {
+    fn drop(&mut self) {
+        self.state.scheduler.shut_down();
+        if let Some(scheduler) = self.scheduler.take() {
+            let _ = scheduler.join();
+        }
     }
 }
 
 impl<E: StreamingScorer + Clone + Send + Sync + 'static> ServiceState<E> {
     fn respond(&self, request: ServiceRequest) -> ServiceResponse {
-        self.try_respond(request)
+        self.respond_with(request, &CancelToken::disabled())
+    }
+
+    fn respond_with(&self, request: ServiceRequest, token: &CancelToken) -> ServiceResponse {
+        // A request whose deadline passed while it sat in the queue is not
+        // worth starting at all.
+        if token.is_cancelled() {
+            return ServiceResponse::Expired {
+                waited_ms: token.waited_ms(),
+            };
+        }
+        self.try_respond(request, token)
             .unwrap_or_else(|error| ServiceResponse::Error {
                 error: error.into(),
             })
@@ -365,7 +738,18 @@ impl<E: StreamingScorer + Clone + Send + Sync + 'static> ServiceState<E> {
     /// Executes one request against one snapshot.  The snapshot is taken
     /// once, first, and everything — including the stamped generation — is
     /// read from it, so a concurrent ingest can never tear a response.
-    fn try_respond(&self, request: ServiceRequest) -> Result<ServiceResponse, PspError> {
+    ///
+    /// A cooperative `token` switches sweeps and matrices to per-window
+    /// execution with a cancellation check between units; results stay
+    /// bit-identical (each unit is the engine's own single-entry
+    /// `sai_windows`, and the sweep/matrix planes are pinned equal to
+    /// exactly that decomposition) while an expiry observed mid-run answers
+    /// [`ServiceResponse::Expired`] instead of finishing work nobody awaits.
+    fn try_respond(
+        &self,
+        request: ServiceRequest,
+        token: &CancelToken,
+    ) -> Result<ServiceResponse, PspError> {
         match request {
             ServiceRequest::Score { db, config } => {
                 let db = self.registry.lookup_database(&db)?;
@@ -384,10 +768,23 @@ impl<E: StreamingScorer + Clone + Send + Sync + 'static> ServiceState<E> {
                 let db = self.registry.lookup_database(&db)?;
                 let config = self.registry.lookup_config(&config)?;
                 let snapshot = self.publisher.snapshot();
-                Ok(ServiceResponse::Sweep {
-                    generation: snapshot.generation(),
-                    lists: snapshot.sai_windows(db, config, &windows),
-                })
+                let generation = snapshot.generation();
+                let lists = if token.is_cooperative() {
+                    let mut lists = Vec::with_capacity(windows.len());
+                    for span in windows.as_options() {
+                        if token.is_cancelled() {
+                            return Ok(ServiceResponse::Expired {
+                                waited_ms: token.waited_ms(),
+                            });
+                        }
+                        let axis = WindowAxis::from(vec![*span]);
+                        lists.extend(snapshot.sai_windows(db, config, &axis));
+                    }
+                    lists
+                } else {
+                    snapshot.sai_windows(db, config, &windows)
+                };
+                Ok(ServiceResponse::Sweep { generation, lists })
             }
             ServiceRequest::Matrix {
                 scenarios,
@@ -410,13 +807,55 @@ impl<E: StreamingScorer + Clone + Send + Sync + 'static> ServiceState<E> {
                 }
                 spec = spec.window_axis(&windows);
                 let snapshot = self.publisher.snapshot();
-                Ok(ServiceResponse::Matrix {
-                    generation: snapshot.generation(),
-                    cells: snapshot.sai_matrix(&spec).into_cells(),
-                })
+                let generation = snapshot.generation();
+                if token.is_cooperative() {
+                    // Cell-at-a-time execution: scenario-major, then
+                    // configuration, then window — the exact `CellId` stream
+                    // order — with a cancellation check before every cell.
+                    // Each cell is one single-entry `sai_windows` call, which
+                    // the matrix plane is pinned bit-identical to.
+                    let mut cells = Vec::new();
+                    for (s, scenario) in scenarios.iter().enumerate() {
+                        let db = self.registry.lookup_database(scenario)?;
+                        for (c, name) in configs.iter().enumerate() {
+                            let config = self.registry.lookup_config(name)?;
+                            let spans: Vec<Option<_>> = if windows.is_empty() {
+                                vec![config.window]
+                            } else {
+                                windows.as_options().to_vec()
+                            };
+                            for (w, span) in spans.into_iter().enumerate() {
+                                if token.is_cancelled() {
+                                    return Ok(ServiceResponse::Expired {
+                                        waited_ms: token.waited_ms(),
+                                    });
+                                }
+                                let axis = WindowAxis::from(vec![span]);
+                                let mut lists = snapshot.sai_windows(db, config, &axis);
+                                cells.push((
+                                    CellId {
+                                        scenario: s,
+                                        config: c,
+                                        window: w,
+                                    },
+                                    lists.remove(0),
+                                ));
+                            }
+                        }
+                    }
+                    Ok(ServiceResponse::Matrix { generation, cells })
+                } else {
+                    Ok(ServiceResponse::Matrix {
+                        generation,
+                        cells: snapshot.sai_matrix(&spec).into_cells(),
+                    })
+                }
             }
             ServiceRequest::Ingest { posts } => {
                 let receipt = self.publisher.ingest(posts);
+                if receipt.appended > 0 {
+                    self.notify_subscribers();
+                }
                 Ok(ServiceResponse::Ingested {
                     appended: receipt.appended,
                     generation: receipt.generation,
@@ -431,15 +870,155 @@ impl<E: StreamingScorer + Clone + Send + Sync + 'static> ServiceState<E> {
             }
             ServiceRequest::Status => {
                 let snapshot = self.publisher.snapshot();
+                let stats = self.metrics.stats();
                 Ok(ServiceResponse::Status {
                     posts: snapshot.post_count(),
                     generation: snapshot.generation(),
                     databases: self.registry.database_names(),
                     configs: self.registry.config_names(),
                     workers: self.workers,
+                    queued: stats.queued,
+                    in_flight: stats.in_flight,
+                    panicked: stats.panicked,
+                    subscriptions: self
+                        .subscriptions
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .len(),
+                    scheduled: self.scheduler.len(),
                 })
             }
+            ServiceRequest::Subscribe { spec } => {
+                let (id, generation, receiver) = self.register_monitor(spec)?;
+                // Wire clients have no process to hand a channel to: retain
+                // the receiver, drained by `TaraService::poll_events`.
+                self.retained
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push((id, receiver));
+                Ok(ServiceResponse::Subscribed { id, generation })
+            }
+            ServiceRequest::Unsubscribe { id } => {
+                let mut subscriptions = self
+                    .subscriptions
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                let before = subscriptions.len();
+                subscriptions.retain(|subscriber| subscriber.id != id);
+                if subscriptions.len() == before {
+                    return Err(PspError::BadRequest {
+                        detail: format!("no subscription with id {id}"),
+                    });
+                }
+                // Dropping the sender disconnects any retained receiver;
+                // `poll_events` prunes the stub on its next drain.
+                Ok(ServiceResponse::Unsubscribed { id })
+            }
+            ServiceRequest::Schedule { every_ms, request } => {
+                let every = Duration::from_millis(every_ms.max(1));
+                let (id, receiver) = self.register_schedule(*request, every)?;
+                self.retained
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push((id, receiver));
+                Ok(ServiceResponse::Scheduled {
+                    id,
+                    every_ms: every_ms.max(1),
+                })
+            }
+            ServiceRequest::Unschedule { id } => {
+                if !self.scheduler.remove(id) {
+                    return Err(PspError::BadRequest {
+                        detail: format!("no scheduled job with id {id}"),
+                    });
+                }
+                Ok(ServiceResponse::Unscheduled { id })
+            }
         }
+    }
+
+    /// Validates and registers a monitor subscription; returns its id, the
+    /// generation at registration and the receiving half of its channel.
+    fn register_monitor(
+        &self,
+        spec: MonitorSpec,
+    ) -> Result<(u64, u64, mpsc::Receiver<ServiceEvent>), PspError> {
+        self.registry.lookup_database(&spec.db)?;
+        self.registry.lookup_config(&spec.config)?;
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        let (sender, receiver) = mpsc::channel();
+        self.subscriptions
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(Subscriber { id, spec, sender });
+        Ok((id, self.publisher.snapshot().generation(), receiver))
+    }
+
+    /// Validates and registers a recurring job; returns its id and the
+    /// receiving half of its event channel.
+    fn register_schedule(
+        &self,
+        request: ServiceRequest,
+        every: Duration,
+    ) -> Result<(u64, mpsc::Receiver<ServiceEvent>), PspError> {
+        if !request.is_schedulable() {
+            return Err(PspError::BadRequest {
+                detail: "only read-only requests (Score, Sweep, Matrix, ExportCache, Status) \
+                         can be scheduled"
+                    .into(),
+            });
+        }
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        let (sender, receiver) = mpsc::channel();
+        self.scheduler.add(id, request, every, sender);
+        Ok((id, receiver))
+    }
+
+    /// Re-evaluates every monitor subscription on the latest snapshot and
+    /// pushes one [`ServiceEvent::MonitorDelta`] each; called after every
+    /// ingest that appended posts.  Subscribers whose receiver is gone are
+    /// pruned.  The snapshot is taken once and shared, so all deltas of one
+    /// notification round stamp the same generation.
+    fn notify_subscribers(&self) {
+        let mut subscriptions = self
+            .subscriptions
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if subscriptions.is_empty() {
+            return;
+        }
+        let snapshot = self.publisher.snapshot();
+        let generation = snapshot.generation();
+        subscriptions.retain(|subscriber| {
+            let spec = &subscriber.spec;
+            // Registration validated the names and the registry is immutable
+            // afterwards, so the lookups cannot fail; stay panic-free anyway.
+            let (Ok(db), Ok(config)) = (
+                self.registry.lookup_database(&spec.db),
+                self.registry.lookup_config(&spec.config),
+            ) else {
+                return false;
+            };
+            let series = MonitoringSeries::run_on(
+                &*snapshot,
+                db,
+                config,
+                &spec.scenario,
+                spec.from_year,
+                spec.to_year,
+                spec.window_years,
+            );
+            let alerts = series.sai_alerts(spec.alert_threshold);
+            subscriber
+                .sender
+                .send(ServiceEvent::MonitorDelta {
+                    subscription: subscriber.id,
+                    generation,
+                    series,
+                    alerts,
+                })
+                .is_ok()
+        });
     }
 }
 
@@ -539,12 +1118,19 @@ mod tests {
                 databases,
                 configs,
                 workers,
+                queued,
+                in_flight,
+                panicked,
+                subscriptions,
+                scheduled,
             } => {
                 assert!(posts > 0);
                 assert_eq!(generation, 1);
                 assert_eq!(databases, vec!["excavator".to_string()]);
                 assert_eq!(configs, vec!["excavator".to_string()]);
                 assert_eq!(workers, 2);
+                assert_eq!((queued, in_flight, panicked), (0, 0, 0));
+                assert_eq!((subscriptions, scheduled), (0, 0));
             }
             other => panic!("unexpected response: {other:?}"),
         }
@@ -594,5 +1180,138 @@ mod tests {
         };
         let json = serde_json::to_string(&response).unwrap();
         assert_eq!(response, serde_json::from_str(&json).unwrap());
+
+        // The recursive Schedule variant (boxed request) round-trips too.
+        let request = ServiceRequest::Schedule {
+            every_ms: 250,
+            request: Box::new(ServiceRequest::Status),
+        };
+        let json = serde_json::to_string(&request).unwrap();
+        assert_eq!(request, serde_json::from_str(&json).unwrap());
+    }
+
+    fn monitor_spec() -> MonitorSpec {
+        MonitorSpec {
+            db: "excavator".into(),
+            config: "excavator".into(),
+            scenario: "dpf-tampering".into(),
+            from_year: 2019,
+            to_year: 2023,
+            window_years: 2,
+            alert_threshold: 0.25,
+        }
+    }
+
+    #[test]
+    fn request_path_subscriptions_deliver_deltas_through_poll_events() {
+        let service = service();
+        let id = match service.handle(ServiceRequest::Subscribe {
+            spec: monitor_spec(),
+        }) {
+            ServiceResponse::Subscribed { id, generation } => {
+                assert_eq!(generation, 0);
+                id
+            }
+            other => panic!("unexpected response: {other:?}"),
+        };
+        assert!(service.poll_events().is_empty(), "no ingest yet");
+
+        let posts = scenario::excavator_europe(9).posts().to_vec();
+        let _ = service.handle(ServiceRequest::Ingest { posts });
+        let events = service.poll_events();
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            ServiceEvent::MonitorDelta {
+                subscription,
+                generation,
+                series,
+                ..
+            } => {
+                assert_eq!(*subscription, id);
+                assert_eq!(*generation, 1);
+                assert_eq!(series.scenario, "dpf-tampering");
+            }
+            other => panic!("unexpected event: {other:?}"),
+        }
+
+        match service.handle(ServiceRequest::Unsubscribe { id }) {
+            ServiceResponse::Unsubscribed { id: gone } => assert_eq!(gone, id),
+            other => panic!("unexpected response: {other:?}"),
+        }
+        match service.handle(ServiceRequest::Unsubscribe { id }) {
+            ServiceResponse::Error { error } => assert_eq!(error.kind, "bad-request"),
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn subscriptions_validate_registry_names() {
+        let service = service();
+        let mut spec = monitor_spec();
+        spec.db = "nope".into();
+        match service.handle(ServiceRequest::Subscribe { spec }) {
+            ServiceResponse::Error { error } => assert_eq!(error.kind, "unknown-database"),
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mutating_requests_cannot_be_scheduled() {
+        let service = service();
+        match service.handle(ServiceRequest::Schedule {
+            every_ms: 10,
+            request: Box::new(ServiceRequest::Ingest { posts: Vec::new() }),
+        }) {
+            ServiceResponse::Error { error } => {
+                assert_eq!(error.kind, "bad-request");
+                assert!(error.detail.contains("read-only"));
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+        assert!(!ServiceRequest::Unsubscribe { id: 1 }.is_schedulable());
+        assert!(ServiceRequest::Status.is_schedulable());
+    }
+
+    #[test]
+    fn scheduled_jobs_register_and_unschedule_through_the_request_path() {
+        let service = service();
+        let id = match service.handle(ServiceRequest::Schedule {
+            every_ms: 0, // clamped to 1ms
+            request: Box::new(ServiceRequest::Status),
+        }) {
+            ServiceResponse::Scheduled { id, every_ms } => {
+                assert_eq!(every_ms, 1);
+                id
+            }
+            other => panic!("unexpected response: {other:?}"),
+        };
+        match service.handle(ServiceRequest::Unschedule { id }) {
+            ServiceResponse::Unscheduled { id: gone } => assert_eq!(gone, id),
+            other => panic!("unexpected response: {other:?}"),
+        }
+        match service.handle(ServiceRequest::Unschedule { id }) {
+            ServiceResponse::Error { error } => assert_eq!(error.kind, "bad-request"),
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_results_match_the_plain_path_bit_for_bit() {
+        // The cooperative (per-window) sweep decomposition must not change a
+        // single bit of the answer.
+        let service = service();
+        let request = ServiceRequest::Sweep {
+            db: "excavator".into(),
+            config: "excavator".into(),
+            windows: WindowAxis::new()
+                .window(socialsim::time::DateWindow::years(2019, 2021))
+                .full_history()
+                .window(socialsim::time::DateWindow::years(2022, 2023)),
+        };
+        let plain = service.handle(request.clone());
+        let under_deadline = service
+            .submit_with_deadline(request, Duration::from_secs(600))
+            .wait();
+        assert_eq!(plain, under_deadline);
     }
 }

@@ -28,7 +28,7 @@
 use crate::engine::{IngestReceipt, StreamingScorer};
 use socialsim::post::Post;
 use std::ops::Deref;
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
 /// An immutable handle on one published engine generation.
 ///
@@ -79,12 +79,18 @@ impl<E: StreamingScorer + Clone> SnapshotPublisher<E> {
     }
 
     /// The currently published generation, as an immutable snapshot.
+    ///
+    /// Lock poisoning is recovered, not propagated: the protected value is
+    /// only ever a fully-formed `Arc` (swapped atomically in
+    /// [`ingest`](Self::ingest)), so a panic elsewhere can never leave it
+    /// torn, and a poisoned-lock panic here would cascade one bad request
+    /// into service-wide failure.
     #[must_use]
     pub fn snapshot(&self) -> EngineSnapshot<E> {
         let published = self
             .published
             .read()
-            .expect("engine publication lock poisoned");
+            .unwrap_or_else(PoisonError::into_inner);
         EngineSnapshot {
             engine: Arc::clone(&published),
         }
@@ -99,7 +105,10 @@ impl<E: StreamingScorer + Clone> SnapshotPublisher<E> {
     /// receipt at the current generation, mirroring the engines' own
     /// empty-ingest behaviour.
     pub fn ingest(&self, batch: Vec<Post>) -> IngestReceipt {
-        let _writer = self.ingest_lock.lock().expect("ingest lock poisoned");
+        let _writer = self
+            .ingest_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         let current = self.snapshot();
         if batch.is_empty() {
             return IngestReceipt {
@@ -112,7 +121,7 @@ impl<E: StreamingScorer + Clone> SnapshotPublisher<E> {
         let mut published = self
             .published
             .write()
-            .expect("engine publication lock poisoned");
+            .unwrap_or_else(PoisonError::into_inner);
         *published = Arc::new(next);
         receipt
     }

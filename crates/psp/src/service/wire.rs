@@ -8,7 +8,7 @@
 //! the id recovered when possible, `0` otherwise).  Any framed transport can
 //! reuse it; `examples/tara_daemon.rs` runs it over stdin/stdout.
 
-use super::{ServiceRequest, ServiceResponse};
+use super::{ServiceEvent, ServiceRequest, ServiceResponse};
 use crate::error::PspError;
 use serde::{Deserialize, Serialize};
 
@@ -64,12 +64,77 @@ pub fn encode_response(response: &WireResponse) -> String {
     })
 }
 
-/// A convenience for transports: the `bad-request` response line for an
-/// unparseable input line, with id `0` (no id could be recovered).
+/// One push-event line: an out-of-band [`ServiceEvent`] (monitor delta or
+/// scheduled run), distinguishable from response lines by its `event` key —
+/// events answer no request, so they carry no correlation id.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireEvent {
+    /// The pushed event.
+    pub event: ServiceEvent,
+}
+
+/// Encodes one event line (no trailing newline), with the same
+/// cannot-fail-silently fallback as [`encode_response`].
 #[must_use]
-pub fn error_line(error: PspError) -> String {
+pub fn encode_event(event: &ServiceEvent) -> String {
+    serde_json::to_string(&WireEvent {
+        event: event.clone(),
+    })
+    .unwrap_or_else(|error| {
+        error_line(
+            "",
+            PspError::BadRequest {
+                detail: format!("event failed to serialize: {error}"),
+            },
+        )
+    })
+}
+
+/// Best-effort recovery of the correlation id from a line that failed to
+/// parse as a [`WireRequest`]: finds the first `"id"` key and reads the
+/// unsigned integer after its colon.  Returns `0` when no id can be
+/// recovered — by construction `decode_request` accepted every line with a
+/// syntactically valid id field, so anything goes on malformed input; this
+/// keeps the promise that clients get their id echoed back whenever it was
+/// legible at all.
+#[must_use]
+pub fn recover_id(line: &str) -> u64 {
+    let bytes = line.as_bytes();
+    let mut search = 0;
+    while let Some(found) = line[search..].find("\"id\"") {
+        let mut at = search + found + "\"id\"".len();
+        search = at;
+        while at < bytes.len() && bytes[at].is_ascii_whitespace() {
+            at += 1;
+        }
+        if at >= bytes.len() || bytes[at] != b':' {
+            continue;
+        }
+        at += 1;
+        while at < bytes.len() && bytes[at].is_ascii_whitespace() {
+            at += 1;
+        }
+        let digits_start = at;
+        while at < bytes.len() && bytes[at].is_ascii_digit() {
+            at += 1;
+        }
+        if at > digits_start {
+            if let Ok(id) = line[digits_start..at].parse::<u64>() {
+                return id;
+            }
+        }
+    }
+    0
+}
+
+/// A convenience for transports: the `bad-request` response line for an
+/// unparseable input line.  The correlation id is recovered from the
+/// offending line when legible ([`recover_id`]), `0` otherwise, so a client
+/// pipelining requests can still match the failure to what it sent.
+#[must_use]
+pub fn error_line(line: &str, error: PspError) -> String {
     encode_response(&WireResponse {
-        id: 0,
+        id: recover_id(line),
         response: ServiceResponse::Error {
             error: error.into(),
         },
@@ -94,9 +159,54 @@ mod tests {
     fn garbage_lines_decode_to_bad_request() {
         let error = decode_request("{not json").unwrap_err();
         assert_eq!(error.kind(), "bad-request");
-        let line = error_line(error);
+        let line = error_line("{not json", error);
         assert!(line.contains("\"bad-request\""));
         assert!(line.contains("\"id\":0"));
+    }
+
+    /// The satellite fix: the module docs always promised the id is
+    /// "recovered when possible", but `error_line` hardcoded `0`.  A
+    /// malformed line whose id field is still legible now gets it echoed.
+    #[test]
+    fn bad_request_lines_echo_a_recoverable_id() {
+        // Truncated JSON — unparseable, but the id field is intact.
+        let line = r#"{"id": 42, "request": {"Score": {"db": "excava"#;
+        let error = decode_request(line).unwrap_err();
+        let out = error_line(line, error);
+        assert!(out.contains("\"id\":42"), "recovered id in {out}");
+        assert!(out.contains("\"bad-request\""));
+    }
+
+    #[test]
+    fn id_recovery_is_best_effort_and_never_panics() {
+        assert_eq!(recover_id(r#"{"id":7,"request":"Status"}"#), 7);
+        assert_eq!(recover_id(r#"{ "id" : 123 garbage"#), 123);
+        // A first "id" without a number is skipped, the next one read.
+        assert_eq!(recover_id(r#""id" nope "id": 9"#), 9);
+        assert_eq!(recover_id(""), 0);
+        assert_eq!(recover_id("no id at all"), 0);
+        assert_eq!(recover_id(r#"{"id": "string"}"#), 0);
+        assert_eq!(recover_id(r#"{"id": -4}"#), 0, "negative ids don't parse");
+        // Number too large for u64: digits found but parse fails, falls
+        // through to 0 without panicking.
+        assert_eq!(recover_id(r#"{"id": 99999999999999999999999999}"#), 0);
+        // Multi-byte UTF-8 around the field must not split a char boundary.
+        assert_eq!(recover_id(r#"{"café": "naïve", "id": 5"#), 5);
+    }
+
+    #[test]
+    fn event_lines_round_trip_and_carry_no_id() {
+        let event = ServiceEvent::ScheduledRun {
+            job: 3,
+            response: ServiceResponse::Ingested {
+                appended: 0,
+                generation: 2,
+            },
+        };
+        let line = encode_event(&event);
+        assert!(line.contains("\"event\""));
+        let decoded: WireEvent = serde_json::from_str(&line).unwrap();
+        assert_eq!(decoded.event, event);
     }
 
     #[test]

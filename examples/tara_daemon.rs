@@ -19,8 +19,12 @@
 use psp_suite::psp::config::PspConfig;
 use psp_suite::psp::engine::{LiveEngine, WindowAxis};
 use psp_suite::psp::keyword_db::KeywordDatabase;
-use psp_suite::psp::service::wire::{decode_request, encode_response, error_line, WireResponse};
-use psp_suite::psp::service::{ServiceRegistry, ServiceRequest, ServiceResponse, TaraService};
+use psp_suite::psp::service::wire::{
+    decode_request, encode_event, encode_response, error_line, WireResponse,
+};
+use psp_suite::psp::service::{
+    MonitorSpec, ServiceEvent, ServiceRegistry, ServiceRequest, ServiceResponse, TaraService,
+};
 use psp_suite::socialsim::scenario;
 use psp_suite::socialsim::time::DateWindow;
 use std::collections::VecDeque;
@@ -68,15 +72,24 @@ fn serve() {
         match decode_request(&line) {
             Ok(wire) => pending.push_back((wire.id, service.submit(wire.request))),
             Err(error) => {
-                // Unparseable line: answer immediately, in order, id 0.
+                // Unparseable line: answer immediately, in order, echoing the
+                // id when it is still legible in the broken line.
                 flush(&mut out, &mut pending, 0);
-                writeln!(out, "{}", error_line(error)).expect("stdout writable");
+                writeln!(out, "{}", error_line(&line, error)).expect("stdout writable");
             }
         }
         let workers = service.workers();
         flush(&mut out, &mut pending, workers);
+        // Push events (monitor deltas after ingests, scheduled runs) ride
+        // the same stream as extra lines, after the in-order responses.
+        for event in service.poll_events() {
+            writeln!(out, "{}", encode_event(&event)).expect("stdout writable");
+        }
     }
     flush(&mut out, &mut pending, 0);
+    for event in service.poll_events() {
+        writeln!(out, "{}", encode_event(&event)).expect("stdout writable");
+    }
 }
 
 /// Waits out queued tickets until at most `keep` remain, writing their
@@ -159,7 +172,88 @@ fn demo() {
     for (n, ticket) in tickets.into_iter().enumerate() {
         println!("  pooled status #{n:<13} -> {}", describe(&ticket.wait()));
     }
+
+    // A request whose deadline already passed answers Expired instead of
+    // burning a worker on it.
+    let expired = service
+        .submit_with_deadline(ServiceRequest::Status, std::time::Duration::ZERO)
+        .wait();
+    println!("  zero deadline            -> {}", describe(&expired));
+
+    // Monitor subscription: every ingest publication pushes a re-evaluated
+    // monitoring series (plus alert firings) instead of being polled for.
+    let response = service.handle(ServiceRequest::Subscribe {
+        spec: MonitorSpec {
+            db: "excavator".into(),
+            config: "excavator".into(),
+            scenario: "dpf-tampering".into(),
+            from_year: 2019,
+            to_year: 2023,
+            window_years: 2,
+            alert_threshold: 0.25,
+        },
+    });
+    println!("  subscribe dpf-tampering  -> {}", describe(&response));
+    let response = service.handle(ServiceRequest::Ingest {
+        posts: scenario::excavator_europe(9).posts().to_vec(),
+    });
+    println!("  ingest third batch       -> {}", describe(&response));
+    for event in service.poll_events() {
+        println!("  pushed event             -> {}", describe_event(&event));
+    }
+
+    // Scheduled sweep: the scheduler thread re-runs the request on its own
+    // clock; each tick arrives through the same event stream.
+    let response = service.handle(ServiceRequest::Schedule {
+        every_ms: 25,
+        request: Box::new(ServiceRequest::Sweep {
+            db: "excavator".into(),
+            config: "excavator".into(),
+            windows: WindowAxis::new()
+                .window(DateWindow::years(2019, 2021))
+                .window(DateWindow::years(2021, 2023)),
+        }),
+    });
+    let job = match &response {
+        ServiceResponse::Scheduled { id, .. } => *id,
+        _ => 0,
+    };
+    println!("  schedule 25ms sweep      -> {}", describe(&response));
+    std::thread::sleep(std::time::Duration::from_millis(90));
+    let ticks = service
+        .poll_events()
+        .into_iter()
+        .filter(|event| matches!(event, ServiceEvent::ScheduledRun { .. }))
+        .collect::<Vec<_>>();
+    println!(
+        "  scheduler ticks          -> {} scheduled run(s), first: {}",
+        ticks.len(),
+        ticks.first().map_or("none".to_string(), describe_event),
+    );
+    let response = service.handle(ServiceRequest::Unschedule { id: job });
+    println!("  unschedule sweep         -> {}", describe(&response));
+
     println!("demo complete");
+}
+
+/// One-line summary of a pushed event for the demo transcript.
+fn describe_event(event: &ServiceEvent) -> String {
+    match event {
+        ServiceEvent::MonitorDelta {
+            subscription,
+            generation,
+            series,
+            alerts,
+        } => format!(
+            "monitor delta #{subscription} gen {generation}: {} [{} windows, {} alert(s)]",
+            series.scenario,
+            series.observations.len(),
+            alerts.len()
+        ),
+        ServiceEvent::ScheduledRun { job, response } => {
+            format!("scheduled run #{job}: {}", describe(response))
+        }
+    }
 }
 
 /// One-line summary of a response for the demo transcript (full payloads are
@@ -194,11 +288,28 @@ fn describe(response: &ServiceResponse) -> String {
             databases,
             configs,
             workers,
+            queued,
+            in_flight,
+            panicked,
+            subscriptions,
+            scheduled,
         } => format!(
-            "gen {generation}: {posts} posts, {} dbs, {} configs, {workers} workers",
+            "gen {generation}: {posts} posts, {} dbs, {} configs, {workers} workers \
+             (q{queued}/f{in_flight}/p{panicked}, {subscriptions} subs, {scheduled} jobs)",
             databases.len(),
             configs.len()
         ),
+        ServiceResponse::Subscribed { id, generation } => {
+            format!("subscription #{id} at gen {generation}")
+        }
+        ServiceResponse::Unsubscribed { id } => format!("subscription #{id} removed"),
+        ServiceResponse::Scheduled { id, every_ms } => {
+            format!("job #{id} every {every_ms}ms")
+        }
+        ServiceResponse::Unscheduled { id } => format!("job #{id} removed"),
+        ServiceResponse::Expired { waited_ms } => {
+            format!("expired after {waited_ms}ms (deadline passed)")
+        }
         ServiceResponse::Error { error } => format!("error [{}] {}", error.kind, error.detail),
     }
 }

@@ -7,17 +7,26 @@
 //! on both engine shapes, across forced shim thread counts, through both the
 //! synchronous `handle` path and the worker-pool `submit` path.
 
+use psp_suite::psp::classify::AttackOrigin;
 use psp_suite::psp::config::PspConfig;
-use psp_suite::psp::engine::{CellId, MatrixSpec, ShardedEngine, StreamingScorer, WindowAxis};
-use psp_suite::psp::keyword_db::KeywordDatabase;
+use psp_suite::psp::engine::{
+    CellId, IngestReceipt, MatrixSpec, SaiScorer, ShardedEngine, SignalCacheFile, StreamingScorer,
+    WindowAxis,
+};
+use psp_suite::psp::keyword_db::{KeywordDatabase, KeywordProfile};
+use psp_suite::psp::monitoring::MonitoringSeries;
 use psp_suite::psp::sai::SaiList;
-use psp_suite::psp::service::{ServiceRegistry, ServiceRequest, ServiceResponse, TaraService};
+use psp_suite::psp::service::{
+    MonitorSpec, ServiceEvent, ServiceRegistry, ServiceRequest, ServiceResponse, TaraService,
+};
 use psp_suite::psp::LiveEngine;
 use psp_suite::socialsim::corpus::Corpus;
 use psp_suite::socialsim::post::Post;
 use psp_suite::socialsim::scenario;
 use psp_suite::socialsim::time::DateWindow;
+use psp_suite::vehicle::attack_surface::AttackVector;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Duration;
 
 /// Runs `f` under a forced shim thread count; a no-op pass-through when the
 /// real rayon is swapped in.
@@ -326,4 +335,441 @@ fn the_wire_layer_round_trips_every_request_shape() {
             wire
         );
     }
+}
+
+// ---------------------------------------------------------------------------
+// Hardening: panic resilience, deadlines, subscriptions, scheduled sweeps.
+// ---------------------------------------------------------------------------
+
+/// The keyword that makes [`ChaosEngine`] panic when it appears in the
+/// scored database.
+const CHAOS_KEYWORD: &str = "panictag";
+
+/// A database whose only profile carries the chaos trigger keyword.
+fn chaos_db() -> KeywordDatabase {
+    let mut db = KeywordDatabase::new();
+    db.insert(KeywordProfile::manual(
+        CHAOS_KEYWORD,
+        "chaos",
+        AttackVector::Local,
+        AttackOrigin::Insider,
+    ));
+    db
+}
+
+/// An engine that panics when asked to score the chaos database — the
+/// injected fault for the panic-resilience tests.  Everything else
+/// delegates to a real [`LiveEngine`].
+#[derive(Debug, Clone)]
+struct ChaosEngine {
+    inner: LiveEngine,
+}
+
+impl SaiScorer for ChaosEngine {
+    fn sai_list(&self, db: &KeywordDatabase, config: &PspConfig) -> SaiList {
+        assert!(!db.contains(CHAOS_KEYWORD), "chaos: injected scoring panic");
+        self.inner.sai_list(db, config)
+    }
+
+    fn sai_lists(&self, db: &KeywordDatabase, configs: &[PspConfig]) -> Vec<SaiList> {
+        assert!(!db.contains(CHAOS_KEYWORD), "chaos: injected scoring panic");
+        self.inner.sai_lists(db, configs)
+    }
+}
+
+impl StreamingScorer for ChaosEngine {
+    fn ingest_batch(&mut self, batch: Vec<Post>) -> IngestReceipt {
+        self.inner.ingest_batch(batch)
+    }
+
+    fn post_count(&self) -> usize {
+        self.inner.post_count()
+    }
+
+    fn generation(&self) -> u64 {
+        self.inner.generation()
+    }
+
+    fn export_signal_cache(&self) -> SignalCacheFile {
+        self.inner.export_signal_cache()
+    }
+}
+
+/// An engine that sleeps on every scoring call, so a short per-request
+/// deadline reliably expires at a cooperative check point mid-sweep.
+#[derive(Debug, Clone)]
+struct SlowEngine {
+    inner: LiveEngine,
+    delay: Duration,
+}
+
+impl SaiScorer for SlowEngine {
+    fn sai_list(&self, db: &KeywordDatabase, config: &PspConfig) -> SaiList {
+        std::thread::sleep(self.delay);
+        self.inner.sai_list(db, config)
+    }
+
+    fn sai_lists(&self, db: &KeywordDatabase, configs: &[PspConfig]) -> Vec<SaiList> {
+        std::thread::sleep(self.delay);
+        self.inner.sai_lists(db, configs)
+    }
+}
+
+impl StreamingScorer for SlowEngine {
+    fn ingest_batch(&mut self, batch: Vec<Post>) -> IngestReceipt {
+        self.inner.ingest_batch(batch)
+    }
+
+    fn post_count(&self) -> usize {
+        self.inner.post_count()
+    }
+
+    fn generation(&self) -> u64 {
+        self.inner.generation()
+    }
+
+    fn export_signal_cache(&self) -> SignalCacheFile {
+        self.inner.export_signal_cache()
+    }
+}
+
+/// The tentpole regression: a panicking request used to kill its
+/// `tara-worker-*` thread for good (and leave its ticket hanging).  It must
+/// answer the ticket with a structured `internal-error` response, and the
+/// pool must keep serving afterwards.
+#[test]
+fn a_panicking_request_answers_its_ticket_and_the_worker_survives() {
+    let registry = ServiceRegistry::new()
+        .database("excavator", KeywordDatabase::excavator_seed())
+        .database("chaos", chaos_db())
+        .config("excavator", PspConfig::excavator_europe());
+    let service = TaraService::with_workers(
+        ChaosEngine {
+            inner: LiveEngine::new(scenario::excavator_europe(7)),
+        },
+        registry,
+        1,
+    );
+
+    let ticket = service.submit(ServiceRequest::Score {
+        db: "chaos".into(),
+        config: "excavator".into(),
+    });
+    match ticket.wait() {
+        ServiceResponse::Error { error } => {
+            assert_eq!(error.kind, "internal-error");
+            assert!(error.detail.contains("chaos"), "detail: {}", error.detail);
+        }
+        other => panic!("unexpected response: {other:?}"),
+    }
+
+    // The single worker survived the panic: a normal request still completes.
+    match service
+        .submit(ServiceRequest::Score {
+            db: "excavator".into(),
+            config: "excavator".into(),
+        })
+        .wait()
+    {
+        ServiceResponse::Score { generation, .. } => assert_eq!(generation, 0),
+        other => panic!("unexpected response: {other:?}"),
+    }
+}
+
+/// A storm of panicking requests — more than there are workers — must not
+/// shrink the pool, and `Status` must count every caught panic.
+#[test]
+fn a_panic_storm_leaves_the_pool_fully_alive() {
+    let registry = ServiceRegistry::new()
+        .database("excavator", KeywordDatabase::excavator_seed())
+        .database("chaos", chaos_db())
+        .config("excavator", PspConfig::excavator_europe());
+    let service = TaraService::with_workers(
+        ChaosEngine {
+            inner: LiveEngine::new(scenario::excavator_europe(7)),
+        },
+        registry,
+        2,
+    );
+
+    let storm = 6;
+    let tickets: Vec<_> = (0..storm)
+        .map(|_| {
+            service.submit(ServiceRequest::Score {
+                db: "chaos".into(),
+                config: "excavator".into(),
+            })
+        })
+        .collect();
+    for ticket in tickets {
+        match ticket.wait() {
+            ServiceResponse::Error { error } => assert_eq!(error.kind, "internal-error"),
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+
+    // Every worker is still draining: a burst wider than the pool completes.
+    let tickets: Vec<_> = (0..4)
+        .map(|_| service.submit(ServiceRequest::Status))
+        .collect();
+    for ticket in tickets {
+        match ticket.wait() {
+            ServiceResponse::Status { panicked, .. } => assert_eq!(panicked, storm),
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+}
+
+/// A slow request under a short deadline answers `Expired` (observed at a
+/// cooperative check point between sweep windows) instead of hanging, and
+/// the service keeps serving afterwards.
+#[test]
+fn deadline_expiry_answers_expired_without_hanging() {
+    let registry = ServiceRegistry::new()
+        .database("excavator", KeywordDatabase::excavator_seed())
+        .config("excavator", PspConfig::excavator_europe());
+    let service = TaraService::with_workers(
+        SlowEngine {
+            inner: LiveEngine::new(scenario::excavator_europe(7)),
+            delay: Duration::from_millis(25),
+        },
+        registry,
+        1,
+    );
+
+    let ticket = service.submit_with_deadline(
+        ServiceRequest::Sweep {
+            db: "excavator".into(),
+            config: "excavator".into(),
+            windows: axis(),
+        },
+        Duration::from_millis(5),
+    );
+    match ticket.wait() {
+        ServiceResponse::Expired { waited_ms } => assert!(waited_ms >= 5, "waited {waited_ms}ms"),
+        other => panic!("unexpected response: {other:?}"),
+    }
+
+    // An ample deadline answers normally through the same path.
+    match service
+        .submit_with_deadline(ServiceRequest::Status, Duration::from_secs(600))
+        .wait()
+    {
+        ServiceResponse::Status { generation, .. } => assert_eq!(generation, 0),
+        other => panic!("unexpected response: {other:?}"),
+    }
+}
+
+/// The cooperative (per-window / per-cell) execution a deadline switches on
+/// must not change a single bit of the answer relative to the monolithic
+/// plain path — including a matrix with an empty window grid, where each
+/// configuration's own window applies.
+#[test]
+fn deadline_path_results_are_bit_identical_to_the_plain_path() {
+    let registry = ServiceRegistry::new()
+        .database("excavator", KeywordDatabase::excavator_seed())
+        .database("passenger-car", KeywordDatabase::passenger_car_seed())
+        .config("excavator", PspConfig::excavator_europe())
+        .config("passenger-car", PspConfig::passenger_car_europe());
+    let service =
+        TaraService::with_workers(LiveEngine::new(scenario::excavator_europe(7)), registry, 2);
+
+    let requests = vec![
+        ServiceRequest::Sweep {
+            db: "excavator".into(),
+            config: "excavator".into(),
+            windows: axis(),
+        },
+        ServiceRequest::Matrix {
+            scenarios: vec!["excavator".into(), "passenger-car".into()],
+            configs: vec!["excavator".into(), "passenger-car".into()],
+            windows: axis(),
+        },
+        ServiceRequest::Matrix {
+            scenarios: vec!["excavator".into()],
+            configs: vec!["excavator".into(), "passenger-car".into()],
+            windows: WindowAxis::new(), // empty grid: each config's own window
+        },
+    ];
+    for request in requests {
+        let plain = service.handle(request.clone());
+        let under_deadline = service
+            .submit_with_deadline(request, Duration::from_secs(600))
+            .wait();
+        assert_eq!(plain, under_deadline);
+    }
+}
+
+/// The monitor spec every subscription test watches.
+fn dpf_spec() -> MonitorSpec {
+    MonitorSpec {
+        db: "excavator".into(),
+        config: "excavator".into(),
+        scenario: "dpf-tampering".into(),
+        from_year: 2019,
+        to_year: 2023,
+        window_years: 2,
+        alert_threshold: 0.25,
+    }
+}
+
+/// Subscription deltas must be bit-identical to a cold monitoring run on a
+/// standalone engine of the same shape, stopped at the delta's stamped
+/// generation — on both engine shapes.
+fn subscription_deltas_match_cold_runs<E>(make: impl Fn() -> E)
+where
+    E: StreamingScorer + Clone + Send + Sync + 'static,
+{
+    let posts = scenario::excavator_europe(42).posts().to_vec();
+    let chunks: Vec<Vec<Post>> = posts.chunks(700).map(<[Post]>::to_vec).collect();
+    let db = KeywordDatabase::excavator_seed();
+    let config = PspConfig::excavator_europe();
+    let spec = dpf_spec();
+
+    let registry = ServiceRegistry::new()
+        .database("excavator", db.clone())
+        .config("excavator", config.clone());
+    let service = TaraService::with_workers(make(), registry, 1);
+    let subscription = service.subscribe(spec.clone()).expect("valid spec");
+
+    let mut reference = make();
+    for (n, chunk) in chunks.iter().enumerate() {
+        match service.handle(ServiceRequest::Ingest {
+            posts: chunk.clone(),
+        }) {
+            ServiceResponse::Ingested { generation, .. } => assert_eq!(generation, n as u64 + 1),
+            other => panic!("unexpected response: {other:?}"),
+        }
+        // The delta was pushed synchronously during the ingest request.
+        let event = subscription
+            .recv_timeout(Duration::from_secs(10))
+            .expect("one delta per ingest");
+        let ServiceEvent::MonitorDelta {
+            subscription: id,
+            generation,
+            series,
+            alerts,
+        } = event
+        else {
+            panic!("unexpected event");
+        };
+        assert_eq!(id, subscription.id());
+        assert_eq!(generation, n as u64 + 1);
+
+        // Cold reference at the stamped generation, same engine shape.
+        reference.ingest_batch(chunk.clone());
+        let cold = MonitoringSeries::run_on(
+            &reference,
+            &db,
+            &config,
+            &spec.scenario,
+            spec.from_year,
+            spec.to_year,
+            spec.window_years,
+        );
+        assert_eq!(series, cold, "delta != cold run at generation {generation}");
+        assert_eq!(alerts, cold.sai_alerts(spec.alert_threshold));
+    }
+}
+
+#[test]
+fn subscription_deltas_are_bit_exact_on_the_live_engine() {
+    subscription_deltas_match_cold_runs(|| LiveEngine::new(Corpus::new()));
+}
+
+#[test]
+fn subscription_deltas_are_bit_exact_on_the_sharded_engine() {
+    subscription_deltas_match_cold_runs(|| {
+        ShardedEngine::new(
+            Corpus::new(),
+            psp_suite::socialsim::index::ShardSpec::yearly(),
+        )
+    });
+}
+
+/// An empty ingest publishes nothing and must push no delta.
+#[test]
+fn empty_ingests_push_no_deltas() {
+    let registry = ServiceRegistry::new()
+        .database("excavator", KeywordDatabase::excavator_seed())
+        .config("excavator", PspConfig::excavator_europe());
+    let service =
+        TaraService::with_workers(LiveEngine::new(scenario::excavator_europe(7)), registry, 1);
+    let subscription = service.subscribe(dpf_spec()).expect("valid spec");
+    match service.handle(ServiceRequest::Ingest { posts: Vec::new() }) {
+        ServiceResponse::Ingested {
+            appended,
+            generation,
+        } => assert_eq!((appended, generation), (0, 0)),
+        other => panic!("unexpected response: {other:?}"),
+    }
+    assert!(
+        subscription.try_recv().is_none(),
+        "no publication, no delta"
+    );
+}
+
+/// Scheduled runs under concurrent ingest: every tick must land on *some*
+/// published generation and carry exactly that generation's bits.
+#[test]
+fn scheduler_ticks_stay_bit_exact_under_concurrent_ingest() {
+    let posts = scenario::excavator_europe(42).posts().to_vec();
+    let chunks: Vec<Vec<Post>> = posts.chunks(700).map(<[Post]>::to_vec).collect();
+    let db = KeywordDatabase::excavator_seed();
+    let config = PspConfig::excavator_europe();
+    let refs = references(|| LiveEngine::new(Corpus::new()), &chunks, &db, &config);
+
+    let registry = ServiceRegistry::new()
+        .database("excavator", db.clone())
+        .config("excavator", config.clone());
+    let service = TaraService::with_workers(LiveEngine::new(Corpus::new()), registry, 1);
+
+    let job = service
+        .schedule(
+            ServiceRequest::Score {
+                db: "excavator".into(),
+                config: "excavator".into(),
+            },
+            Duration::from_millis(10),
+        )
+        .expect("schedulable request");
+
+    // Ingest while the scheduler ticks, pausing so ticks land between (and
+    // during) publications.
+    for chunk in &chunks {
+        let _ = service.handle(ServiceRequest::Ingest {
+            posts: chunk.clone(),
+        });
+        std::thread::sleep(Duration::from_millis(15));
+    }
+
+    // At least one tick arrives (10ms interval over >= 45ms of ingesting),
+    // and every tick is bit-identical to the standalone reference at its
+    // stamped generation.
+    let mut ticks = 0;
+    while let Some(event) = job.recv_timeout(Duration::from_millis(50)) {
+        let ServiceEvent::ScheduledRun { job: id, response } = event else {
+            panic!("unexpected event");
+        };
+        assert_eq!(id, job.id());
+        match response {
+            ServiceResponse::Score { generation, sai } => {
+                assert_eq!(sai, refs.score[generation as usize]);
+                ticks += 1;
+            }
+            other => panic!("unexpected scheduled response: {other:?}"),
+        }
+        if ticks >= 3 {
+            break;
+        }
+    }
+    assert!(ticks >= 1, "the scheduler delivered at least one run");
+
+    // Unscheduling stops delivery (drain the in-flight tail first).
+    match service.handle(ServiceRequest::Unschedule { id: job.id() }) {
+        ServiceResponse::Unscheduled { id } => assert_eq!(id, job.id()),
+        other => panic!("unexpected response: {other:?}"),
+    }
+    while job.recv_timeout(Duration::from_millis(40)).is_some() {}
+    assert!(job.recv_timeout(Duration::from_millis(60)).is_none());
 }
