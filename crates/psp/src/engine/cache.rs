@@ -195,7 +195,8 @@ impl SignalCacheFile {
     }
 
     /// Serialises the cache as JSON to `path`, creating parent directories as
-    /// needed.
+    /// needed.  The write is atomic ([`socialsim::persist::atomic_write`]):
+    /// a crash mid-save leaves the previous file at `path` intact.
     ///
     /// # Errors
     ///
@@ -204,13 +205,7 @@ impl SignalCacheFile {
     pub fn save(&self, path: &Path) -> Result<(), SignalCacheError> {
         let json = serde_json::to_string(self)
             .map_err(|err| SignalCacheError::Io(format!("serialise signal cache: {err:?}")))?;
-        if let Some(parent) = path.parent() {
-            std::fs::create_dir_all(parent).map_err(|err| {
-                SignalCacheError::Io(format!("create {}: {err}", parent.display()))
-            })?;
-        }
-        std::fs::write(path, json)
-            .map_err(|err| SignalCacheError::Io(format!("write {}: {err}", path.display())))
+        socialsim::persist::atomic_write(path, json.as_bytes()).map_err(SignalCacheError::Io)
     }
 
     /// Loads a cache from JSON.
@@ -310,6 +305,26 @@ mod tests {
             serde_json::from_str::<SignalCacheFile>(&json).unwrap(),
             cache
         );
+    }
+
+    #[test]
+    fn interrupted_save_leaves_the_previous_cache_file_intact() {
+        let dir =
+            std::env::temp_dir().join(format!("psp_cache_atomic_save_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("signals.json");
+        let old = sample();
+        old.save(&path).unwrap();
+        // A directory squatting on the deterministic temp path makes the
+        // next save fail before the published file could be touched — the
+        // partial-write simulation.
+        std::fs::create_dir(dir.join("signals.json.tmp")).unwrap();
+        let mut newer = sample();
+        newer.push_row(13, 0.5, &[100.0]);
+        assert!(matches!(newer.save(&path), Err(SignalCacheError::Io(_))));
+        assert_eq!(SignalCacheFile::load(&path).unwrap(), old);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

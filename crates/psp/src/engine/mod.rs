@@ -272,6 +272,19 @@ pub trait StreamingScorer: SaiScorer {
     /// [`SignalCacheFile`], materialising any signal not yet paid for — the
     /// generic handle the service daemon's export-cache request rides.
     fn export_signal_cache(&self) -> SignalCacheFile;
+
+    /// A deep copy of the served corpus in global ingest order — the
+    /// checkpoint payload of the durability plane.  Rebuilding an engine of
+    /// the same shape over this corpus (plus
+    /// [`restore_generation`](Self::restore_generation)) must reproduce
+    /// bit-identical scoring.
+    fn snapshot_corpus(&self) -> Corpus;
+
+    /// Overrides the generation counter — recovery only.  A rebuilt engine
+    /// starts at generation zero; restoring the checkpointed generation makes
+    /// recovered responses stamp the same generation the pre-crash service
+    /// would have, completing bit-identical recovery.
+    fn restore_generation(&mut self, generation: u64);
 }
 
 /// The query the SAI computation issues for one keyword profile under one
@@ -1161,6 +1174,14 @@ impl StreamingScorer for LiveEngine {
 
     fn export_signal_cache(&self) -> SignalCacheFile {
         LiveEngine::export_signal_cache(self)
+    }
+
+    fn snapshot_corpus(&self) -> Corpus {
+        self.corpus.clone()
+    }
+
+    fn restore_generation(&mut self, generation: u64) {
+        self.core.generation = generation;
     }
 }
 

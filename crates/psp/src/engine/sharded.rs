@@ -594,6 +594,14 @@ impl StreamingScorer for ShardedEngine {
     fn export_signal_cache(&self) -> SignalCacheFile {
         ShardedEngine::export_signal_cache(self)
     }
+
+    fn snapshot_corpus(&self) -> Corpus {
+        ShardedEngine::snapshot_corpus(self)
+    }
+
+    fn restore_generation(&mut self, generation: u64) {
+        self.generation = generation;
+    }
 }
 
 #[cfg(test)]

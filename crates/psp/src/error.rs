@@ -58,6 +58,22 @@ pub enum PspError {
         /// The panic payload, when it was a string.
         detail: String,
     },
+    /// A `Schedule` request wrapped a request kind the scheduler refuses to
+    /// run on a timer (state-mutating kinds like `Ingest`, or nested
+    /// scheduling).
+    NotSchedulable {
+        /// The request kind that was rejected.
+        request: &'static str,
+    },
+    /// A durability-plane request (`Checkpoint`) reached a service running
+    /// without a data directory.
+    NotDurable,
+    /// The durability plane failed: a WAL append, checkpoint write or
+    /// recovery step hit an I/O error (or an injected fault).
+    Durability {
+        /// Human-readable detail naming the failed operation.
+        detail: String,
+    },
 }
 
 impl PspError {
@@ -76,6 +92,9 @@ impl PspError {
             PspError::BadRequest { .. } => "bad-request",
             PspError::ServiceStopped => "service-stopped",
             PspError::Internal { .. } => "internal-error",
+            PspError::NotSchedulable { .. } => "not-schedulable",
+            PspError::NotDurable => "not-durable",
+            PspError::Durability { .. } => "durability",
         }
     }
 }
@@ -105,6 +124,13 @@ impl fmt::Display for PspError {
             PspError::Internal { detail } => {
                 write!(f, "internal service error (request panicked): {detail}")
             }
+            PspError::NotSchedulable { request } => {
+                write!(f, "request kind `{request}` cannot be scheduled")
+            }
+            PspError::NotDurable => {
+                write!(f, "service is running without a data directory")
+            }
+            PspError::Durability { detail } => write!(f, "durability error: {detail}"),
         }
     }
 }
@@ -199,6 +225,16 @@ mod tests {
         assert_eq!(internal.kind(), "internal-error");
         assert!(internal.to_string().contains("index out of bounds"));
         assert!(internal.to_string().contains("panicked"));
+        let sched = PspError::NotSchedulable { request: "Ingest" };
+        assert_eq!(sched.kind(), "not-schedulable");
+        assert!(sched.to_string().contains("Ingest"));
+        assert_eq!(PspError::NotDurable.kind(), "not-durable");
+        assert!(PspError::NotDurable.to_string().contains("data directory"));
+        let durability = PspError::Durability {
+            detail: "fsync wal.log failed".into(),
+        };
+        assert_eq!(durability.kind(), "durability");
+        assert!(durability.to_string().contains("fsync wal.log failed"));
     }
 
     #[test]
@@ -222,6 +258,9 @@ mod tests {
             PspError::BadRequest { detail: "d".into() }.kind(),
             PspError::ServiceStopped.kind(),
             PspError::Internal { detail: "d".into() }.kind(),
+            PspError::NotSchedulable { request: "Ingest" }.kind(),
+            PspError::NotDurable.kind(),
+            PspError::Durability { detail: "d".into() }.kind(),
         ];
         let unique: std::collections::BTreeSet<_> = kinds.iter().collect();
         assert_eq!(unique.len(), kinds.len());

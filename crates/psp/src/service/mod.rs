@@ -51,6 +51,8 @@
 //!   delivering [`ServiceEvent::ScheduledRun`]s through the same event
 //!   channels.
 
+pub mod durability;
+pub mod journal;
 pub mod runtime;
 mod scheduler;
 pub mod snapshot;
@@ -62,6 +64,7 @@ use crate::error::PspError;
 use crate::keyword_db::KeywordDatabase;
 use crate::monitoring::{MonitoringSeries, SaiAlert};
 use crate::sai::SaiList;
+use durability::{DurabilityStats, DurableStore};
 use runtime::{CancelToken, PoolMetrics, Ticket, WorkerPool};
 use scheduler::SchedulerQueue;
 use serde::{Deserialize, Serialize};
@@ -219,6 +222,12 @@ pub enum ServiceRequest {
     },
     /// Export the memoised per-post signal cache at the current generation.
     ExportCache,
+    /// Publish an atomic checkpoint of the current generation to the
+    /// service's data directory (corpus + signal cache + manifest, written
+    /// to temp files and renamed into place), then compact the write-ahead
+    /// journal.  Answers `not-durable` when the service runs without a data
+    /// directory.
+    Checkpoint,
     /// Service liveness, corpus size, registry listing and pool depth.
     Status,
     /// Register a monitor subscription: after every successful ingest
@@ -252,9 +261,11 @@ pub enum ServiceRequest {
 }
 
 impl ServiceRequest {
-    /// Whether this request may be driven by the scheduler: read-only
-    /// snapshot consumers only, so a recurring job can never mutate the
-    /// engine or recursively register more work.
+    /// Whether this request may be driven by the scheduler: snapshot
+    /// consumers only, so a recurring job can never mutate the engine or
+    /// recursively register more work.  `Checkpoint` is schedulable — it
+    /// persists a snapshot without mutating the served engine — but only on
+    /// a durable service (enforced at registration).
     #[must_use]
     pub fn is_schedulable(&self) -> bool {
         matches!(
@@ -263,8 +274,28 @@ impl ServiceRequest {
                 | ServiceRequest::Sweep { .. }
                 | ServiceRequest::Matrix { .. }
                 | ServiceRequest::ExportCache
+                | ServiceRequest::Checkpoint
                 | ServiceRequest::Status
         )
+    }
+
+    /// The stable variant name, used by structured errors that reject a
+    /// request kind (e.g. `not-schedulable`).
+    #[must_use]
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            ServiceRequest::Score { .. } => "Score",
+            ServiceRequest::Sweep { .. } => "Sweep",
+            ServiceRequest::Matrix { .. } => "Matrix",
+            ServiceRequest::Ingest { .. } => "Ingest",
+            ServiceRequest::ExportCache => "ExportCache",
+            ServiceRequest::Checkpoint => "Checkpoint",
+            ServiceRequest::Status => "Status",
+            ServiceRequest::Subscribe { .. } => "Subscribe",
+            ServiceRequest::Unsubscribe { .. } => "Unsubscribe",
+            ServiceRequest::Schedule { .. } => "Schedule",
+            ServiceRequest::Unschedule { .. } => "Unschedule",
+        }
     }
 }
 
@@ -332,6 +363,15 @@ pub enum ServiceResponse {
         /// The persistable signal cache.
         cache: SignalCacheFile,
     },
+    /// Answer to [`ServiceRequest::Checkpoint`].
+    Checkpointed {
+        /// Generation the checkpoint captures.
+        generation: u64,
+        /// Posts the checkpointed corpus holds.
+        posts: usize,
+        /// Filesystem path of the published checkpoint directory.
+        path: String,
+    },
     /// Answer to [`ServiceRequest::Status`].
     Status {
         /// Posts currently served.
@@ -354,6 +394,15 @@ pub enum ServiceResponse {
         subscriptions: usize,
         /// Recurring scheduled jobs.
         scheduled: usize,
+        /// Records in the write-ahead journal (0 when not durable).
+        wal_records: u64,
+        /// Bytes in the write-ahead journal (0 when not durable).
+        wal_bytes: u64,
+        /// Generation of the newest published checkpoint (`None` when not
+        /// durable or never checkpointed).
+        last_checkpoint_generation: Option<u64>,
+        /// Whether the service restored prior state at startup.
+        recovered_at_start: bool,
     },
     /// Answer to [`ServiceRequest::Subscribe`].
     Subscribed {
@@ -482,6 +531,10 @@ struct ServiceState<E> {
     next_id: AtomicU64,
     /// The scheduler's timetable (the thread itself lives on the service).
     scheduler: SchedulerQueue,
+    /// The durability plane, when the service owns a data directory:
+    /// ingests are journaled write-ahead and `Checkpoint` requests persist
+    /// atomic snapshots.
+    durable: Option<Arc<DurableStore>>,
 }
 
 /// The TARA service: request execution over a snapshot-published engine.
@@ -537,6 +590,30 @@ impl<E: StreamingScorer + Clone + Send + Sync + 'static> TaraService<E> {
     /// least one).
     #[must_use]
     pub fn with_workers(engine: E, registry: ServiceRegistry, workers: usize) -> Self {
+        Self::build(engine, registry, workers, None)
+    }
+
+    /// Builds a durable service: `store` (from [`DurableStore::recover`],
+    /// which also reconstructs `engine`) journals every ingest write-ahead
+    /// and serves `Checkpoint` requests.  The caller passes the *recovered*
+    /// engine — the store and the engine must come from the same `recover`
+    /// call, or the journal floor and the served generation disagree.
+    #[must_use]
+    pub fn with_durability(
+        engine: E,
+        registry: ServiceRegistry,
+        workers: usize,
+        store: Arc<DurableStore>,
+    ) -> Self {
+        Self::build(engine, registry, workers, Some(store))
+    }
+
+    fn build(
+        engine: E,
+        registry: ServiceRegistry,
+        workers: usize,
+        durable: Option<Arc<DurableStore>>,
+    ) -> Self {
         let workers = workers.max(1);
         let metrics = Arc::new(PoolMetrics::default());
         let state = Arc::new(ServiceState {
@@ -548,6 +625,7 @@ impl<E: StreamingScorer + Clone + Send + Sync + 'static> TaraService<E> {
             retained: Mutex::new(Vec::new()),
             next_id: AtomicU64::new(1),
             scheduler: SchedulerQueue::default(),
+            durable,
         });
         let scheduler = {
             let state = Arc::clone(&state);
@@ -705,6 +783,14 @@ impl<E: StreamingScorer + Clone + Send + Sync + 'static> TaraService<E> {
     pub fn pool_stats(&self) -> runtime::PoolStats {
         self.pool.stats()
     }
+
+    /// Durability counters (the `Status` response's WAL/checkpoint fields),
+    /// observed now; all-zero when the service runs without a data
+    /// directory.
+    #[must_use]
+    pub fn durability_stats(&self) -> DurabilityStats {
+        self.state.durability_stats()
+    }
 }
 
 impl<E: StreamingScorer + Clone + Send + Sync + 'static> Drop for TaraService<E> {
@@ -852,13 +938,31 @@ impl<E: StreamingScorer + Clone + Send + Sync + 'static> ServiceState<E> {
                 }
             }
             ServiceRequest::Ingest { posts } => {
-                let receipt = self.publisher.ingest(posts);
+                // On a durable service the batch is journaled (fsync'd)
+                // before the publisher swaps the generation: an acked ingest
+                // is always on disk, and a failed append publishes nothing.
+                let receipt = match &self.durable {
+                    Some(store) => self.publisher.ingest_logged(posts, |batch, generation| {
+                        store.log_ingest(batch, generation)
+                    })?,
+                    None => self.publisher.ingest(posts),
+                };
                 if receipt.appended > 0 {
                     self.notify_subscribers();
                 }
                 Ok(ServiceResponse::Ingested {
                     appended: receipt.appended,
                     generation: receipt.generation,
+                })
+            }
+            ServiceRequest::Checkpoint => {
+                let store = self.durable.as_ref().ok_or(PspError::NotDurable)?;
+                let snapshot = self.publisher.snapshot();
+                let (generation, posts, path) = store.checkpoint(&*snapshot)?;
+                Ok(ServiceResponse::Checkpointed {
+                    generation,
+                    posts,
+                    path: path.display().to_string(),
                 })
             }
             ServiceRequest::ExportCache => {
@@ -871,6 +975,7 @@ impl<E: StreamingScorer + Clone + Send + Sync + 'static> ServiceState<E> {
             ServiceRequest::Status => {
                 let snapshot = self.publisher.snapshot();
                 let stats = self.metrics.stats();
+                let durability = self.durability_stats();
                 Ok(ServiceResponse::Status {
                     posts: snapshot.post_count(),
                     generation: snapshot.generation(),
@@ -886,6 +991,10 @@ impl<E: StreamingScorer + Clone + Send + Sync + 'static> ServiceState<E> {
                         .unwrap_or_else(PoisonError::into_inner)
                         .len(),
                     scheduled: self.scheduler.len(),
+                    wal_records: durability.wal_records,
+                    wal_bytes: durability.wal_bytes,
+                    last_checkpoint_generation: durability.last_checkpoint_generation,
+                    recovered_at_start: durability.recovered_at_start,
                 })
             }
             ServiceRequest::Subscribe { spec } => {
@@ -962,16 +1071,33 @@ impl<E: StreamingScorer + Clone + Send + Sync + 'static> ServiceState<E> {
         every: Duration,
     ) -> Result<(u64, mpsc::Receiver<ServiceEvent>), PspError> {
         if !request.is_schedulable() {
-            return Err(PspError::BadRequest {
-                detail: "only read-only requests (Score, Sweep, Matrix, ExportCache, Status) \
-                         can be scheduled"
-                    .into(),
+            return Err(PspError::NotSchedulable {
+                request: request.kind_name(),
             });
+        }
+        if matches!(request, ServiceRequest::Checkpoint) && self.durable.is_none() {
+            // A scheduled checkpoint on a non-durable service would tick
+            // `not-durable` errors forever; reject at registration instead.
+            return Err(PspError::NotDurable);
         }
         let id = self.next_id.fetch_add(1, Ordering::SeqCst);
         let (sender, receiver) = mpsc::channel();
         self.scheduler.add(id, request, every, sender);
         Ok((id, receiver))
+    }
+
+    /// Durability counters, or the all-zero stats when the service runs
+    /// without a data directory.
+    fn durability_stats(&self) -> DurabilityStats {
+        self.durable.as_ref().map_or(
+            DurabilityStats {
+                wal_records: 0,
+                wal_bytes: 0,
+                last_checkpoint_generation: None,
+                recovered_at_start: false,
+            },
+            |store| store.stats(),
+        )
     }
 
     /// Re-evaluates every monitor subscription on the latest snapshot and
@@ -1123,6 +1249,10 @@ mod tests {
                 panicked,
                 subscriptions,
                 scheduled,
+                wal_records,
+                wal_bytes,
+                last_checkpoint_generation,
+                recovered_at_start,
             } => {
                 assert!(posts > 0);
                 assert_eq!(generation, 1);
@@ -1131,6 +1261,10 @@ mod tests {
                 assert_eq!(workers, 2);
                 assert_eq!((queued, in_flight, panicked), (0, 0, 0));
                 assert_eq!((subscriptions, scheduled), (0, 0));
+                // Not durable: the durability fields are all zero.
+                assert_eq!((wal_records, wal_bytes), (0, 0));
+                assert_eq!(last_checkpoint_generation, None);
+                assert!(!recovered_at_start);
             }
             other => panic!("unexpected response: {other:?}"),
         }
@@ -1263,13 +1397,36 @@ mod tests {
             request: Box::new(ServiceRequest::Ingest { posts: Vec::new() }),
         }) {
             ServiceResponse::Error { error } => {
-                assert_eq!(error.kind, "bad-request");
-                assert!(error.detail.contains("read-only"));
+                assert_eq!(error.kind, "not-schedulable");
+                assert!(error.detail.contains("Ingest"));
             }
             other => panic!("unexpected response: {other:?}"),
         }
         assert!(!ServiceRequest::Unsubscribe { id: 1 }.is_schedulable());
         assert!(ServiceRequest::Status.is_schedulable());
+        assert!(ServiceRequest::Checkpoint.is_schedulable());
+
+        // Checkpoint is schedulable in principle, but not on a service
+        // without a data directory — that would tick errors forever.
+        match service.handle(ServiceRequest::Schedule {
+            every_ms: 10,
+            request: Box::new(ServiceRequest::Checkpoint),
+        }) {
+            ServiceResponse::Error { error } => assert_eq!(error.kind, "not-durable"),
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpoint_on_a_non_durable_service_answers_not_durable() {
+        let service = service();
+        match service.handle(ServiceRequest::Checkpoint) {
+            ServiceResponse::Error { error } => {
+                assert_eq!(error.kind, "not-durable");
+                assert!(error.detail.contains("data directory"));
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! the next generation instead of being re-mined.
 
 use crate::engine::{IngestReceipt, StreamingScorer};
+use crate::error::PspError;
 use socialsim::post::Post;
 use std::ops::Deref;
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
@@ -105,17 +106,40 @@ impl<E: StreamingScorer + Clone> SnapshotPublisher<E> {
     /// receipt at the current generation, mirroring the engines' own
     /// empty-ingest behaviour.
     pub fn ingest(&self, batch: Vec<Post>) -> IngestReceipt {
+        self.ingest_logged(batch, |_, _| Ok(()))
+            .expect("no-op log cannot fail")
+    }
+
+    /// [`ingest`](Self::ingest) with a write-ahead hook: `log` runs under the
+    /// ingest lock with the batch and the generation it will publish,
+    /// **before** the new generation is built or swapped.  If `log` errors
+    /// (e.g. a WAL append could not be made durable), nothing is published
+    /// and the error is returned — the durability invariant is exactly
+    /// "acked batches are on disk first".
+    ///
+    /// # Errors
+    ///
+    /// Whatever `log` returns; the publisher itself never fails.
+    pub fn ingest_logged(
+        &self,
+        batch: Vec<Post>,
+        log: impl FnOnce(&[Post], u64) -> Result<(), PspError>,
+    ) -> Result<IngestReceipt, PspError> {
         let _writer = self
             .ingest_lock
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
         let current = self.snapshot();
         if batch.is_empty() {
-            return IngestReceipt {
+            return Ok(IngestReceipt {
                 appended: 0,
                 generation: current.generation(),
-            };
+            });
         }
+        // WAL-append happens-before publish: a crash after this point
+        // replays the batch; a crash (or log failure) before it means the
+        // batch was never acked, so losing it is correct.
+        log(&batch, current.generation() + 1)?;
         let mut next = (*current.engine).clone();
         let receipt = next.ingest_batch(batch);
         let mut published = self
@@ -123,7 +147,7 @@ impl<E: StreamingScorer + Clone> SnapshotPublisher<E> {
             .write()
             .unwrap_or_else(PoisonError::into_inner);
         *published = Arc::new(next);
-        receipt
+        Ok(receipt)
     }
 }
 

@@ -42,6 +42,14 @@ pub fn decode_request(line: &str) -> Result<WireRequest, PspError> {
     })
 }
 
+/// Encodes one request line (no trailing newline) — the client half of the
+/// wire format, for drivers scripting a daemon (e.g. the daemon's own
+/// `--gen-batch` helper emitting ingest lines for the CI recovery smoke).
+#[must_use]
+pub fn encode_request(request: &WireRequest) -> String {
+    serde_json::to_string(request).expect("wire requests always serialize")
+}
+
 /// Encodes one response line (no trailing newline).
 ///
 /// Serialization of a well-formed response cannot fail on this surface
@@ -192,6 +200,76 @@ mod tests {
         assert_eq!(recover_id(r#"{"id": 99999999999999999999999999}"#), 0);
         // Multi-byte UTF-8 around the field must not split a char boundary.
         assert_eq!(recover_id(r#"{"café": "naïve", "id": 5"#), 5);
+    }
+
+    #[test]
+    fn checkpoint_requests_and_responses_round_trip() {
+        let request = WireRequest {
+            id: 5,
+            request: ServiceRequest::Checkpoint,
+        };
+        let line = encode_request(&request);
+        assert_eq!(decode_request(&line).unwrap(), request);
+        let response = WireResponse {
+            id: 5,
+            response: ServiceResponse::Checkpointed {
+                generation: 3,
+                posts: 120,
+                path: "/data/checkpoints/ckpt-3".into(),
+            },
+        };
+        let line = encode_response(&response);
+        assert_eq!(
+            serde_json::from_str::<WireResponse>(&line).unwrap(),
+            response
+        );
+    }
+
+    /// Durability failures travel the wire as structured error lines: the
+    /// stable kind is machine-matchable and the id is echoed, including
+    /// when the offending request line itself was malformed.
+    #[test]
+    fn checkpoint_and_recovery_error_lines_carry_kind_and_id() {
+        for (error, kind) in [
+            (
+                PspError::Durability {
+                    detail: "fsync wal.log: injected fault".into(),
+                },
+                "durability",
+            ),
+            (PspError::NotDurable, "not-durable"),
+            (
+                PspError::NotSchedulable {
+                    request: "Checkpoint",
+                },
+                "not-schedulable",
+            ),
+        ] {
+            let line = encode_response(&WireResponse {
+                id: 11,
+                response: ServiceResponse::Error {
+                    error: error.clone().into(),
+                },
+            });
+            assert!(line.contains("\"id\":11"), "id echoed in {line}");
+            assert!(line.contains(&format!("\"{kind}\"")), "kind in {line}");
+            let decoded: WireResponse = serde_json::from_str(&line).unwrap();
+            match decoded.response {
+                ServiceResponse::Error { error: wire } => {
+                    assert_eq!(wire.kind, kind);
+                    assert_eq!(wire.detail, error.to_string());
+                }
+                other => panic!("unexpected response: {other:?}"),
+            }
+        }
+
+        // A Checkpoint request line torn mid-transmission still answers
+        // bad-request with its id recovered.
+        let broken = r#"{"id": 77, "request": "Checkpoi"#;
+        let error = decode_request(broken).unwrap_err();
+        let out = error_line(broken, error);
+        assert!(out.contains("\"id\":77"), "recovered id in {out}");
+        assert!(out.contains("\"bad-request\""));
     }
 
     #[test]

@@ -152,17 +152,16 @@ impl Corpus {
     /// the engine's exported signal cache and reload both to resume scoring
     /// without re-running text mining.
     ///
+    /// The write is atomic ([`crate::persist::atomic_write`]): a crash
+    /// mid-save leaves the previous file at `path` intact.
+    ///
     /// # Errors
     ///
     /// Returns a description when serialisation or any filesystem step fails.
     pub fn save_json(&self, path: &std::path::Path) -> Result<(), String> {
         let json =
             serde_json::to_string(self).map_err(|err| format!("serialise corpus: {err:?}"))?;
-        if let Some(parent) = path.parent() {
-            std::fs::create_dir_all(parent)
-                .map_err(|err| format!("create {}: {err}", parent.display()))?;
-        }
-        std::fs::write(path, json).map_err(|err| format!("write {}: {err}", path.display()))
+        crate::persist::atomic_write(path, json.as_bytes())
     }
 
     /// Loads a corpus serialised by [`save_json`](Self::save_json) and
@@ -306,6 +305,28 @@ mod tests {
         assert_eq!(back, c);
         // The hashtag index is rebuilt, not just deserialised empty.
         assert_eq!(back.with_hashtag(&Hashtag::new("dpfdelete")).len(), 2);
+    }
+
+    #[test]
+    fn interrupted_save_leaves_the_previous_corpus_file_intact() {
+        let dir =
+            std::env::temp_dir().join(format!("psp_corpus_atomic_save_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corpus.json");
+        let old = sample_corpus();
+        old.save_json(&path).unwrap();
+        // Block the deterministic temp path so the next save fails before
+        // touching the published file — the partial-write simulation.
+        std::fs::create_dir(dir.join("corpus.json.tmp")).unwrap();
+        let bigger = {
+            let mut c = old.clone();
+            c.push(make_post(99, "#dpfdelete new", 2023, 77));
+            c
+        };
+        assert!(bigger.save_json(&path).is_err());
+        assert_eq!(Corpus::load_json(&path).unwrap(), old);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

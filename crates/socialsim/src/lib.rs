@@ -42,6 +42,7 @@ pub mod engagement;
 pub mod generator;
 pub mod hashtag;
 pub mod index;
+pub mod persist;
 pub mod poisoning;
 pub mod post;
 pub mod query;

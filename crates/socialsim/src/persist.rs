@@ -1,0 +1,92 @@
+//! Atomic file persistence: write-temp-then-rename, so a crash mid-save can
+//! never clobber the previous valid file.
+//!
+//! Every durable artefact of the suite (corpus JSON, signal-cache exports,
+//! the service daemon's checkpoints) goes through [`atomic_write`]: the
+//! content is written to a deterministic sibling temp file (`<name>.tmp`),
+//! fsync'd, and renamed over the target.  POSIX rename is atomic within a
+//! filesystem, so at every instant the target path holds either the complete
+//! old content or the complete new content — never a prefix of either.
+
+use std::io::Write;
+use std::path::Path;
+
+/// Writes `content` to `path` atomically: parent directories are created,
+/// the bytes land in a sibling `<file name>.tmp` first (fsync'd), and a
+/// rename publishes them.  On any failure the previous file at `path` is
+/// untouched and the temp file is cleaned up best-effort.
+///
+/// The temp name is deterministic, so concurrent writers of the *same* path
+/// are not safe (last rename wins, which is already true of plain writes);
+/// callers needing exclusion must serialize externally.
+///
+/// # Errors
+///
+/// Returns a description naming the filesystem step that failed.
+pub fn atomic_write(path: &Path, content: &[u8]) -> Result<(), String> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|err| format!("create {}: {err}", parent.display()))?;
+        }
+    }
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    let write = || -> Result<(), String> {
+        let mut file = std::fs::File::create(&tmp)
+            .map_err(|err| format!("create {}: {err}", tmp.display()))?;
+        file.write_all(content)
+            .map_err(|err| format!("write {}: {err}", tmp.display()))?;
+        file.sync_data()
+            .map_err(|err| format!("fsync {}: {err}", tmp.display()))?;
+        Ok(())
+    };
+    if let Err(err) = write() {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(err);
+    }
+    std::fs::rename(&tmp, path).map_err(|err| {
+        let _ = std::fs::remove_file(&tmp);
+        format!("rename {} -> {}: {err}", tmp.display(), path.display())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("psp_persist_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_land_complete_and_replace_previous_content() {
+        let path = temp_dir("basic").join("nested/dir/file.json");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second, longer content").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second, longer content");
+        // No temp residue.
+        assert!(!path.with_extension("json.tmp").exists());
+    }
+
+    #[test]
+    fn a_failed_write_leaves_the_old_file_intact() {
+        let dir = temp_dir("partial");
+        let path = dir.join("file.json");
+        atomic_write(&path, b"the previous valid file").unwrap();
+        // Simulate a write that cannot complete: a directory squats on the
+        // deterministic temp path, so creating the temp file fails before a
+        // single byte of the old file could be touched.
+        std::fs::create_dir(dir.join("file.json.tmp")).unwrap();
+        let err = atomic_write(&path, b"half-written junk").unwrap_err();
+        assert!(err.contains("file.json.tmp"));
+        assert_eq!(std::fs::read(&path).unwrap(), b"the previous valid file");
+        let _ = std::fs::remove_dir_all(dir.join("file.json.tmp"));
+    }
+}

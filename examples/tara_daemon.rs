@@ -8,10 +8,23 @@
 //! response stamps the generation it was computed at.
 //!
 //! ```text
-//! cargo run --release --example tara_daemon            # serve stdin
+//! cargo run --release --example tara_daemon            # serve stdin, in-memory
 //! cargo run --release --example tara_daemon -- --demo  # scripted transcript
+//! cargo run --release --example tara_daemon -- --data-dir /var/lib/tara
+//! cargo run --release --example tara_daemon -- --data-dir /var/lib/tara --recover
+//! cargo run --release --example tara_daemon -- --gen-batch 8   # print an ingest line
 //! echo '{"id":1,"request":"Status"}' | cargo run --release --example tara_daemon
 //! ```
+//!
+//! With `--data-dir` the daemon is durable: ingests append to a checksummed
+//! write-ahead journal before they publish, `Checkpoint` requests persist the
+//! corpus atomically, and startup recovers the newest valid checkpoint plus
+//! the journal tail — so a `kill -9` mid-ingest loses at most the batches
+//! whose responses were never sent.  `--recover` makes startup *strict*: it
+//! exits non-zero unless prior state was actually found (the CI recovery
+//! smoke uses this to assert the restart really replayed).  `--gen-batch N`
+//! prints the wire-format ingest line for deterministic batch `N`, so shell
+//! drivers can feed the daemon without hand-writing JSON.
 //!
 //! The registry serves the two paper scenes: databases/configs are named
 //! `excavator` and `passenger-car`.
@@ -19,8 +32,11 @@
 use psp_suite::psp::config::PspConfig;
 use psp_suite::psp::engine::{LiveEngine, WindowAxis};
 use psp_suite::psp::keyword_db::KeywordDatabase;
+use psp_suite::psp::service::durability::{DurableStore, RecoveryReport};
+use psp_suite::psp::service::journal::FaultFs;
 use psp_suite::psp::service::wire::{
-    decode_request, encode_event, encode_response, error_line, WireResponse,
+    decode_request, encode_event, encode_request, encode_response, error_line, WireRequest,
+    WireResponse,
 };
 use psp_suite::psp::service::{
     MonitorSpec, ServiceEvent, ServiceRegistry, ServiceRequest, ServiceResponse, TaraService,
@@ -29,29 +45,126 @@ use psp_suite::socialsim::scenario;
 use psp_suite::socialsim::time::DateWindow;
 use std::collections::VecDeque;
 use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
 
-fn build_service() -> TaraService {
-    let registry = ServiceRegistry::new()
+fn build_registry() -> ServiceRegistry {
+    ServiceRegistry::new()
         .database("excavator", KeywordDatabase::excavator_seed())
         .database("passenger-car", KeywordDatabase::passenger_car_seed())
         .config("excavator", PspConfig::excavator_europe())
-        .config("passenger-car", PspConfig::passenger_car_europe());
-    TaraService::new(LiveEngine::new(scenario::excavator_europe(7)), registry)
+        .config("passenger-car", PspConfig::passenger_car_europe())
+}
+
+fn build_service() -> TaraService {
+    TaraService::new(
+        LiveEngine::new(scenario::excavator_europe(7)),
+        build_registry(),
+    )
+}
+
+/// Recovers (or seeds) a durable service from `dir`: newest valid checkpoint,
+/// journal tail replayed, signal cache warmed when the checkpoint carried one.
+fn build_durable_service(dir: &Path) -> Result<(TaraService, RecoveryReport), String> {
+    let (store, engine, report) = DurableStore::recover(
+        dir,
+        FaultFs::none(),
+        || LiveEngine::new(scenario::excavator_europe(7)),
+        |corpus, signals| {
+            let engine = LiveEngine::new(corpus);
+            if let Some(cache) = signals {
+                // The cache is an optimisation: a stale or mismatched one is
+                // ignored, signals just recompute lazily.
+                let _ = engine.load_signal_cache(&cache);
+            }
+            engine
+        },
+    )
+    .map_err(|error| error.to_string())?;
+    let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let service = TaraService::with_durability(engine, build_registry(), workers, store);
+    Ok((service, report))
 }
 
 fn main() {
-    if std::env::args().any(|arg| arg == "--demo") {
-        demo();
-    } else {
-        serve();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(seed) = flag_value(&args, "--gen-batch") {
+        gen_batch(&seed);
+        return;
     }
+    if args.iter().any(|arg| arg == "--demo") {
+        demo();
+        return;
+    }
+    match flag_value(&args, "--data-dir") {
+        Some(dir) => serve_durable(
+            &PathBuf::from(dir),
+            args.iter().any(|arg| arg == "--recover"),
+        ),
+        None => serve(build_service()),
+    }
+}
+
+/// Returns the value following `flag` in `args`, if present.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|arg| arg == flag)
+        .and_then(|at| args.get(at + 1))
+        .cloned()
+}
+
+/// Prints the wire-format ingest line for deterministic scenario batch
+/// `seed` (correlation id = seed), for shell drivers of a serving daemon.
+fn gen_batch(seed: &str) {
+    let seed: u64 = seed.parse().unwrap_or_else(|_| {
+        eprintln!("tara_daemon: --gen-batch wants an unsigned integer seed, got `{seed}`");
+        std::process::exit(2);
+    });
+    println!(
+        "{}",
+        encode_request(&WireRequest {
+            id: seed,
+            request: ServiceRequest::Ingest {
+                posts: scenario::excavator_europe(seed).posts().to_vec(),
+            },
+        })
+    );
+}
+
+/// Durable serving: recover from `dir`, then run the same stdin loop.  With
+/// `strict` set, a fresh start (no prior state on disk) is an error — used
+/// after a restart to assert that recovery actually happened.
+fn serve_durable(dir: &Path, strict: bool) {
+    let (service, report) = build_durable_service(dir).unwrap_or_else(|error| {
+        eprintln!(
+            "tara_daemon: recovery from {} failed: {error}",
+            dir.display()
+        );
+        std::process::exit(2);
+    });
+    if strict && report.fresh_start {
+        eprintln!(
+            "tara_daemon: --recover set but {} held no prior state",
+            dir.display()
+        );
+        std::process::exit(3);
+    }
+    eprintln!(
+        "tara_daemon: data dir {} (checkpoint gen {}, replayed {} journal record(s) / {} post(s), truncated {} torn byte(s))",
+        dir.display(),
+        report
+            .checkpoint_generation
+            .map_or("none".to_string(), |generation| generation.to_string()),
+        report.replayed_records,
+        report.replayed_posts,
+        report.truncated_wal_bytes,
+    );
+    serve(service);
 }
 
 /// Serves stdin until EOF with bounded pipelining: up to one request per
 /// worker rides the pool at a time, responses flush in input order so the
 /// transcript stays deterministic for piped callers.
-fn serve() {
-    let service = build_service();
+fn serve(service: TaraService) {
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
@@ -233,6 +346,64 @@ fn demo() {
     let response = service.handle(ServiceRequest::Unschedule { id: job });
     println!("  unschedule sweep         -> {}", describe(&response));
 
+    // A checkpoint needs a data dir; on this in-memory service it answers a
+    // structured not-durable error instead.
+    let response = service.handle(ServiceRequest::Checkpoint);
+    println!("  checkpoint (no dir)      -> {}", describe(&response));
+
+    // Durability: the same service behind a data dir.  Ingests journal
+    // before they publish, checkpoints persist atomically, and a second
+    // incarnation recovered from the same dir scores bit-identically.
+    let dir = std::env::temp_dir().join(format!("tara-demo-durability-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (durable, _) = build_durable_service(&dir).expect("demo data dir usable");
+    let response = durable.handle(ServiceRequest::Ingest {
+        posts: scenario::excavator_europe(8).posts().to_vec(),
+    });
+    println!("  durable ingest           -> {}", describe(&response));
+    let response = durable.handle(ServiceRequest::Checkpoint);
+    println!("  checkpoint               -> {}", describe(&response));
+    let response = durable.handle(ServiceRequest::Ingest {
+        posts: scenario::excavator_europe(9).posts().to_vec(),
+    });
+    println!("  durable ingest again     -> {}", describe(&response));
+    let score = ServiceRequest::Score {
+        db: "excavator".into(),
+        config: "excavator".into(),
+    };
+    let reference = durable.handle(score.clone());
+    println!("  durable score            -> {}", describe(&reference));
+    println!(
+        "  durable status           -> {}",
+        describe(&durable.handle(ServiceRequest::Status))
+    );
+    drop(durable); // the first incarnation dies here; only the disk survives
+    let (revived, report) = build_durable_service(&dir).expect("demo data dir recoverable");
+    println!(
+        "  restart                  -> checkpoint gen {}, replayed {} record(s) / {} post(s)",
+        report
+            .checkpoint_generation
+            .map_or("none".to_string(), |g| g.to_string()),
+        report.replayed_records,
+        report.replayed_posts,
+    );
+    let replayed = revived.handle(score);
+    println!(
+        "  score after restart      -> {} [{}]",
+        describe(&replayed),
+        if replayed == reference {
+            "bit-identical"
+        } else {
+            "MISMATCH"
+        },
+    );
+    println!(
+        "  status after restart     -> {}",
+        describe(&revived.handle(ServiceRequest::Status))
+    );
+    drop(revived);
+    let _ = std::fs::remove_dir_all(&dir);
+
     println!("demo complete");
 }
 
@@ -293,11 +464,29 @@ fn describe(response: &ServiceResponse) -> String {
             panicked,
             subscriptions,
             scheduled,
+            wal_records,
+            wal_bytes: _,
+            last_checkpoint_generation,
+            recovered_at_start,
         } => format!(
             "gen {generation}: {posts} posts, {} dbs, {} configs, {workers} workers \
-             (q{queued}/f{in_flight}/p{panicked}, {subscriptions} subs, {scheduled} jobs)",
+             (q{queued}/f{in_flight}/p{panicked}, {subscriptions} subs, {scheduled} jobs), \
+             wal {wal_records} rec, ckpt {}, recovered {recovered_at_start}",
             databases.len(),
-            configs.len()
+            configs.len(),
+            last_checkpoint_generation.map_or("none".to_string(), |g| g.to_string()),
+        ),
+        ServiceResponse::Checkpointed {
+            generation,
+            posts,
+            path,
+        } => format!(
+            "gen {generation}: {posts} posts -> {}",
+            // Only the directory name: absolute paths would make the demo
+            // transcript machine-dependent.
+            Path::new(path)
+                .file_name()
+                .map_or_else(|| path.clone(), |name| name.to_string_lossy().into_owned()),
         ),
         ServiceResponse::Subscribed { id, generation } => {
             format!("subscription #{id} at gen {generation}")

@@ -393,6 +393,14 @@ impl StreamingScorer for ChaosEngine {
     fn export_signal_cache(&self) -> SignalCacheFile {
         self.inner.export_signal_cache()
     }
+
+    fn snapshot_corpus(&self) -> Corpus {
+        self.inner.snapshot_corpus()
+    }
+
+    fn restore_generation(&mut self, generation: u64) {
+        self.inner.restore_generation(generation);
+    }
 }
 
 /// An engine that sleeps on every scoring call, so a short per-request
@@ -430,6 +438,14 @@ impl StreamingScorer for SlowEngine {
 
     fn export_signal_cache(&self) -> SignalCacheFile {
         self.inner.export_signal_cache()
+    }
+
+    fn snapshot_corpus(&self) -> Corpus {
+        self.inner.snapshot_corpus()
+    }
+
+    fn restore_generation(&mut self, generation: u64) {
+        self.inner.restore_generation(generation);
     }
 }
 
