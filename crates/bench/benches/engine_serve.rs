@@ -22,10 +22,18 @@
 //!   no writer;
 //! * `serve_busy_p50/<size>`, `serve_busy_p99/<size>` — the same readers
 //!   while the duty-cycled writer ingests;
+//! * `socket_score_p50/<size>`, `socket_score_p99/<size>` — one full
+//!   connect/score/close cycle against a [`SocketServer`] over the same warm
+//!   service (the cost a short-lived wire client pays: TCP setup, JSON
+//!   framing both ways, admission, teardown);
 //! * ratio `p99_idle_over_busy/<size>` — idle p99 / busy p99.  The CI floor
 //!   (baseline/2) makes this the acceptance bar: with a blessed ratio near
 //!   1.0, the check fails when the busy p99 degrades past ~2x the idle p99
-//!   relative to the baseline — i.e. when scoring starts blocking on ingest.
+//!   relative to the baseline — i.e. when scoring starts blocking on ingest;
+//! * ratio `p99_idle_over_socket/<size>` — idle p99 / socket p99: how much
+//!   of the in-process latency survives the trip through the transport.  Its
+//!   CI floor catches the socket plane regressing into a bottleneck (framing,
+//!   admission, or per-connection threads dominating the score itself).
 //!
 //! Before anything is timed, a served response is asserted bit-identical to
 //! a standalone engine at the same generation.  The report lands in
@@ -36,11 +44,16 @@
 use psp::config::PspConfig;
 use psp::engine::LiveEngine;
 use psp::keyword_db::KeywordDatabase;
+use psp::service::net::{NetConfig, SocketServer};
+use psp::service::wire::{encode_request, WireRequest, WireResponse};
 use psp::service::{ServiceRegistry, ServiceRequest, ServiceResponse, TaraService};
 use psp_bench::perf::{fresh_report_path, sizes_from_env, PerfReport};
 use psp_bench::scaled_excavator_corpus;
 use socialsim::post::Post;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Default corpus sizes; override with `PSP_BENCH_SIZES=10000`.
@@ -113,6 +126,56 @@ fn run_phase(service: &TaraService, writer_posts: Option<&[Post]>) -> Vec<f64> {
     })
 }
 
+/// Times `REQUESTS_PER_READER` full connect/score/close cycles per reader
+/// against a bound [`SocketServer`]: each sample covers TCP connect, one
+/// `Score` request line out, the response line back, and the close.
+fn run_socket_phase(service: &Arc<TaraService>) -> Vec<f64> {
+    let server = SocketServer::bind(Arc::clone(service), "127.0.0.1:0", NetConfig::default())
+        .expect("bind an OS-picked port");
+    let addr = server.local_addr();
+    let line = format!(
+        "{}\n",
+        encode_request(&WireRequest {
+            id: 1,
+            request: score_request(),
+        })
+    );
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..READERS)
+            .map(|_| {
+                let line = line.as_str();
+                scope.spawn(move || {
+                    let mut latencies = Vec::with_capacity(REQUESTS_PER_READER);
+                    for _ in 0..REQUESTS_PER_READER {
+                        let start = Instant::now();
+                        let mut stream = TcpStream::connect(addr).expect("socket server accepts");
+                        stream.write_all(line.as_bytes()).expect("request written");
+                        let mut response = String::new();
+                        BufReader::new(&stream)
+                            .read_line(&mut response)
+                            .expect("response read");
+                        drop(stream);
+                        latencies.push(start.elapsed().as_nanos() as f64);
+                        let decoded: WireResponse =
+                            serde_json::from_str(response.trim_end()).expect("response decodes");
+                        assert!(
+                            matches!(decoded.response, ServiceResponse::Score { .. }),
+                            "unexpected response: {:?}",
+                            decoded.response
+                        );
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        let mut all = Vec::with_capacity(READERS * REQUESTS_PER_READER);
+        for handle in handles {
+            all.extend(handle.join().expect("socket reader thread panicked"));
+        }
+        all
+    })
+}
+
 /// Nearest-rank percentile over unsorted samples.
 fn percentile(samples: &mut [f64], p: f64) -> f64 {
     assert!(!samples.is_empty());
@@ -141,7 +204,7 @@ fn main() {
         let registry = ServiceRegistry::new()
             .database("excavator", db.clone())
             .config("excavator", config.clone());
-        let service = TaraService::with_workers(engine, registry, READERS);
+        let service = Arc::new(TaraService::with_workers(engine, registry, READERS));
 
         // Sanity: a served response is bit-identical to a standalone engine
         // at the same generation before anything is timed.  (Also warms the
@@ -160,21 +223,32 @@ fn main() {
 
         let mut idle = run_phase(&service, None);
         let mut busy = run_phase(&service, Some(&extra));
+        let mut socket = run_socket_phase(&service);
 
         let idle_p50 = percentile(&mut idle, 50.0);
         let idle_p99 = percentile(&mut idle, 99.0);
         let busy_p50 = percentile(&mut busy, 50.0);
         let busy_p99 = percentile(&mut busy, 99.0);
+        let socket_p50 = percentile(&mut socket, 50.0);
+        let socket_p99 = percentile(&mut socket, 99.0);
         let ratio = idle_p99 / busy_p99;
+        let socket_ratio = idle_p99 / socket_p99;
         println!(
             "{size:>7} posts: idle p50 {idle_p50:>11.0} ns, p99 {idle_p99:>11.0} ns | \
              busy p50 {busy_p50:>11.0} ns, p99 {busy_p99:>11.0} ns | idle/busy p99 {ratio:.2}"
+        );
+        println!(
+            "{size:>7} posts: socket p50 {socket_p50:>9.0} ns, p99 {socket_p99:>11.0} ns | \
+             idle/socket p99 {socket_ratio:.2}"
         );
         report.push_metric(format!("serve_idle_p50/{size}"), idle_p50);
         report.push_metric(format!("serve_idle_p99/{size}"), idle_p99);
         report.push_metric(format!("serve_busy_p50/{size}"), busy_p50);
         report.push_metric(format!("serve_busy_p99/{size}"), busy_p99);
+        report.push_metric(format!("socket_score_p50/{size}"), socket_p50);
+        report.push_metric(format!("socket_score_p99/{size}"), socket_p99);
         report.push_ratio(format!("p99_idle_over_busy/{size}"), ratio);
+        report.push_ratio(format!("p99_idle_over_socket/{size}"), socket_ratio);
     }
 
     let path = fresh_report_path("engine_serve");

@@ -74,6 +74,30 @@ pub enum PspError {
         /// Human-readable detail naming the failed operation.
         detail: String,
     },
+    /// The admission queue in front of the worker pool is full.  The request
+    /// was rejected *before* queueing so the service's latency stays bounded;
+    /// clients should back off and retry.
+    Overloaded {
+        /// Requests already admitted and awaiting a worker when this one
+        /// arrived.
+        queued: usize,
+        /// The admission queue's capacity.
+        capacity: usize,
+    },
+    /// The socket server is at its connection cap; the new connection was
+    /// answered with this error and closed without being served.
+    ConnectionLimit {
+        /// Connections open when the new one arrived.
+        open: usize,
+        /// The configured connection cap.
+        cap: usize,
+    },
+    /// A wire line exceeded the configured maximum length and was discarded
+    /// instead of buffered unboundedly.
+    LineTooLong {
+        /// The configured per-line byte limit.
+        limit: usize,
+    },
 }
 
 impl PspError {
@@ -95,6 +119,9 @@ impl PspError {
             PspError::NotSchedulable { .. } => "not-schedulable",
             PspError::NotDurable => "not-durable",
             PspError::Durability { .. } => "durability",
+            PspError::Overloaded { .. } => "overloaded",
+            PspError::ConnectionLimit { .. } => "connection-limit",
+            PspError::LineTooLong { .. } => "line-too-long",
         }
     }
 }
@@ -131,6 +158,16 @@ impl fmt::Display for PspError {
                 write!(f, "service is running without a data directory")
             }
             PspError::Durability { detail } => write!(f, "durability error: {detail}"),
+            PspError::Overloaded { queued, capacity } => write!(
+                f,
+                "service overloaded: admission queue full ({queued}/{capacity}); retry later"
+            ),
+            PspError::ConnectionLimit { open, cap } => {
+                write!(f, "connection limit reached ({open}/{cap} open)")
+            }
+            PspError::LineTooLong { limit } => {
+                write!(f, "wire line exceeds the {limit}-byte limit")
+            }
         }
     }
 }
@@ -235,6 +272,18 @@ mod tests {
         };
         assert_eq!(durability.kind(), "durability");
         assert!(durability.to_string().contains("fsync wal.log failed"));
+        let overloaded = PspError::Overloaded {
+            queued: 128,
+            capacity: 128,
+        };
+        assert_eq!(overloaded.kind(), "overloaded");
+        assert!(overloaded.to_string().contains("128/128"));
+        let conn = PspError::ConnectionLimit { open: 64, cap: 64 };
+        assert_eq!(conn.kind(), "connection-limit");
+        assert!(conn.to_string().contains("64/64"));
+        let long = PspError::LineTooLong { limit: 1_048_576 };
+        assert_eq!(long.kind(), "line-too-long");
+        assert!(long.to_string().contains("1048576"));
     }
 
     #[test]
@@ -261,6 +310,13 @@ mod tests {
             PspError::NotSchedulable { request: "Ingest" }.kind(),
             PspError::NotDurable.kind(),
             PspError::Durability { detail: "d".into() }.kind(),
+            PspError::Overloaded {
+                queued: 1,
+                capacity: 1,
+            }
+            .kind(),
+            PspError::ConnectionLimit { open: 1, cap: 1 }.kind(),
+            PspError::LineTooLong { limit: 1 }.kind(),
         ];
         let unique: std::collections::BTreeSet<_> = kinds.iter().collect();
         assert_eq!(unique.len(), kinds.len());

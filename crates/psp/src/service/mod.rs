@@ -53,6 +53,7 @@
 
 pub mod durability;
 pub mod journal;
+pub mod net;
 pub mod runtime;
 mod scheduler;
 pub mod snapshot;
@@ -65,6 +66,7 @@ use crate::keyword_db::KeywordDatabase;
 use crate::monitoring::{MonitoringSeries, SaiAlert};
 use crate::sai::SaiList;
 use durability::{DurabilityStats, DurableStore};
+use net::{NetMetrics, NetStatus};
 use runtime::{CancelToken, PoolMetrics, Ticket, WorkerPool};
 use scheduler::SchedulerQueue;
 use serde::{Deserialize, Serialize};
@@ -403,6 +405,9 @@ pub enum ServiceResponse {
         last_checkpoint_generation: Option<u64>,
         /// Whether the service restored prior state at startup.
         recovered_at_start: bool,
+        /// Socket-transport counters (all zero when no [`net::SocketServer`]
+        /// is attached).
+        net: NetStatus,
     },
     /// Answer to [`ServiceRequest::Subscribe`].
     Subscribed {
@@ -471,6 +476,13 @@ pub enum ServiceEvent {
         /// answer (including `Error` responses).
         response: ServiceResponse,
     },
+    /// The final event on a subscribed channel when the serving transport
+    /// drains (graceful shutdown): no further deltas will arrive.  Pushed by
+    /// the socket server to every subscribed connection before it closes.
+    Draining {
+        /// The generation published when the drain began.
+        generation: u64,
+    },
 }
 
 /// The receiving half of an embedded subscription or scheduled job: a
@@ -478,6 +490,7 @@ pub enum ServiceEvent {
 #[derive(Debug)]
 pub struct Subscription {
     id: u64,
+    generation: u64,
     receiver: mpsc::Receiver<ServiceEvent>,
 }
 
@@ -487,6 +500,13 @@ impl Subscription {
     #[must_use]
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// The generation published when the registration was made — what a
+    /// transport echoes in its `Subscribed` response.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// A pending event, if one is queued (never blocks).
@@ -535,6 +555,9 @@ struct ServiceState<E> {
     /// ingests are journaled write-ahead and `Checkpoint` requests persist
     /// atomic snapshots.
     durable: Option<Arc<DurableStore>>,
+    /// Socket-transport counters, shared with an attached
+    /// [`net::SocketServer`] so `Status` reports them; all zero otherwise.
+    net: Arc<NetMetrics>,
 }
 
 /// The TARA service: request execution over a snapshot-published engine.
@@ -626,6 +649,7 @@ impl<E: StreamingScorer + Clone + Send + Sync + 'static> TaraService<E> {
             next_id: AtomicU64::new(1),
             scheduler: SchedulerQueue::default(),
             durable,
+            net: Arc::new(NetMetrics::default()),
         });
         let scheduler = {
             let state = Arc::clone(&state);
@@ -734,8 +758,12 @@ impl<E: StreamingScorer + Clone + Send + Sync + 'static> TaraService<E> {
     /// Returns an error when the spec names an unregistered database or
     /// configuration.
     pub fn subscribe(&self, spec: MonitorSpec) -> Result<Subscription, PspError> {
-        let (id, _generation, receiver) = self.state.register_monitor(spec)?;
-        Ok(Subscription { id, receiver })
+        let (id, generation, receiver) = self.state.register_monitor(spec)?;
+        Ok(Subscription {
+            id,
+            generation,
+            receiver,
+        })
     }
 
     /// Registers a recurring job with a dedicated event channel (the
@@ -753,7 +781,11 @@ impl<E: StreamingScorer + Clone + Send + Sync + 'static> TaraService<E> {
         every: Duration,
     ) -> Result<Subscription, PspError> {
         let (id, receiver) = self.state.register_schedule(request, every)?;
-        Ok(Subscription { id, receiver })
+        Ok(Subscription {
+            id,
+            generation: self.state.publisher.snapshot().generation(),
+            receiver,
+        })
     }
 
     /// Drains every pending event of request-path registrations (wire
@@ -790,6 +822,21 @@ impl<E: StreamingScorer + Clone + Send + Sync + 'static> TaraService<E> {
     #[must_use]
     pub fn durability_stats(&self) -> DurabilityStats {
         self.state.durability_stats()
+    }
+
+    /// Whether the service owns a data directory (journals ingests, serves
+    /// `Checkpoint`) — transports use this to decide whether a drain should
+    /// write a final checkpoint.
+    #[must_use]
+    pub fn is_durable(&self) -> bool {
+        self.state.durable.is_some()
+    }
+
+    /// Socket-transport counters (the `Status` response's `net` block),
+    /// observed now; all zero when no [`net::SocketServer`] is attached.
+    #[must_use]
+    pub fn net_stats(&self) -> NetStatus {
+        self.state.net.status()
     }
 }
 
@@ -995,6 +1042,7 @@ impl<E: StreamingScorer + Clone + Send + Sync + 'static> ServiceState<E> {
                     wal_bytes: durability.wal_bytes,
                     last_checkpoint_generation: durability.last_checkpoint_generation,
                     recovered_at_start: durability.recovered_at_start,
+                    net: self.net.status(),
                 })
             }
             ServiceRequest::Subscribe { spec } => {
@@ -1253,6 +1301,7 @@ mod tests {
                 wal_bytes,
                 last_checkpoint_generation,
                 recovered_at_start,
+                net,
             } => {
                 assert!(posts > 0);
                 assert_eq!(generation, 1);
@@ -1265,6 +1314,8 @@ mod tests {
                 assert_eq!((wal_records, wal_bytes), (0, 0));
                 assert_eq!(last_checkpoint_generation, None);
                 assert!(!recovered_at_start);
+                // No socket server attached: every net counter is zero.
+                assert_eq!(net, NetStatus::default());
             }
             other => panic!("unexpected response: {other:?}"),
         }

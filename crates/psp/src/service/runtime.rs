@@ -4,9 +4,12 @@
 //! offline alternative (per the roadmap) is plain threads and channels.  A
 //! [`WorkerPool`] owns N worker threads draining one shared job queue; a
 //! submitted request runs as one job and answers through a one-shot channel
-//! ([`Ticket`]).  Dropping the pool closes the queue and joins every worker,
-//! so shutdown is deterministic — in-flight jobs finish, queued jobs run,
-//! nothing is leaked.
+//! ([`Ticket`]).  [`WorkerPool::stop`] (also run on drop, followed by a join)
+//! makes shutdown deterministic *and bounded*: in-flight jobs finish, but
+//! jobs still queued are discarded — dropping a job drops its ticket sender,
+//! so every pending [`Ticket`] resolves to a structured `service-stopped`
+//! error instead of hanging (or instead of shutdown blocking arbitrarily
+//! long behind a saturated queue).
 //!
 //! Two hardening guarantees live here:
 //!
@@ -83,6 +86,10 @@ pub struct WorkerPool {
     sender: Mutex<Option<mpsc::Sender<Job>>>,
     workers: Vec<JoinHandle<()>>,
     metrics: Arc<PoolMetrics>,
+    /// Once set, workers discard queued jobs instead of running them —
+    /// discarding drops each job's ticket sender, which answers the waiting
+    /// [`Ticket`] with `service-stopped`.
+    stopping: Arc<AtomicBool>,
 }
 
 impl WorkerPool {
@@ -98,10 +105,12 @@ impl WorkerPool {
     pub(super) fn with_metrics(threads: usize, metrics: Arc<PoolMetrics>) -> Self {
         let (sender, receiver) = mpsc::channel::<Job>();
         let receiver = Arc::new(Mutex::new(receiver));
+        let stopping = Arc::new(AtomicBool::new(false));
         let workers = (0..threads.max(1))
             .map(|index| {
                 let receiver = Arc::clone(&receiver);
                 let metrics = Arc::clone(&metrics);
+                let stopping = Arc::clone(&stopping);
                 std::thread::Builder::new()
                     .name(format!("tara-worker-{index}"))
                     .spawn(move || loop {
@@ -117,6 +126,17 @@ impl WorkerPool {
                         match job {
                             Ok(job) => {
                                 metrics.queued.fetch_sub(1, Ordering::SeqCst);
+                                // Shutdown ordering: once `stop` has been
+                                // called, queued work is *discarded*, not
+                                // run — dropping the job drops its ticket
+                                // sender, so the submitter's `Ticket::wait`
+                                // resolves to `service-stopped` immediately
+                                // instead of hanging behind a queue nobody
+                                // will ever fully drain.
+                                if stopping.load(Ordering::SeqCst) {
+                                    drop(job);
+                                    continue;
+                                }
                                 metrics.in_flight.fetch_add(1, Ordering::SeqCst);
                                 // The worker survives a panicking job: catch
                                 // the unwind, count it, keep draining.  The
@@ -139,7 +159,20 @@ impl WorkerPool {
             sender: Mutex::new(Some(sender)),
             workers,
             metrics,
+            stopping,
         }
+    }
+
+    /// Begins shutdown: no new jobs are accepted, in-flight jobs finish, and
+    /// jobs still queued are discarded so their [`Ticket`]s resolve to
+    /// `service-stopped` rather than waiting on work that will never start.
+    /// Idempotent; `Drop` calls it before joining the workers.
+    pub fn stop(&self) {
+        // Order matters: flip the flag *before* closing the queue so a worker
+        // can never observe "queue closed" without also observing "stopping".
+        self.stopping.store(true, Ordering::SeqCst);
+        let mut sender = self.sender.lock().unwrap_or_else(PoisonError::into_inner);
+        sender.take();
     }
 
     /// Number of worker threads.
@@ -183,12 +216,10 @@ impl WorkerPool {
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        // Close the queue, then join: each worker drains remaining jobs and
-        // exits on RecvError.
-        {
-            let mut sender = self.sender.lock().unwrap_or_else(PoisonError::into_inner);
-            sender.take();
-        }
+        // Begin shutdown (in-flight jobs finish, queued jobs are discarded
+        // with their tickets answered), then join: each worker exits on
+        // RecvError once the closed queue is empty.
+        self.stop();
         for worker in self.workers.drain(..) {
             // A worker that panicked already reported; don't double-panic in
             // the destructor.
@@ -338,17 +369,81 @@ mod tests {
     #[test]
     fn jobs_run_and_drop_joins_cleanly() {
         let counter = Arc::new(AtomicUsize::new(0));
+        let (done_tx, done_rx) = mpsc::channel();
         let pool = WorkerPool::new(3);
         assert_eq!(pool.worker_count(), 3);
         for _ in 0..20 {
             let counter = Arc::clone(&counter);
+            let done_tx = done_tx.clone();
             pool.execute(move || {
                 counter.fetch_add(1, Ordering::SeqCst);
+                let _ = done_tx.send(());
             })
             .expect("pool accepts jobs");
         }
-        drop(pool); // joins workers after the queue drains
+        // Wait for every job to complete *before* dropping: drop discards
+        // still-queued work by design, and this test is about the happy path.
+        for _ in 0..20 {
+            done_rx
+                .recv_timeout(Duration::from_secs(10))
+                .expect("job completes");
+        }
+        drop(pool); // joins workers
         assert_eq!(counter.load(Ordering::SeqCst), 20);
+    }
+
+    /// Satellite regression: stopping a pool whose queue is saturated must
+    /// answer every still-queued `Ticket` with `service-stopped` — before the
+    /// fix, `stop`/drop ran the queued jobs, so shutdown blocked arbitrarily
+    /// long behind whatever was stuck in front of them (and a receiver whose
+    /// job never got to run hung forever).
+    #[test]
+    fn stop_with_saturated_queue_answers_every_pending_ticket() {
+        let pool = WorkerPool::new(1);
+        // Occupy the only worker so everything behind it stays queued.
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (running_tx, running_rx) = mpsc::channel::<()>();
+        pool.execute(move || {
+            running_tx.send(()).expect("test alive");
+            gate_rx.recv().expect("gate opens");
+        })
+        .expect("pool accepts jobs");
+        running_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("blocker job starts");
+        // Saturate the queue with ticket-answering jobs that will never run.
+        let tickets: Vec<Ticket> = (0..16)
+            .map(|_| {
+                let (sender, ticket) = Ticket::new();
+                pool.execute(move || {
+                    let _ = sender.send(ServiceResponse::Error {
+                        error: PspError::Internal {
+                            detail: "should have been discarded".into(),
+                        }
+                        .into(),
+                    });
+                })
+                .expect("pool accepts jobs");
+                ticket
+            })
+            .collect();
+        pool.stop();
+        // New work is refused immediately.
+        assert!(matches!(pool.execute(|| {}), Err(PspError::ServiceStopped)));
+        // The blocker is still holding the worker, yet every queued ticket
+        // resolves promptly (bounded wait) to `service-stopped`: the worker
+        // discards queued jobs as it reaches them, dropping their senders.
+        gate_tx.send(()).expect("worker alive");
+        for ticket in tickets {
+            match ticket
+                .wait_timeout(Duration::from_secs(10))
+                .expect("ticket answered, not hung")
+            {
+                ServiceResponse::Error { error } => assert_eq!(error.kind, "service-stopped"),
+                other => panic!("queued job ran after stop: {other:?}"),
+            }
+        }
+        drop(pool);
     }
 
     #[test]
@@ -426,21 +521,32 @@ mod tests {
     fn concurrent_submitters_all_enqueue() {
         let pool = Arc::new(WorkerPool::new(2));
         let counter = Arc::new(AtomicUsize::new(0));
+        let (done_tx, done_rx) = mpsc::channel();
         std::thread::scope(|scope| {
             for _ in 0..8 {
                 let pool = Arc::clone(&pool);
                 let counter = Arc::clone(&counter);
+                let done_tx = done_tx.clone();
                 scope.spawn(move || {
                     for _ in 0..50 {
                         let counter = Arc::clone(&counter);
+                        let done_tx = done_tx.clone();
                         pool.execute(move || {
                             counter.fetch_add(1, Ordering::SeqCst);
+                            let _ = done_tx.send(());
                         })
                         .expect("pool accepts jobs");
                     }
                 });
             }
         });
+        // Every submission made it into the queue; wait for completion before
+        // dropping (drop discards queued work by design).
+        for _ in 0..8 * 50 {
+            done_rx
+                .recv_timeout(Duration::from_secs(10))
+                .expect("job completes");
+        }
         drop(Arc::try_unwrap(pool).expect("all submitters done")); // join workers
         assert_eq!(counter.load(Ordering::SeqCst), 8 * 50);
     }

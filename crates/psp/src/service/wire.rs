@@ -287,6 +287,45 @@ mod tests {
         assert_eq!(decoded.event, event);
     }
 
+    /// Satellite: the adversarial inputs the chaos harness generates must
+    /// all answer structured errors — never panic, never kill the decoder.
+    #[test]
+    fn adversarial_lines_answer_structured_errors_and_never_panic() {
+        // Invalid UTF-8 reaches the decoder lossily (the transports decode
+        // bytes with `from_utf8_lossy`), as replacement characters.
+        let lossy = String::from_utf8_lossy(b"\xff\xfe{\"id\": 3, \xf0\x28\x8c\x28").into_owned();
+        let error = decode_request(&lossy).unwrap_err();
+        assert_eq!(error.kind(), "bad-request");
+        let out = error_line(&lossy, error);
+        assert!(
+            out.contains("\"id\":3"),
+            "id recovered through noise: {out}"
+        );
+
+        // NUL bytes: valid UTF-8, hostile content.
+        let nulls = "\0\0{\"id\":9,\0\"request\":\"Status\"}\0";
+        let error = decode_request(nulls).unwrap_err();
+        assert_eq!(error.kind(), "bad-request");
+        assert_eq!(recover_id(nulls), 9);
+
+        // Deeply nested JSON: a structured parse error (the parser's
+        // recursion limit), not a stack overflow.
+        let nested = format!("{}{}", "{\"id\":4,\"request\":", "[".repeat(200_000));
+        let error = decode_request(&nested).unwrap_err();
+        assert_eq!(error.kind(), "bad-request");
+        assert!(error.to_string().contains("recursion"), "{error}");
+        assert_eq!(recover_id(&nested), 4);
+
+        // Duplicate `id` keys: decoding is deterministic (one of them wins,
+        // no panic), and recovery reads the first syntactically valid one.
+        let duplicate = r#"{"id": 1, "id": 2, "request": "Status"}"#;
+        match decode_request(duplicate) {
+            Ok(request) => assert!(request.id == 1 || request.id == 2),
+            Err(error) => assert_eq!(error.kind(), "bad-request"),
+        }
+        assert_eq!(recover_id(r#"{"id": nope, "id": 2}"#), 2);
+    }
+
     #[test]
     fn responses_encode_with_their_id() {
         let response = WireResponse {

@@ -41,6 +41,7 @@ pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
     let mut parser = Parser {
         bytes: s.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     parser.skip_ws();
     let value = parser.parse_value()?;
@@ -137,9 +138,15 @@ fn write_string(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Maximum container nesting the parser accepts.  Matches real serde_json's
+/// default recursion limit; without it, adversarial input like `"[" * 100_000`
+/// overflows the stack (an abort, not a catchable error).
+const MAX_PARSE_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -194,12 +201,22 @@ impl Parser<'_> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), Error> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(Error::custom("recursion limit exceeded"));
+        }
+        Ok(())
+    }
+
     fn parse_array(&mut self) -> Result<Value, Error> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Seq(items));
         }
         loop {
@@ -210,6 +227,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Seq(items));
                 }
                 _ => return Err(Error::custom("expected `,` or `]` in array")),
@@ -219,10 +237,12 @@ impl Parser<'_> {
 
     fn parse_object(&mut self) -> Result<Value, Error> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut entries = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Map(entries));
         }
         loop {
@@ -238,6 +258,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Map(entries));
                 }
                 _ => return Err(Error::custom("expected `,` or `}` in object")),
@@ -389,5 +410,23 @@ mod tests {
     fn unicode_escapes_parse() {
         let s: String = from_str("\"\\u0041\\u00e9\\ud83d\\ude00\"").unwrap();
         assert_eq!(s, "Aé😀");
+    }
+
+    #[test]
+    fn deep_nesting_is_a_structured_error_not_a_stack_overflow() {
+        // Well past any realistic document, far past the recursion limit —
+        // before the limit existed this aborted the process.
+        let hostile = "[".repeat(100_000);
+        let err = from_str::<Vec<u64>>(&hostile).unwrap_err();
+        assert!(err.to_string().contains("recursion"), "{err}");
+        let hostile_obj = "{\"a\":".repeat(100_000);
+        assert!(from_str::<Vec<u64>>(&hostile_obj).is_err());
+        // Nesting under the limit still parses: depth 100 gets past the
+        // parser (the failure below is the shape mismatch with `Vec<u64>`,
+        // not the recursion guard).
+        let fine = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        let err = from_str::<Vec<u64>>(&fine).unwrap_err();
+        assert!(!err.to_string().contains("recursion"), "{err}");
+        assert_eq!(from_str::<Vec<Vec<u64>>>("[[1],[2]]").unwrap().len(), 2);
     }
 }

@@ -13,8 +13,21 @@
 //! cargo run --release --example tara_daemon -- --data-dir /var/lib/tara
 //! cargo run --release --example tara_daemon -- --data-dir /var/lib/tara --recover
 //! cargo run --release --example tara_daemon -- --gen-batch 8   # print an ingest line
+//! cargo run --release --example tara_daemon -- --listen 127.0.0.1:4714
+//! cargo run --release --example tara_daemon -- --listen 127.0.0.1:0 --data-dir /var/lib/tara
 //! echo '{"id":1,"request":"Status"}' | cargo run --release --example tara_daemon
 //! ```
+//!
+//! `--listen ADDR` serves the same wire format over TCP (`psp::service::net`)
+//! instead of stdin: concurrent connections with admission control,
+//! per-connection deadlines, slow-consumer disconnection and a connection
+//! cap.  The resolved address is printed to stderr (`listening on …`), so
+//! drivers can pass port 0 and parse the port.  SIGTERM (or SIGINT) starts a
+//! graceful drain: accepting stops, every admitted request is answered, and
+//! a durable daemon writes a final checkpoint before exiting 0.  Both
+//! transports bound input lines to `--max-line-bytes` (default 1 MiB),
+//! answering a structured `line-too-long` error instead of buffering
+//! unboundedly; the stdin transport drains the same way on EOF.
 //!
 //! With `--data-dir` the daemon is durable: ingests append to a checksummed
 //! write-ahead journal before they publish, `Checkpoint` requests persist the
@@ -31,9 +44,11 @@
 
 use psp_suite::psp::config::PspConfig;
 use psp_suite::psp::engine::{LiveEngine, WindowAxis};
+use psp_suite::psp::error::PspError;
 use psp_suite::psp::keyword_db::KeywordDatabase;
 use psp_suite::psp::service::durability::{DurableStore, RecoveryReport};
 use psp_suite::psp::service::journal::FaultFs;
+use psp_suite::psp::service::net::{LineScanner, NetConfig, ScannedLine, SocketServer};
 use psp_suite::psp::service::wire::{
     decode_request, encode_event, encode_request, encode_response, error_line, WireRequest,
     WireResponse,
@@ -44,8 +59,11 @@ use psp_suite::psp::service::{
 use psp_suite::socialsim::scenario;
 use psp_suite::socialsim::time::DateWindow;
 use std::collections::VecDeque;
-use std::io::{BufRead, Write};
+use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 fn build_registry() -> ServiceRegistry {
     ServiceRegistry::new()
@@ -85,6 +103,33 @@ fn build_durable_service(dir: &Path) -> Result<(TaraService, RecoveryReport), St
     Ok((service, report))
 }
 
+/// Set by the SIGTERM/SIGINT handler; polled by both serving loops to start
+/// a graceful drain.
+static TERM: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_term(_signum: i32) {
+    TERM.store(true, Ordering::SeqCst);
+}
+
+/// Installs the drain handler for SIGTERM and SIGINT via the C `signal`
+/// entry point (no signal-handling crate offline; the handler only flips an
+/// atomic, which is async-signal-safe).
+#[cfg(unix)]
+fn install_term_handler() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_term);
+        signal(SIGINT, on_term);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_term_handler() {}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if let Some(seed) = flag_value(&args, "--gen-batch") {
@@ -95,12 +140,24 @@ fn main() {
         demo();
         return;
     }
-    match flag_value(&args, "--data-dir") {
-        Some(dir) => serve_durable(
+    let max_line_bytes = match flag_value(&args, "--max-line-bytes") {
+        None => 1 << 20,
+        Some(value) => value.parse().unwrap_or_else(|_| {
+            eprintln!("tara_daemon: --max-line-bytes wants a byte count, got `{value}`");
+            std::process::exit(2);
+        }),
+    };
+    let listen = flag_value(&args, "--listen");
+    let service = match flag_value(&args, "--data-dir") {
+        Some(dir) => recover_durable(
             &PathBuf::from(dir),
             args.iter().any(|arg| arg == "--recover"),
         ),
-        None => serve(build_service()),
+        None => build_service(),
+    };
+    match listen {
+        Some(addr) => serve_socket(Arc::new(service), &addr, max_line_bytes),
+        None => serve(service, max_line_bytes),
     }
 }
 
@@ -130,10 +187,10 @@ fn gen_batch(seed: &str) {
     );
 }
 
-/// Durable serving: recover from `dir`, then run the same stdin loop.  With
+/// Recovers a durable service from `dir` (exiting on failure).  With
 /// `strict` set, a fresh start (no prior state on disk) is an error — used
 /// after a restart to assert that recovery actually happened.
-fn serve_durable(dir: &Path, strict: bool) {
+fn recover_durable(dir: &Path, strict: bool) -> TaraService {
     let (service, report) = build_durable_service(dir).unwrap_or_else(|error| {
         eprintln!(
             "tara_daemon: recovery from {} failed: {error}",
@@ -158,50 +215,135 @@ fn serve_durable(dir: &Path, strict: bool) {
         report.replayed_posts,
         report.truncated_wal_bytes,
     );
-    serve(service);
+    service
+}
+
+/// On a durable service, persists a final checkpoint as part of a graceful
+/// drain (SIGTERM on the socket transport, EOF on stdin); a non-durable
+/// service drains without one.
+fn final_checkpoint(service: &TaraService) {
+    if !service.is_durable() {
+        return;
+    }
+    match service.handle(ServiceRequest::Checkpoint) {
+        ServiceResponse::Checkpointed { generation, .. } => {
+            eprintln!("tara_daemon: final checkpoint at gen {generation}");
+        }
+        other => eprintln!("tara_daemon: final checkpoint failed: {}", describe(&other)),
+    }
+}
+
+/// Serves the wire format over TCP until SIGTERM/SIGINT, then drains
+/// gracefully: the listener stops accepting, every admitted request is
+/// answered, subscriptions get a final `Draining` event, and a durable
+/// daemon writes a final checkpoint before exiting 0.
+fn serve_socket(service: Arc<TaraService>, addr: &str, max_line_bytes: usize) {
+    install_term_handler();
+    let config = NetConfig {
+        max_line_bytes,
+        ..NetConfig::default()
+    };
+    let mut server =
+        SocketServer::bind(Arc::clone(&service), addr, config).unwrap_or_else(|error| {
+            eprintln!("tara_daemon: binding {addr} failed: {error}");
+            std::process::exit(2);
+        });
+    // Drivers pass port 0 and parse the resolved address from this line.
+    eprintln!(
+        "tara_daemon: listening on {} ({} workers)",
+        server.local_addr(),
+        service.workers()
+    );
+    while !TERM.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    eprintln!("tara_daemon: termination signal received, draining");
+    server.shutdown();
+    let net = service.net_stats();
+    eprintln!(
+        "tara_daemon: drained ({} admitted / {} answered, peak {} connection(s))",
+        net.requests_admitted, net.requests_answered, net.peak_connections
+    );
+    final_checkpoint(&service);
 }
 
 /// Serves stdin until EOF with bounded pipelining: up to one request per
 /// worker rides the pool at a time, responses flush in input order so the
-/// transcript stays deterministic for piped callers.
-fn serve(service: TaraService) {
-    let stdin = std::io::stdin();
+/// transcript stays deterministic for piped callers.  Input lines are
+/// bounded (`max_line_bytes`) and decoded lossily, so neither a huge line
+/// nor invalid UTF-8 can break the loop; EOF drains gracefully (in-flight
+/// requests answered, final checkpoint when durable).
+fn serve(service: TaraService, max_line_bytes: usize) {
+    let mut stdin = std::io::stdin().lock();
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     let mut pending: VecDeque<(u64, psp_suite::psp::service::runtime::Ticket)> = VecDeque::new();
+    let mut scanner = LineScanner::new(max_line_bytes);
+    let mut buffer = [0_u8; 8192];
 
     eprintln!(
         "tara_daemon: serving line-JSON on stdin ({} workers); send {{\"id\":1,\"request\":\"Status\"}}",
         service.workers()
     );
-    for line in stdin.lock().lines() {
-        let line = match line {
-            Ok(line) => line,
-            Err(_) => break,
+    'reading: loop {
+        let scanned = match stdin.read(&mut buffer) {
+            Ok(0) => break 'reading,
+            Ok(read) => scanner.push(&buffer[..read]),
+            Err(error) if error.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => break 'reading,
         };
-        if line.trim().is_empty() {
-            continue;
+        for line in scanned {
+            serve_line(&service, line, max_line_bytes, &mut out, &mut pending);
         }
-        match decode_request(&line) {
-            Ok(wire) => pending.push_back((wire.id, service.submit(wire.request))),
-            Err(error) => {
-                // Unparseable line: answer immediately, in order, echoing the
-                // id when it is still legible in the broken line.
-                flush(&mut out, &mut pending, 0);
-                writeln!(out, "{}", error_line(&line, error)).expect("stdout writable");
-            }
-        }
-        let workers = service.workers();
-        flush(&mut out, &mut pending, workers);
         // Push events (monitor deltas after ingests, scheduled runs) ride
         // the same stream as extra lines, after the in-order responses.
         for event in service.poll_events() {
             writeln!(out, "{}", encode_event(&event)).expect("stdout writable");
         }
     }
+    // EOF drain: a trailing unterminated line still gets its answer, then
+    // every in-flight request flushes in order.
+    if let Some(line) = scanner.finish() {
+        serve_line(&service, line, max_line_bytes, &mut out, &mut pending);
+    }
     flush(&mut out, &mut pending, 0);
     for event in service.poll_events() {
         writeln!(out, "{}", encode_event(&event)).expect("stdout writable");
+    }
+    final_checkpoint(&service);
+}
+
+/// Dispatches one scanned stdin line: oversized and unparseable lines answer
+/// structured errors in order; well-formed requests ride the pool with
+/// bounded pipelining.
+fn serve_line(
+    service: &TaraService,
+    line: ScannedLine,
+    max_line_bytes: usize,
+    out: &mut impl Write,
+    pending: &mut VecDeque<(u64, psp_suite::psp::service::runtime::Ticket)>,
+) {
+    match line {
+        ScannedLine::TooLong { prefix } => {
+            flush(out, pending, 0);
+            let error = PspError::LineTooLong {
+                limit: max_line_bytes,
+            };
+            writeln!(out, "{}", error_line(&prefix, error)).expect("stdout writable");
+        }
+        ScannedLine::Line(line) if line.trim().is_empty() => {}
+        ScannedLine::Line(line) => {
+            match decode_request(&line) {
+                Ok(wire) => pending.push_back((wire.id, service.submit(wire.request))),
+                Err(error) => {
+                    // Unparseable line: answer immediately, in order, echoing
+                    // the id when it is still legible in the broken line.
+                    flush(out, pending, 0);
+                    writeln!(out, "{}", error_line(&line, error)).expect("stdout writable");
+                }
+            }
+            flush(out, pending, service.workers());
+        }
     }
 }
 
@@ -424,6 +566,9 @@ fn describe_event(event: &ServiceEvent) -> String {
         ServiceEvent::ScheduledRun { job, response } => {
             format!("scheduled run #{job}: {}", describe(response))
         }
+        ServiceEvent::Draining { generation } => {
+            format!("draining at gen {generation} (final event)")
+        }
     }
 }
 
@@ -468,13 +613,17 @@ fn describe(response: &ServiceResponse) -> String {
             wal_bytes: _,
             last_checkpoint_generation,
             recovered_at_start,
+            net,
         } => format!(
             "gen {generation}: {posts} posts, {} dbs, {} configs, {workers} workers \
              (q{queued}/f{in_flight}/p{panicked}, {subscriptions} subs, {scheduled} jobs), \
-             wal {wal_records} rec, ckpt {}, recovered {recovered_at_start}",
+             wal {wal_records} rec, ckpt {}, recovered {recovered_at_start}, \
+             net {}/{} conn",
             databases.len(),
             configs.len(),
             last_checkpoint_generation.map_or("none".to_string(), |g| g.to_string()),
+            net.open_connections,
+            net.peak_connections,
         ),
         ServiceResponse::Checkpointed {
             generation,
